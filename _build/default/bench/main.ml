@@ -1,0 +1,151 @@
+(* The benchmark harness: one runner per paper table and figure (simulated
+   experiments calibrated from Table 2/4), plus a Bechamel suite measuring
+   the REAL wall-clock cost of the data structures this repo implements
+   (the §4.2 ring vs the locked / buffer-allocating baselines, FD tables,
+   protocol codecs).
+
+   Usage: main.exe [experiment ...]
+   with experiments from: table1 table2 table3 table4 fig7 fig8 fig9 fig10
+   fig11 fig12 redis rpc connscale ablation micro.  No arguments = all. *)
+
+open Sds_experiments
+
+(* ---- Bechamel micro-benchmarks on the real data structures ---- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let payload = Bytes.make 64 'x' in
+  let big = Bytes.make 4096 'y' in
+  (* §4.2 per-socket ring: no allocation, no lock. *)
+  let ring = Sds_ring.Spsc_ring.create ~size:(1 lsl 16) () in
+  let t_ring =
+    Test.make ~name:"spsc_ring enq+deq 64B"
+      (Staged.stage (fun () ->
+           ignore (Sds_ring.Spsc_ring.try_enqueue ring payload ~off:0 ~len:64);
+           ignore (Sds_ring.Spsc_ring.try_dequeue ~auto_credit:true ring)))
+  in
+  let ring4k = Sds_ring.Spsc_ring.create ~size:(1 lsl 16) () in
+  let t_ring4k =
+    Test.make ~name:"spsc_ring enq+deq 4KiB"
+      (Staged.stage (fun () ->
+           ignore (Sds_ring.Spsc_ring.try_enqueue ring4k big ~off:0 ~len:4096);
+           ignore (Sds_ring.Spsc_ring.try_dequeue ~auto_credit:true ring4k)))
+  in
+  (* Baseline: per-FD mutex on every operation (§2.1.1). *)
+  let locked = Sds_ring.Locked_queue.create ~capacity_bytes:(1 lsl 16) () in
+  let t_locked =
+    Test.make ~name:"locked_queue enq+deq 64B"
+      (Staged.stage (fun () ->
+           ignore (Sds_ring.Locked_queue.try_enqueue locked payload ~off:0 ~len:64);
+           ignore (Sds_ring.Locked_queue.try_dequeue locked)))
+  in
+  (* Baseline: MTU buffer allocated and freed per packet (§2.1.2). *)
+  let alloc = Sds_ring.Alloc_queue.create ~slots:1024 ~buffer_size:4096 () in
+  let t_alloc =
+    Test.make ~name:"alloc_queue enq+deq 64B"
+      (Staged.stage (fun () ->
+           ignore (Sds_ring.Alloc_queue.try_enqueue alloc payload ~off:0 ~len:64);
+           ignore (Sds_ring.Alloc_queue.try_dequeue alloc)))
+  in
+  (* Lowest-FD allocation table (§4.5.1). *)
+  let fds = Sds_kernel.Fd_table.create () in
+  let t_fd =
+    Test.make ~name:"fd_table alloc+close"
+      (Staged.stage (fun () ->
+           let fd = Sds_kernel.Fd_table.alloc fds () in
+           ignore (Sds_kernel.Fd_table.close fds fd)))
+  in
+  (* Event-queue heap (simulator substrate). *)
+  let heap = Sds_sim.Heap.create ~less:(fun a b -> a < b) ~dummy:0 () in
+  let cnt = ref 0 in
+  let t_heap =
+    Test.make ~name:"heap push+pop"
+      (Staged.stage (fun () ->
+           incr cnt;
+           Sds_sim.Heap.push heap (!cnt * 7919 mod 65536);
+           ignore (Sds_sim.Heap.pop heap)))
+  in
+  (* Protocol codecs used by the application benchmarks. *)
+  let req = "GET /bytes/4096 HTTP/1.1" in
+  let t_http =
+    Test.make ~name:"http request-line parse"
+      (Staged.stage (fun () ->
+           match String.split_on_char ' ' req with
+           | [ m; p; v ] -> ignore (m, p, v)
+           | _ -> assert false))
+  in
+  let rpc_payload = Bytes.make 1024 'r' in
+  let t_rpc =
+    Test.make ~name:"rpc frame+parse 1KiB"
+      (Staged.stage (fun () ->
+           let b = Sds_apps.Rpc.frame ~call_id:42 ~meth:"echo" ~payload:rpc_payload in
+           ignore (Sds_apps.Rpc.parse b)))
+  in
+  [ t_ring; t_ring4k; t_locked; t_alloc; t_fd; t_heap; t_http; t_rpc ]
+
+let run_bechamel () =
+  let open Bechamel in
+  Fmt.pr "@.== Bechamel: real wall-clock cost of the implemented data structures ==@.";
+  Fmt.pr "%-28s %12s@." "benchmark" "ns/op";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Fmt.pr "%-28s %12.1f@." name est
+          | _ -> Fmt.pr "%-28s %12s@." name "n/a")
+        results)
+    (bechamel_tests ())
+
+(* ---- experiment registry ---- *)
+
+let experiments : (string * (unit -> unit)) list =
+  [
+    (* micro runs first: Bechamel's wall-clock measurements are cleanest
+       before the simulation experiments grow the heap. *)
+    ("micro", run_bechamel);
+    ("table1", fun () -> Tables.run_table1 ());
+    ("table2", fun () -> Tables.run_table2 ());
+    ("table3", fun () -> Tables.run_table3 ());
+    ("table4", fun () -> Tables.run_table4 ());
+    ("fig7", fun () -> ignore (Fig78.run_fig7 ()));
+    ("fig8", fun () -> ignore (Fig78.run_fig8 ()));
+    ("fig9", fun () -> ignore (Fig9.run ()));
+    ("fig10", fun () -> ignore (Fig10.run ()));
+    ("fig11", fun () -> ignore (Fig11.run ()));
+    ("fig12", fun () -> ignore (Fig12.run ()));
+    ("redis", fun () -> ignore (Apps_exp.run_redis ()));
+    ("rpc", fun () -> ignore (Apps_exp.run_rpc ()));
+    ("connscale", fun () -> ignore (Connscale.run ()));
+    ("qpscale", fun () -> ignore (Qpscale.run ()));
+    ("loss", fun () -> ignore (Loss.run ()));
+    ("mix", fun () -> ignore (Mix.run_mix ()));
+    ("loadlat", fun () -> ignore (Mix.run_loadlat ()));
+    ("acceptscale", fun () -> ignore (Accept_scale.run ()));
+    ("qos", fun () -> ignore (Qos.run ()));
+    ("ablation", fun () -> ignore (Ablation.run ()));
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run ->
+        let t0 = Unix.gettimeofday () in
+        run ();
+        Fmt.pr "(%s finished in %.1fs wall clock)@." name (Unix.gettimeofday () -. t0)
+      | None ->
+        Fmt.epr "unknown experiment %S; available: %s@." name
+          (String.concat " " (List.map fst experiments));
+        exit 1)
+    requested

@@ -1,0 +1,56 @@
+(* sdsim: command-line driver for the SocksDirect reproduction experiments.
+
+     sdsim list                 show available experiments
+     sdsim run fig7 fig8 ...    run selected experiments
+     sdsim run --all            run everything *)
+
+open Cmdliner
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ("table1", "overhead inventory and solutions", fun () -> Sds_experiments.Tables.run_table1 ());
+    ("table2", "micro-operation latency/throughput", fun () -> Sds_experiments.Tables.run_table2 ());
+    ("table3", "socket system feature matrix", fun () -> Sds_experiments.Tables.run_table3 ());
+    ("table4", "latency breakdown per stack", fun () -> Sds_experiments.Tables.run_table4 ());
+    ("fig7", "intra-host tput/latency vs message size", fun () -> ignore (Sds_experiments.Fig78.run_fig7 ()));
+    ("fig8", "inter-host tput/latency vs message size", fun () -> ignore (Sds_experiments.Fig78.run_fig8 ()));
+    ("fig9", "8-byte throughput vs cores", fun () -> ignore (Sds_experiments.Fig9.run ()));
+    ("fig10", "latency vs processes per core", fun () -> ignore (Sds_experiments.Fig10.run ()));
+    ("fig11", "Nginx HTTP latency vs response size", fun () -> ignore (Sds_experiments.Fig11.run ()));
+    ("fig12", "NF pipeline throughput vs #NFs", fun () -> ignore (Sds_experiments.Fig12.run ()));
+    ("redis", "Redis GET latency", fun () -> ignore (Sds_experiments.Apps_exp.run_redis ()));
+    ("rpc", "RPClib 1 KiB RPC latency", fun () -> ignore (Sds_experiments.Apps_exp.run_rpc ()));
+    ("connscale", "connection setup scalability", fun () -> ignore (Sds_experiments.Connscale.run ()));
+    ("qpscale", "latency vs live QPs (NIC cache)", fun () -> ignore (Sds_experiments.Qpscale.run ()));
+    ("loss", "lossy fabric: go-back-N vs selective", fun () -> ignore (Sds_experiments.Loss.run ()));
+    ("mix", "goodput on the wide-area size mix", fun () -> ignore (Sds_experiments.Mix.run_mix ()));
+    ("loadlat", "latency vs offered load", fun () -> ignore (Sds_experiments.Mix.run_loadlat ()));
+    ("acceptscale", "pre-fork accept scaling", fun () -> ignore (Sds_experiments.Accept_scale.run ()));
+    ("qos", "NIC-offloaded per-flow rate limiting", fun () -> ignore (Sds_experiments.Qos.run ()));
+    ("ablation", "design-choice ablations", fun () -> ignore (Sds_experiments.Ablation.run ()));
+  ]
+
+let list_cmd =
+  let doc = "List available experiments." in
+  let run () = List.iter (fun (name, doc, _) -> Fmt.pr "%-10s %s@." name doc) experiments in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run selected experiments (or --all)." in
+  let names = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT") in
+  let all = Arg.(value & flag & info [ "all" ] ~doc:"Run every experiment.") in
+  let run all names =
+    let selected = if all || names = [] then List.map (fun (n, _, _) -> n) experiments else names in
+    List.iter
+      (fun name ->
+        match List.find_opt (fun (n, _, _) -> n = name) experiments with
+        | Some (_, _, f) -> f ()
+        | None -> Fmt.epr "unknown experiment %S (try: sdsim list)@." name)
+      selected
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ all $ names)
+
+let () =
+  let doc = "SocksDirect (SIGCOMM'19) reproduction experiment driver" in
+  let info = Cmd.info "sdsim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))

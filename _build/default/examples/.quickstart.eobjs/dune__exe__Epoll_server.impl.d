@@ -1,0 +1,1 @@
+examples/epoll_server.ml: Bytes Cost Engine Fmt List Printf Proc Rng Sds_kernel Sds_sim Sds_transport Socksdirect String

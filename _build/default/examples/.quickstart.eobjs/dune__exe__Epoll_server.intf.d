@@ -1,0 +1,1 @@
+examples/epoll_server.mli:

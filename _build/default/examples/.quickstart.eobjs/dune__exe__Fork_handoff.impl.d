@@ -1,0 +1,1 @@
+examples/fork_handoff.ml: Bytes Cost Engine Fmt Printf Proc Rng Sds_sim Sds_transport Socksdirect String

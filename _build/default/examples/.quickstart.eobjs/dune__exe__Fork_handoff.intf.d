@@ -1,0 +1,1 @@
+examples/fork_handoff.mli:

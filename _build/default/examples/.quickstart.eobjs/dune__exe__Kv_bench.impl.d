@@ -1,0 +1,1 @@
+examples/kv_bench.ml: Cost Engine Fmt Proc Rng Sds_apps Sds_sim Sds_transport Stats

@@ -1,0 +1,1 @@
+examples/migration.ml: Bytes Cost Engine Fmt Int64 Proc Rng Sds_sim Sds_transport Socksdirect Stats

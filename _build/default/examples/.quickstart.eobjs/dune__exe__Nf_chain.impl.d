@@ -1,0 +1,1 @@
+examples/nf_chain.ml: Array Cost Engine Fmt Proc Rng Sds_apps Sds_sim Sds_transport

@@ -1,0 +1,1 @@
+examples/nf_chain.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Cost Engine Fmt Host Proc Rng Sds_sim Sds_transport Socksdirect

@@ -1,0 +1,1 @@
+examples/web_proxy.ml: Cost Engine Fmt Proc Rng Sds_apps Sds_sim Sds_transport Stats

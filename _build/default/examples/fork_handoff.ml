@@ -1,0 +1,65 @@
+(* The fork compatibility scenario that breaks LibVMA and RSocket (§2.2):
+   a master process accepts a connection, forks, and hands the accepted
+   socket to the child worker while continuing to accept on the listener —
+   the process model of Apache, PHP-FPM, gunicorn and friends.
+
+     dune exec examples/fork_handoff.exe *)
+
+open Sds_sim
+module L = Socksdirect.Libsd
+
+let () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:5 in
+  let host = Sds_transport.Host.create engine ~cost:Cost.default ~id:0 ~rng () in
+  let workers = 3 in
+  let ready = ref false in
+
+  ignore
+    (Proc.spawn engine ~name:"master" (fun () ->
+         let ctx = L.init host in
+         let th = L.create_thread ctx ~core:0 () in
+         let listener = L.socket th in
+         L.bind th listener ~port:9090;
+         L.listen th listener;
+         ready := true;
+         for i = 1 to workers do
+           (* Master accepts... *)
+           let conn = L.accept th listener in
+           (* ...then forks; the child owns the accepted socket (the
+              master keeps the listener). *)
+           let child = L.fork th in
+           ignore
+             (Proc.spawn engine ~name:(Fmt.str "worker%d" i) (fun () ->
+                  let wth = L.create_thread child ~core:i () in
+                  let buf = Bytes.create 64 in
+                  let n = L.recv wth conn buf ~off:0 ~len:64 in
+                  let reply = Printf.sprintf "worker-%d handled %S" i (Bytes.sub_string buf 0 n) in
+                  ignore (L.send wth conn (Bytes.of_string reply) ~off:0 ~len:(String.length reply));
+                  L.close wth conn));
+           (* The master also closes its reference; the socket stays alive
+              through the child's reference count. *)
+           L.close th conn
+         done));
+
+  ignore
+    (Proc.spawn engine ~name:"clients" (fun () ->
+         while not !ready do
+           Proc.sleep_ns 1_000
+         done;
+         let ctx = L.init host in
+         let th = L.create_thread ctx ~core:(workers + 1) () in
+         for i = 1 to workers do
+           let c = L.socket th in
+           L.connect th c ~dst:host ~port:9090;
+           let req = Printf.sprintf "request-%d" i in
+           ignore (L.send th c (Bytes.of_string req) ~off:0 ~len:(String.length req));
+           let buf = Bytes.create 128 in
+           let n = L.recv th c buf ~off:0 ~len:128 in
+           Fmt.pr "[client] %s@." (Bytes.sub_string buf 0 n);
+           L.close th c
+         done));
+
+  Engine.run engine;
+  Fmt.pr "all %d connections served by forked workers (%.1f us simulated)@." workers
+    (float_of_int (Engine.now engine) /. 1e3)

@@ -1,0 +1,40 @@
+(* redis-benchmark in miniature: a RESP-speaking KV server on one host, a
+   closed-loop GET client on another, compared across stacks (§5.3.2).
+
+     dune exec examples/kv_bench.exe *)
+
+open Sds_sim
+module Sapi = Sds_apps.Sock_api
+
+let run_stack (module Api : Sapi.S) =
+  let module Kv = Sds_apps.Kvstore.Make (Api) in
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:4 in
+  let client_host = Sds_transport.Host.create engine ~cost:Cost.default ~id:0 ~rng () in
+  let server_host = Sds_transport.Host.create engine ~cost:Cost.default ~id:1 ~rng () in
+  let gets = 200 in
+  let ready = ref false in
+  ignore
+    (Proc.spawn engine ~name:"kv-server" (fun () ->
+         let ep = Api.make_endpoint server_host ~core:1 in
+         let l = Api.listen ep ~port:6379 in
+         ready := true;
+         Kv.run_server ep l ~requests:(gets + 1)));
+  let stats = Stats.create () in
+  ignore
+    (Proc.spawn engine ~name:"kv-client" (fun () ->
+         while not !ready do
+           Proc.sleep_ns 1_000
+         done;
+         let ep = Api.make_endpoint client_host ~core:0 in
+         Kv.run_client ep ~server:server_host ~port:6379 ~gets ~value_size:8
+           ~on_latency:(fun ns -> Stats.add stats (float_of_int ns))));
+  Engine.run engine;
+  let s = Stats.summarize stats in
+  Fmt.pr "%-12s GET x%d: mean %.1f us  [p1 %.1f, p99 %.1f]@." Api.name gets
+    (s.Stats.mean_v /. 1e3) (s.Stats.p1 /. 1e3) (s.Stats.p99 /. 1e3)
+
+let () =
+  Fmt.pr "8-byte GET latency (client and server on different hosts):@.";
+  run_stack (module Sapi.Linux);
+  run_stack (module Sapi.Sds)

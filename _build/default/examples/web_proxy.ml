@@ -1,0 +1,51 @@
+(* The Figure-11 scenario as a runnable example: a request generator on one
+   host, an Nginx-style reverse proxy plus an upstream responder on another,
+   the same application code running over SocksDirect and over the Linux
+   kernel model.
+
+     dune exec examples/web_proxy.exe *)
+
+open Sds_sim
+module Sapi = Sds_apps.Sock_api
+
+let run_stack (module Api : Sapi.S) =
+  let module H = Sds_apps.Http.Make (Api) in
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:3 in
+  let gen_host = Sds_transport.Host.create engine ~cost:Cost.default ~id:0 ~rng () in
+  let web_host = Sds_transport.Host.create engine ~cost:Cost.default ~id:1 ~rng () in
+  let requests = 20 in
+  let upstream_ready = ref false and proxy_ready = ref false in
+  ignore
+    (Proc.spawn engine ~name:"responder" (fun () ->
+         let ep = Api.make_endpoint web_host ~core:2 in
+         let l = Api.listen ep ~port:8080 in
+         upstream_ready := true;
+         H.run_responder ep l ~requests));
+  ignore
+    (Proc.spawn engine ~name:"proxy" (fun () ->
+         while not !upstream_ready do
+           Proc.sleep_ns 1_000
+         done;
+         let ep = Api.make_endpoint web_host ~core:1 in
+         let l = Api.listen ep ~port:80 in
+         proxy_ready := true;
+         H.run_proxy ep ~listener:l ~upstream:web_host ~upstream_port:8080 ~requests));
+  let stats = Stats.create () in
+  ignore
+    (Proc.spawn engine ~name:"generator" (fun () ->
+         while not !proxy_ready do
+           Proc.sleep_ns 1_000
+         done;
+         let ep = Api.make_endpoint gen_host ~core:0 in
+         H.run_generator ep ~proxy:web_host ~port:80 ~requests ~size:4096
+           ~on_latency:(fun ns -> Stats.add stats (float_of_int ns))));
+  Engine.run engine;
+  Fmt.pr "%-12s %d requests of 4 KiB: mean %.1f us, p99 %.1f us@." Api.name requests
+    (Stats.mean stats /. 1e3)
+    (Stats.percentile stats 99. /. 1e3)
+
+let () =
+  Fmt.pr "HTTP request latency through a reverse proxy (generator on a remote host):@.";
+  run_stack (module Sapi.Sds);
+  run_stack (module Sapi.Linux)

@@ -1,0 +1,1 @@
+lib/apps/http.ml: Buffer Bytes List Printf Sds_sim Sock_api String

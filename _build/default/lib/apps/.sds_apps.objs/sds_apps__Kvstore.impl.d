@@ -1,0 +1,1 @@
+lib/apps/kvstore.ml: Bytes Hashtbl List Printf Sds_sim Sock_api String

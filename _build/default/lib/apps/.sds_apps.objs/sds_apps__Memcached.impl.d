@@ -1,0 +1,1 @@
+lib/apps/memcached.ml: Bytes Hashtbl Int32 Sock_api String

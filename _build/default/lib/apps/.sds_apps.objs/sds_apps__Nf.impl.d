@@ -1,0 +1,1 @@
+lib/apps/nf.ml: Array Bytes Char Int32 Sds_kernel Sds_sim Sock_api

@@ -1,0 +1,1 @@
+lib/apps/prefork_server.ml: Array Bytes Fmt Proc Sds_sim Sds_transport Socksdirect

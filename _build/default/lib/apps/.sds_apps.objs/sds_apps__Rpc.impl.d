@@ -1,0 +1,1 @@
+lib/apps/rpc.ml: Bytes Hashtbl Int32 Sds_sim Sock_api String

@@ -1,0 +1,1 @@
+lib/apps/sock_api.mli: Bytes Host Sds_baselines Sds_kernel Sds_transport Socksdirect

@@ -1,0 +1,159 @@
+(* Minimal HTTP/1.1 plus an Nginx-style reverse proxy (§5.3.1, Figure 11).
+
+   The proxy accepts keep-alive connections from a request generator,
+   forwards each request to an upstream response generator over a separate
+   keep-alive connection, and relays the response back.  Parsing is real
+   (request line, headers, Content-Length framing), so what the benchmark
+   measures is the socket stack underneath an actual protocol workload. *)
+
+(* Per-request application processing (logging, config lookup, header
+   rewriting) — roughly what production Nginx spends outside the socket
+   stack.  Without this the stack speedup would look unrealistically large
+   end-to-end (Amdahl). *)
+let app_work_ns = 8_000
+
+type request = { meth : string; path : string; headers : (string * string) list }
+type response = { status : int; resp_headers : (string * string) list; body : Bytes.t }
+
+let content_length headers =
+  match List.assoc_opt "content-length" headers with
+  | Some v -> (try int_of_string (String.trim v) with _ -> 0)
+  | None -> 0
+
+let parse_header_line line =
+  match String.index_opt line ':' with
+  | None -> None
+  | Some i ->
+    let k = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+    let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+    Some (k, v)
+
+let format_request r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "%s %s HTTP/1.1\r\n" r.meth r.path);
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v)) r.headers;
+  Buffer.add_string b "\r\n";
+  Buffer.contents b
+
+let format_response_head r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "HTTP/1.1 %d OK\r\n" r.status);
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v)) r.resp_headers;
+  Buffer.add_string b "\r\n";
+  Buffer.contents b
+
+module Make (Api : Sock_api.S) = struct
+  module Io = Sock_api.Io (Api)
+
+  (* Read one request (no body support needed for GET). *)
+  let read_request io =
+    match Io.read_line io with
+    | None -> None
+    | Some reqline -> (
+      match String.split_on_char ' ' reqline with
+      | meth :: path :: _ ->
+        let rec headers acc =
+          match Io.read_line io with
+          | None | Some "" -> List.rev acc
+          | Some line -> (
+            match parse_header_line line with
+            | Some kv -> headers (kv :: acc)
+            | None -> headers acc)
+        in
+        Some { meth; path; headers = headers [] }
+      | _ -> None)
+
+  let read_response io =
+    match Io.read_line io with
+    | None -> None
+    | Some statusline -> (
+      let status =
+        match String.split_on_char ' ' statusline with
+        | _ :: code :: _ -> (try int_of_string code with _ -> 500)
+        | _ -> 500
+      in
+      let rec headers acc =
+        match Io.read_line io with
+        | None | Some "" -> List.rev acc
+        | Some line -> (
+          match parse_header_line line with
+          | Some kv -> headers (kv :: acc)
+          | None -> headers acc)
+      in
+      let hs = headers [] in
+      let len = content_length hs in
+      match Io.read_exact io len with
+      | Some body -> Some { status; resp_headers = hs; body }
+      | None -> None)
+
+  let write_request io r = Io.write_string io (format_request r)
+
+  let write_response io r =
+    Io.write_string io (format_response_head r);
+    Io.write_all io r.body ~off:0 ~len:(Bytes.length r.body)
+
+  (* Upstream: answers every GET with a body of the size encoded in the
+     path ("/bytes/<n>"). *)
+  let run_responder ep listener ~requests =
+    let conn = Api.accept ep listener in
+    let io = Io.make ep conn in
+    let rec serve n =
+      if n > 0 then
+        match read_request io with
+        | None -> ()
+        | Some req ->
+          Sds_sim.Proc.sleep_ns app_work_ns;
+          let size =
+            match String.split_on_char '/' req.path with
+            | [ ""; "bytes"; n ] -> (try int_of_string n with _ -> 64)
+            | _ -> 64
+          in
+          let body = Bytes.make size 'x' in
+          write_response io
+            { status = 200; resp_headers = [ ("content-length", string_of_int size) ]; body };
+          serve (n - 1)
+    in
+    serve requests;
+    Io.close io
+
+  (* The reverse proxy: one downstream keep-alive connection, one upstream
+     keep-alive connection. *)
+  let run_proxy ep ~listener ~upstream ~upstream_port ~requests =
+    let down = Api.accept ep listener in
+    let down_io = Io.make ep down in
+    let up = Api.connect ep ~dst:upstream ~port:upstream_port in
+    let up_io = Io.make ep up in
+    let rec relay n =
+      if n > 0 then
+        match read_request down_io with
+        | None -> ()
+        | Some req ->
+          Sds_sim.Proc.sleep_ns app_work_ns;
+          write_request up_io { req with headers = ("via", "sds-proxy") :: req.headers };
+          (match read_response up_io with
+          | None -> ()
+          | Some resp ->
+            write_response down_io resp;
+            relay (n - 1))
+    in
+    relay requests;
+    Io.close up_io;
+    Io.close down_io
+
+  (* Client: sends GETs and measures whole-response latency. *)
+  let run_generator ep ~proxy ~port ~requests ~size ~on_latency =
+    let conn = Api.connect ep ~dst:proxy ~port in
+    let io = Io.make ep conn in
+    let engine = Sds_sim.Proc.engine (Sds_sim.Proc.self ()) in
+    for _ = 1 to requests do
+      let t0 = Sds_sim.Engine.now engine in
+      write_request io
+        { meth = "GET"; path = Printf.sprintf "/bytes/%d" size; headers = [ ("host", "bench") ] };
+      (match read_response io with
+      | Some resp ->
+        assert (Bytes.length resp.body = size);
+        on_latency (Sds_sim.Engine.now engine - t0)
+      | None -> failwith "generator: connection closed early")
+    done;
+    Io.close io
+end

@@ -1,0 +1,102 @@
+(* A Redis-like key-value store speaking a RESP-style protocol (§5.3.2).
+
+   Wire format (a faithful subset of RESP):
+     request:  "*<n>\r\n" then n bulk strings "$<len>\r\n<bytes>\r\n"
+     reply:    "$<len>\r\n<bytes>\r\n"  |  "+OK\r\n"  |  "$-1\r\n" (miss)
+
+   The server is single-threaded over one keep-alive connection, like
+   redis-benchmark with a single client. *)
+
+(* Per-command application time: command dispatch and the event loop on the
+   server, plus redis-benchmark's own bookkeeping on the client — the part
+   of the paper's 14.1 us SocksDirect GET latency that is not socket
+   stack. *)
+let app_work_ns = 5_000
+
+module Make (Api : Sock_api.S) = struct
+  module Io = Sock_api.Io (Api)
+
+  let write_bulk io (s : string) =
+    Io.write_string io (Printf.sprintf "$%d\r\n%s\r\n" (String.length s) s)
+
+  let write_command io parts =
+    Io.write_string io (Printf.sprintf "*%d\r\n" (List.length parts));
+    List.iter (write_bulk io) parts
+
+  let read_bulk io =
+    match Io.read_line io with
+    | None -> None
+    | Some line when String.length line > 0 && line.[0] = '$' ->
+      let n = int_of_string (String.sub line 1 (String.length line - 1)) in
+      if n < 0 then Some None
+      else (
+        match Io.read_exact io (n + 2) with
+        | Some b -> Some (Some (Bytes.sub_string b 0 n))
+        | None -> None)
+    | Some line when String.length line > 0 && line.[0] = '+' ->
+      Some (Some (String.sub line 1 (String.length line - 1)))
+    | Some _ -> None
+
+  let read_command io =
+    match Io.read_line io with
+    | None -> None
+    | Some line when String.length line > 0 && line.[0] = '*' ->
+      let n = int_of_string (String.sub line 1 (String.length line - 1)) in
+      let rec parts acc k =
+        if k = 0 then Some (List.rev acc)
+        else
+          match read_bulk io with
+          | Some (Some s) -> parts (s :: acc) (k - 1)
+          | _ -> None
+      in
+      parts [] n
+    | Some _ -> None
+
+  (* Serve [requests] commands on one accepted connection. *)
+  let run_server ep listener ~requests =
+    let table : (string, string) Hashtbl.t = Hashtbl.create 1024 in
+    let conn = Api.accept ep listener in
+    let io = Io.make ep conn in
+    let rec serve n =
+      if n > 0 then
+        match read_command io with
+        | Some [ "SET"; k; v ] ->
+          Sds_sim.Proc.sleep_ns app_work_ns;
+          Hashtbl.replace table k v;
+          Io.write_string io "+OK\r\n";
+          serve (n - 1)
+        | Some [ "GET"; k ] ->
+          Sds_sim.Proc.sleep_ns app_work_ns;
+          (match Hashtbl.find_opt table k with
+          | Some v -> write_bulk io v
+          | None -> Io.write_string io "$-1\r\n");
+          serve (n - 1)
+        | Some [ "DEL"; k ] ->
+          Hashtbl.remove table k;
+          Io.write_string io "+OK\r\n";
+          serve (n - 1)
+        | Some _ ->
+          Io.write_string io "$-1\r\n";
+          serve (n - 1)
+        | None -> ()
+    in
+    serve requests;
+    Io.close io
+
+  (* redis-benchmark-style client: SET once, then GET in a closed loop. *)
+  let run_client ep ~server ~port ~gets ~value_size ~on_latency =
+    let conn = Api.connect ep ~dst:server ~port in
+    let io = Io.make ep conn in
+    let engine = Sds_sim.Proc.engine (Sds_sim.Proc.self ()) in
+    write_command io [ "SET"; "bench"; String.make value_size 'v' ];
+    (match read_bulk io with Some (Some "OK") -> () | _ -> failwith "kv: SET failed");
+    for _ = 1 to gets do
+      let t0 = Sds_sim.Engine.now engine in
+      write_command io [ "GET"; "bench" ];
+      (match read_bulk io with
+      | Some (Some v) -> assert (String.length v = value_size)
+      | _ -> failwith "kv: GET failed");
+      on_latency (Sds_sim.Engine.now engine - t0)
+    done;
+    Io.close io
+end

@@ -1,0 +1,138 @@
+(* A Memcached-like server speaking the binary protocol (§2, §2.2: one of
+   the applications whose kernel time motivates the paper).
+
+   Wire format (faithful subset of the memcached binary protocol):
+     request:  0x80 | opcode | key len (2B) | 0 | 0 | 0 (2B) | total body
+               (4B) | opaque (4B) | cas (8B) | key | value
+     response: 0x81 | opcode | key len | 0 | 0 | status (2B) | total body |
+               opaque | cas | value
+   Opcodes: 0x00 GET, 0x01 SET, 0x04 DELETE. *)
+
+let req_magic = 0x80
+let res_magic = 0x81
+
+type opcode = Get | Set | Delete
+
+let opcode_byte = function Get -> 0x00 | Set -> 0x01 | Delete -> 0x04
+
+let opcode_of_byte = function
+  | 0x00 -> Some Get
+  | 0x01 -> Some Set
+  | 0x04 -> Some Delete
+  | _ -> None
+
+let header_bytes = 24
+
+type packet = {
+  magic : int;
+  op : opcode;
+  status : int;  (** 0 ok, 1 not found; requests carry 0 *)
+  opaque : int;
+  key : string;
+  value : Bytes.t;
+}
+
+let encode p =
+  let klen = String.length p.key in
+  let vlen = Bytes.length p.value in
+  let total = klen + vlen in
+  let b = Bytes.create (header_bytes + total) in
+  Bytes.set_uint8 b 0 p.magic;
+  Bytes.set_uint8 b 1 (opcode_byte p.op);
+  Bytes.set_uint16_be b 2 klen;
+  Bytes.set_uint8 b 4 0 (* extras len *);
+  Bytes.set_uint8 b 5 0 (* data type *);
+  Bytes.set_uint16_be b 6 p.status;
+  Bytes.set_int32_be b 8 (Int32.of_int total);
+  Bytes.set_int32_be b 12 (Int32.of_int p.opaque);
+  Bytes.set_int64_be b 16 0L (* cas *);
+  Bytes.blit_string p.key 0 b header_bytes klen;
+  Bytes.blit p.value 0 b (header_bytes + klen) vlen;
+  b
+
+let decode_header b =
+  let magic = Bytes.get_uint8 b 0 in
+  let op = opcode_of_byte (Bytes.get_uint8 b 1) in
+  let klen = Bytes.get_uint16_be b 2 in
+  let status = Bytes.get_uint16_be b 6 in
+  let total = Int32.to_int (Bytes.get_int32_be b 8) in
+  let opaque = Int32.to_int (Bytes.get_int32_be b 12) in
+  (magic, op, klen, status, total, opaque)
+
+module Make (Api : Sock_api.S) = struct
+  module Io = Sock_api.Io (Api)
+
+  let read_packet io =
+    match Io.read_exact io header_bytes with
+    | None -> None
+    | Some hdr -> (
+      let magic, op, klen, status, total, opaque = decode_header hdr in
+      match op with
+      | None -> None
+      | Some op -> (
+        match Io.read_exact io total with
+        | None -> None
+        | Some body ->
+          let key = Bytes.sub_string body 0 klen in
+          let value = Bytes.sub body klen (total - klen) in
+          Some { magic; op; status; opaque; key; value }))
+
+  let write_packet io p =
+    let b = encode p in
+    Io.write_all io b ~off:0 ~len:(Bytes.length b)
+
+  (* Serve [requests] commands on one accepted connection. *)
+  let run_server ep listener ~requests =
+    let table : (string, Bytes.t) Hashtbl.t = Hashtbl.create 1024 in
+    let conn = Api.accept ep listener in
+    let io = Io.make ep conn in
+    let respond ~op ~status ~opaque ?(value = Bytes.empty) () =
+      write_packet io { magic = res_magic; op; status; opaque; key = ""; value }
+    in
+    let rec serve n =
+      if n > 0 then
+        match read_packet io with
+        | None -> ()
+        | Some req when req.magic <> req_magic -> serve n (* ignore garbage *)
+        | Some req ->
+          (match req.op with
+          | Set ->
+            Hashtbl.replace table req.key req.value;
+            respond ~op:Set ~status:0 ~opaque:req.opaque ()
+          | Get -> (
+            match Hashtbl.find_opt table req.key with
+            | Some v -> respond ~op:Get ~status:0 ~opaque:req.opaque ~value:v ()
+            | None -> respond ~op:Get ~status:1 ~opaque:req.opaque ())
+          | Delete ->
+            let existed = Hashtbl.mem table req.key in
+            Hashtbl.remove table req.key;
+            respond ~op:Delete ~status:(if existed then 0 else 1) ~opaque:req.opaque ());
+          serve (n - 1)
+    in
+    serve requests;
+    Io.close io
+
+  type client = { io : Io.t; mutable next_opaque : int }
+
+  let connect ep ~dst ~port =
+    { io = Io.make ep (Api.connect ep ~dst ~port); next_opaque = 1 }
+
+  let request client ~op ~key ~value =
+    let opaque = client.next_opaque in
+    client.next_opaque <- opaque + 1;
+    write_packet client.io { magic = req_magic; op; status = 0; opaque; key; value };
+    match read_packet client.io with
+    | Some resp when resp.opaque = opaque -> (resp.status, resp.value)
+    | Some _ -> failwith "memcached: opaque mismatch"
+    | None -> failwith "memcached: connection closed"
+
+  let set client ~key ~value = fst (request client ~op:Set ~key ~value)
+  let delete client ~key = fst (request client ~op:Delete ~key ~value:Bytes.empty)
+
+  let get client ~key =
+    match request client ~op:Get ~key ~value:Bytes.empty with
+    | 0, v -> Some v
+    | _, _ -> None
+
+  let close client = Io.close client.io
+end

@@ -1,0 +1,122 @@
+(* Network-function pipeline (§5.3.4, Figure 12).
+
+   64-byte packets in pcap-record format flow source -> NF1 -> ... -> NFk ->
+   sink; every NF is its own process reading packets from stdin-like input,
+   updating local counters, and writing to stdout-like output.  Channels are
+   pluggable: SocksDirect connections, kernel TCP connections, kernel pipes
+   — plus a NetBricks-style single-process composition as the reference. *)
+
+(* pcap record header: ts_sec, ts_usec, incl_len, orig_len — 16 bytes. *)
+let pcap_header_bytes = 16
+let packet_payload = 48
+let packet_bytes = pcap_header_bytes + packet_payload
+
+let make_packet ~seq =
+  let b = Bytes.create packet_bytes in
+  Bytes.set_int32_le b 0 (Int32.of_int (seq / 1_000_000));
+  Bytes.set_int32_le b 4 (Int32.of_int (seq mod 1_000_000));
+  Bytes.set_int32_le b 8 (Int32.of_int packet_payload);
+  Bytes.set_int32_le b 12 (Int32.of_int packet_payload);
+  Bytes.fill b pcap_header_bytes packet_payload (Char.chr (seq land 0xff));
+  b
+
+(* The per-packet NF work itself: parse the header, bump counters. *)
+let nf_work counters pkt =
+  let len = Int32.to_int (Bytes.get_int32_le pkt 8) in
+  counters.(0) <- counters.(0) + 1;
+  counters.(1) <- counters.(1) + len;
+  (* ~40 ns of per-packet CPU (header parse + counter update) *)
+  Sds_sim.Proc.sleep_ns 40
+
+module type Channel = sig
+  type rd
+  type wr
+
+  val read_packet : rd -> Bytes.t option
+  val write_packet : wr -> Bytes.t -> unit
+  val close_wr : wr -> unit
+end
+
+module Run (C : Channel) = struct
+  (* One NF process: input -> work -> output. *)
+  let nf_stage ~input ~output =
+    let counters = [| 0; 0 |] in
+    let rec loop () =
+      match C.read_packet input with
+      | None -> C.close_wr output
+      | Some pkt ->
+        nf_work counters pkt;
+        C.write_packet output pkt;
+        loop ()
+    in
+    loop ();
+    counters.(0)
+
+  let source ~output ~packets =
+    for seq = 1 to packets do
+      C.write_packet output (make_packet ~seq)
+    done;
+    C.close_wr output
+
+  let sink ~input =
+    let n = ref 0 in
+    let rec loop () =
+      match C.read_packet input with
+      | None -> !n
+      | Some pkt ->
+        assert (Bytes.length pkt = packet_bytes);
+        incr n;
+        loop ()
+    in
+    loop ()
+end
+
+(* Socket-based channel over any stack. *)
+module Sock_channel (Api : Sock_api.S) = struct
+  module Io = Sock_api.Io (Api)
+
+  type rd = Io.t
+  type wr = Io.t
+
+  let read_packet io =
+    match Io.read_exact io packet_bytes with
+    | Some b -> if Bytes.length b = 0 then None else Some b
+    | None -> None
+
+  let write_packet io b = Io.write_all io b ~off:0 ~len:(Bytes.length b)
+
+  (* Closing the write side sends FIN so EOF propagates down the chain. *)
+  let close_wr io = Io.close io
+end
+
+(* Kernel pipe channel. *)
+module Pipe_channel = struct
+  module K = Sds_kernel.Kernel
+
+  type rd = K.process * int
+  type wr = K.process * int
+
+  let read_packet (proc, fd) =
+    let b = Bytes.create packet_bytes in
+    let rec fill off =
+      if off = packet_bytes then Some b
+      else
+        let n = K.recv proc fd b ~off ~len:(packet_bytes - off) in
+        if n = 0 then None else fill (off + n)
+    in
+    fill 0
+
+  let write_packet (proc, fd) b = ignore (K.send proc fd b ~off:0 ~len:(Bytes.length b))
+  let close_wr (proc, fd) = K.close proc fd
+end
+
+(* NetBricks-style reference: all NFs composed in one process, no IPC. *)
+let netbricks_pipeline ~stages ~packets =
+  let counters = Array.init stages (fun _ -> [| 0; 0 |]) in
+  for seq = 1 to packets do
+    let pkt = make_packet ~seq in
+    for s = 0 to stages - 1 do
+      nf_work counters.(s) pkt
+    done
+  done;
+  Array.fold_left (fun acc c -> acc + c.(0)) 0 counters

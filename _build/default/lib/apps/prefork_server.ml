@@ -1,0 +1,61 @@
+(* A pre-fork master/worker server over libsd — the Apache / PHP-FPM /
+   gunicorn process model (§2.2): the master binds and listens, forks N
+   workers, and every worker accepts from the SAME listening socket on its
+   own per-thread backlog; the monitor dispatches new connections
+   round-robin and idle workers steal from busy siblings (§4.5.2).
+
+   This is the application pattern that cannot run on LibVMA or RSocket
+   (fork takes all sockets or none), so it only offers the SocksDirect
+   API. *)
+
+open Sds_sim
+module L = Socksdirect.Libsd
+
+type t = {
+  host : Sds_transport.Host.t;
+  port : int;
+  workers : int;
+  mutable served : int array;  (** per-worker request counts *)
+}
+
+let create host ~port ~workers = { host; port; workers; served = Array.make workers 0 }
+
+(* Start the master: binds, listens, forks [workers] children that all
+   accept in parallel.  [handler] serves one accepted connection and
+   returns; each worker loops [conns_per_worker] times.  [on_ready] fires
+   once every worker is accepting. *)
+let start t ~engine ~conns_per_worker ~handler ~on_ready =
+  let ready = ref 0 in
+  ignore
+    (Proc.spawn engine ~name:"prefork-master" (fun () ->
+         let ctx = L.init t.host in
+         let th = L.create_thread ctx ~core:0 () in
+         let listener = L.socket th in
+         L.bind th listener ~port:t.port;
+         L.listen th listener;
+         for w = 0 to t.workers - 1 do
+           (* fork(2): the child inherits the listening socket. *)
+           let child_ctx = L.fork th in
+           ignore
+             (Proc.spawn engine ~name:(Fmt.str "prefork-worker%d" w) (fun () ->
+                  let wth = L.create_thread child_ctx ~core:(1 + w) () in
+                  (* Every worker accepts on the SAME inherited listener fd;
+                     each gets its own monitor backlog. *)
+                  incr ready;
+                  if !ready = t.workers then on_ready ();
+                  for _ = 1 to conns_per_worker do
+                    let conn = L.accept wth listener in
+                    handler wth conn;
+                    L.close wth conn;
+                    t.served.(w) <- t.served.(w) + 1
+                  done))
+         done))
+
+let served t = Array.copy t.served
+let total_served t = Array.fold_left ( + ) 0 t.served
+
+(* A ready-made echo handler: one request in, one reply out. *)
+let echo_handler th conn =
+  let buf = Bytes.create 4096 in
+  let n = L.recv th conn buf ~off:0 ~len:4096 in
+  if n > 0 then ignore (L.send th conn buf ~off:0 ~len:n)

@@ -1,0 +1,101 @@
+(* A small binary RPC library in the style of RPClib (§5.3.3).
+
+   Frame: 4-byte little-endian total length, 4-byte call id, 2-byte method
+   name length, method name, payload.  The response echoes the call id.
+   Like RPClib (and unlike eRPC), the library itself adds serialization
+   overhead on top of the socket — the paper's point is that the stack
+   improvement still cuts RPC latency roughly in half. *)
+
+let frame ~call_id ~meth ~payload =
+  let mlen = String.length meth in
+  let total = 4 + 4 + 2 + mlen + Bytes.length payload in
+  let b = Bytes.create total in
+  Bytes.set_int32_le b 0 (Int32.of_int total);
+  Bytes.set_int32_le b 4 (Int32.of_int call_id);
+  Bytes.set_uint16_le b 8 mlen;
+  Bytes.blit_string meth 0 b 10 mlen;
+  Bytes.blit payload 0 b (10 + mlen) (Bytes.length payload);
+  b
+
+let parse b =
+  let call_id = Int32.to_int (Bytes.get_int32_le b 4) in
+  let mlen = Bytes.get_uint16_le b 8 in
+  let meth = Bytes.sub_string b 10 mlen in
+  let payload = Bytes.sub b (10 + mlen) (Bytes.length b - 10 - mlen) in
+  (call_id, meth, payload)
+
+(* Simulated per-call marshalling overhead: RPClib's dynamic dispatch and
+   msgpack encoding dominate its profile (the paper measures 45 us intra-host
+   RTT over an 11 us socket, and notes eRPC-class libraries are far leaner). *)
+let marshal_overhead_ns = 5_000
+
+module Make (Api : Sock_api.S) = struct
+  module Io = Sock_api.Io (Api)
+
+  type server = { handlers : (string, Bytes.t -> Bytes.t) Hashtbl.t }
+
+  let create_server () = { handlers = Hashtbl.create 8 }
+  let register srv name fn = Hashtbl.replace srv.handlers name fn
+
+  let read_frame io =
+    match Io.read_exact io 4 with
+    | None -> None
+    | Some hdr ->
+      let total = Int32.to_int (Bytes.get_int32_le hdr 0) in
+      (match Io.read_exact io (total - 4) with
+      | None -> None
+      | Some rest ->
+        let b = Bytes.create total in
+        Bytes.blit hdr 0 b 0 4;
+        Bytes.blit rest 0 b 4 (total - 4);
+        Some b)
+
+  let serve ep listener srv ~calls =
+    let conn = Api.accept ep listener in
+    let io = Io.make ep conn in
+    let rec go n =
+      if n > 0 then
+        match read_frame io with
+        | None -> ()
+        | Some b ->
+          let call_id, meth, payload = parse b in
+          Sds_sim.Proc.sleep_ns marshal_overhead_ns;
+          let result =
+            match Hashtbl.find_opt srv.handlers meth with
+            | Some fn -> fn payload
+            | None -> Bytes.of_string "ERR:no-such-method"
+          in
+          let out = frame ~call_id ~meth:"" ~payload:result in
+          (* RPClib writes the length prefix and the body separately — an
+             extra socket operation per message, cheap on SocksDirect,
+             another wakeup on the kernel path. *)
+          Io.write_all io out ~off:0 ~len:4;
+          Io.write_all io out ~off:4 ~len:(Bytes.length out - 4);
+          go (n - 1)
+    in
+    go calls;
+    Io.close io
+
+  type client = { io : Io.t; mutable next_id : int }
+
+  let connect ep ~dst ~port =
+    let conn = Api.connect ep ~dst ~port in
+    { io = Io.make ep conn; next_id = 1 }
+
+  let call client ~meth ~payload =
+    let id = client.next_id in
+    client.next_id <- id + 1;
+    Sds_sim.Proc.sleep_ns marshal_overhead_ns;
+    let b = frame ~call_id:id ~meth ~payload in
+    Io.write_all client.io b ~off:0 ~len:4;
+    Io.write_all client.io b ~off:4 ~len:(Bytes.length b - 4);
+    match read_frame client.io with
+    | None -> failwith "rpc: connection closed"
+    | Some reply ->
+      let rid, _, result = parse reply in
+      if rid <> id then failwith "rpc: call id mismatch";
+      Sds_sim.Proc.sleep_ns marshal_overhead_ns;
+      result
+
+  let close client = Io.close client.io
+end

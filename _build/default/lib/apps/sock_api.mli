@@ -1,0 +1,54 @@
+(** The common socket interface every stack implements — the repository's
+    stand-in for the paper's LD_PRELOAD transparency claim: application code
+    written once against {!S} runs unmodified over SocksDirect, the Linux
+    kernel model, RSocket and LibVMA. *)
+
+open Sds_transport
+
+module type S = sig
+  val name : string
+
+  type endpoint
+  (** One application thread's handle onto the stack. *)
+
+  type listener
+  type conn
+
+  val make_endpoint : Host.t -> core:int -> endpoint
+  val listen : endpoint -> port:int -> listener
+  val accept : endpoint -> listener -> conn
+  val connect : endpoint -> dst:Host.t -> port:int -> conn
+  val send : endpoint -> conn -> Bytes.t -> off:int -> len:int -> int
+  val recv : endpoint -> conn -> Bytes.t -> off:int -> len:int -> int
+  val close : endpoint -> conn -> unit
+end
+
+module Sds : S with type endpoint = Socksdirect.Libsd.thread
+(** SocksDirect with default configuration. *)
+
+module Sds_unopt : S with type endpoint = Socksdirect.Libsd.thread
+(** SocksDirect with batching and zero copy disabled — "SD (unopt)". *)
+
+module Linux : S with type endpoint = Sds_kernel.Kernel.process
+module Rsocket : S with type endpoint = Host.t
+module Libvma : S with type endpoint = Sds_baselines.Libvma.stack
+
+(** Buffered IO helpers shared by the applications: full writes, exact
+    reads, CRLF line reads — over any stack. *)
+module Io (Api : S) : sig
+  type t
+
+  val make : Api.endpoint -> Api.conn -> t
+  val buffered : t -> int
+
+  val write_all : t -> Bytes.t -> off:int -> len:int -> unit
+  val write_string : t -> string -> unit
+
+  val read_exact : t -> int -> Bytes.t option
+  (** [None] on EOF before the requested length is available. *)
+
+  val read_line : t -> string option
+  (** Reads through the first CRLF; the line excludes it. *)
+
+  val close : t -> unit
+end

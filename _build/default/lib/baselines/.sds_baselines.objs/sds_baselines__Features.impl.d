@@ -1,0 +1,1 @@
+lib/baselines/features.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/baselines/libvma.ml: Bytes Cost Hashtbl Host Msg Nic Proc Queue Sds_kernel Sds_sim Sds_transport Waitq

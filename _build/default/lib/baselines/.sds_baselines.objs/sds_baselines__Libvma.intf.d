@@ -1,0 +1,1 @@
+lib/baselines/libvma.mli: Bytes Cost Host Sds_sim Sds_transport

@@ -1,0 +1,1 @@
+lib/baselines/rsocket.ml: Bytes Cost Engine Hashtbl Host Msg Nic Proc Queue Sds_sim Sds_transport Waitq

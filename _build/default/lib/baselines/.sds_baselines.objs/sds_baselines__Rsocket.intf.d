@@ -1,0 +1,1 @@
+lib/baselines/rsocket.mli: Bytes Host Sds_transport

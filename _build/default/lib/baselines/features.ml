@@ -1,0 +1,105 @@
+(* Table 3: the compatibility / isolation / removed-overhead matrix for the
+   ten socket systems the paper compares.  Encoded as data so the bench
+   harness can regenerate the table, and so tests can assert that the three
+   executable stacks in this repo (Linux model, RSocket model, SocksDirect)
+   actually exhibit the claimed behaviours. *)
+
+type support = Yes | No | Partial of string
+
+type system = {
+  name : string;
+  category : string;
+  (* compatibility *)
+  transparent : support;
+  epoll : support;
+  tcp_peers : support;  (** compatible with regular TCP peers *)
+  intra_host : support;
+  multi_listen : support;  (** multiple applications listen on a port *)
+  full_fork : support;
+  live_migration : support;
+  (* isolation *)
+  access_control : string;  (** "Kernel" | "Daemon" | "-" *)
+  container_isolation : support;
+  qos : string;
+  (* removed overheads *)
+  kernel_crossing : support;
+  fd_locks : support;
+  transport_removed : support;
+  buffer_mgmt : support;
+  io_multiplexing : support;
+  process_wakeup : support;
+  zero_copy : support;
+  fd_alloc : support;
+  conn_dispatch : support;
+}
+
+let base =
+  {
+    name = ""; category = ""; transparent = No; epoll = No; tcp_peers = No; intra_host = No;
+    multi_listen = No; full_fork = No; live_migration = No; access_control = "-";
+    container_isolation = No; qos = "-"; kernel_crossing = No; fd_locks = No;
+    transport_removed = No; buffer_mgmt = No; io_multiplexing = No; process_wakeup = No;
+    zero_copy = No; fd_alloc = No; conn_dispatch = No;
+  }
+
+let systems =
+  [
+    { base with
+      name = "FastSocket"; category = "Kernel optimization"; transparent = Yes; epoll = Yes;
+      tcp_peers = Yes; intra_host = Yes; multi_listen = Yes; full_fork = Yes; live_migration = Yes;
+      access_control = "Kernel"; container_isolation = Yes; qos = "Kernel";
+      kernel_crossing = No; io_multiplexing = Partial "improved"; conn_dispatch = Yes };
+    { base with
+      name = "MegaPipe/StackMap"; category = "Kernel optimization"; epoll = Yes; tcp_peers = Yes;
+      intra_host = Yes; multi_listen = Yes; access_control = "Kernel"; container_isolation = Yes;
+      qos = "Kernel"; kernel_crossing = Partial "batched"; zero_copy = Yes; fd_alloc = Yes;
+      conn_dispatch = Yes };
+    { base with
+      name = "IX"; category = "User-space TCP/IP"; epoll = Yes; tcp_peers = Yes;
+      access_control = "Kernel"; container_isolation = Yes; qos = "Kernel";
+      kernel_crossing = Partial "batched"; transport_removed = No; io_multiplexing = Yes;
+      conn_dispatch = Yes };
+    { base with
+      name = "Arrakis"; category = "User-space TCP/IP"; epoll = Yes; tcp_peers = Yes;
+      access_control = "Kernel"; container_isolation = Yes; qos = "NIC"; kernel_crossing = Yes;
+      io_multiplexing = Yes; conn_dispatch = Yes };
+    { base with
+      name = "SandStorm/mTCP"; category = "User-space TCP/IP"; tcp_peers = Yes; qos = "NIC";
+      kernel_crossing = Yes; io_multiplexing = Yes; fd_alloc = Yes; conn_dispatch = Yes };
+    { base with
+      name = "LibVMA"; category = "User-space TCP/IP"; transparent = Yes; epoll = Yes;
+      tcp_peers = Yes; qos = "NIC"; kernel_crossing = Yes; io_multiplexing = Yes };
+    { base with
+      name = "OpenOnload"; category = "User-space TCP/IP"; transparent = Yes; epoll = Yes;
+      tcp_peers = Yes; intra_host = Yes; qos = "NIC"; kernel_crossing = Yes;
+      io_multiplexing = Yes };
+    { base with
+      name = "RSocket/SDP"; category = "Offload to RDMA NIC"; transparent = Yes;
+      access_control = "-"; qos = "NIC"; kernel_crossing = Yes; transport_removed = Yes;
+      io_multiplexing = Yes; process_wakeup = No };
+    { base with
+      name = "FreeFlow"; category = "Offload to RDMA NIC"; transparent = Yes; intra_host = Yes;
+      access_control = "Daemon"; container_isolation = Yes; qos = "Daemon";
+      kernel_crossing = Yes; transport_removed = Yes; io_multiplexing = Yes };
+    {
+      name = "SocksDirect"; category = "Offload to RDMA NIC"; transparent = Yes; epoll = Yes;
+      tcp_peers = Yes; intra_host = Yes; multi_listen = Yes; full_fork = Yes;
+      live_migration = Yes; access_control = "Daemon"; container_isolation = Yes; qos = "NIC";
+      kernel_crossing = Partial "<16KB msg"; fd_locks = Yes; transport_removed = Yes;
+      buffer_mgmt = Yes; io_multiplexing = Yes; process_wakeup = Yes;
+      zero_copy = Partial ">=16KB msg"; fd_alloc = Yes; conn_dispatch = Yes };
+  ]
+
+let find name = List.find_opt (fun s -> s.name = name) systems
+
+let string_of_support = function
+  | Yes -> "yes"
+  | No -> "-"
+  | Partial s -> s
+
+let pp_row ppf s =
+  Fmt.pf ppf "%-18s %-22s epoll:%-8s tcp:%-3s intra:%-3s fork:%-3s migr:%-3s acl:%-6s zc:%s"
+    s.name s.category
+    (string_of_support s.epoll) (string_of_support s.tcp_peers) (string_of_support s.intra_host)
+    (string_of_support s.full_fork) (string_of_support s.live_migration) s.access_control
+    (string_of_support s.zero_copy)

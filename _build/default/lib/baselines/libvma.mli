@@ -1,0 +1,37 @@
+(** LibVMA baseline (§2.2, Table 3/4): a user-space TCP/IP stack with
+    per-packet protocol processing, per-FD locks, and NIC queues shared by
+    all threads of a process behind a lock whose contention collapses
+    aggregate throughput beyond one thread (Figure 9).  Intra-host
+    connections fall back to the kernel stack.
+
+    All blocking calls must run inside a simulated proc. *)
+
+open Sds_sim
+open Sds_transport
+
+type stack = {
+  host : Host.t;
+  cost : Cost.t;
+  mutable active_threads : int;
+}
+
+type conn
+type listener
+
+val reset : unit -> unit
+val stack_for : Host.t -> stack
+
+val set_threads : stack -> int -> unit
+(** Number of threads sharing the NIC queues (drives the contention model). *)
+
+val contention_factor : stack -> int
+val sender_cost : stack -> int -> int
+val receiver_cost : stack -> int -> int
+
+val listen : Host.t -> port:int -> listener
+val connect : Host.t -> dst:Host.t -> port:int -> conn
+val accept : listener -> conn
+
+val send : conn -> Bytes.t -> off:int -> len:int -> int
+val recv : conn -> Bytes.t -> off:int -> len:int -> int
+val close : conn -> unit

@@ -1,0 +1,1 @@
+lib/core/libsd.ml: Bytes Cost Cpu Effect Engine Fmt Hashtbl Host List Logs Monitor Msg Nic Option Proc Queue Sds_kernel Sds_sim Sds_transport Sds_vm Shm_chan Sock Token Waitq Zerocopy

@@ -1,0 +1,1 @@
+lib/core/libsd.mli: Bytes Host Monitor Sds_kernel Sds_transport Sds_vm Sock

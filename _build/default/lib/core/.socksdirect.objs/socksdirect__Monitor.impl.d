@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Cost Engine Fmt Hashtbl Host List Logs Msg Nic Proc Queue Sds_kernel Sds_sim Sds_transport Shm_chan Sock Waitq

@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Cost Host Msg Queue Sds_kernel Sds_sim Sds_transport Sock Waitq

@@ -1,0 +1,1 @@
+lib/core/shim.ml: Libsd Proc Sds_kernel Sds_sim Sds_transport Sock

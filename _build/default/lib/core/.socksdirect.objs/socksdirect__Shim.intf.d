@@ -1,0 +1,1 @@
+lib/core/shim.mli: Bytes Libsd

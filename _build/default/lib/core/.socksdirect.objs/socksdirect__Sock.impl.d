@@ -1,0 +1,1 @@
+lib/core/sock.ml: Bytes Cost Host List Msg Queue Sds_kernel Sds_sim Sds_transport Shm_chan Token Waitq

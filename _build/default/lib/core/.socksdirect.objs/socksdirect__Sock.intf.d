@@ -1,0 +1,1 @@
+lib/core/sock.mli: Bytes Cost Host Msg Queue Sds_kernel Sds_sim Sds_transport Shm_chan Token Waitq

@@ -1,0 +1,1 @@
+lib/core/token.ml: Cost Fun Proc Sds_sim Waitq

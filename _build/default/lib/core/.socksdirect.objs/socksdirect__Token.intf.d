@@ -1,0 +1,1 @@
+lib/core/token.mli: Cost Sds_sim

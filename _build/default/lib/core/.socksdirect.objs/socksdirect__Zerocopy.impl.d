@@ -1,0 +1,1 @@
+lib/core/zerocopy.ml: Array Cost Engine Hashtbl List Page Pool Proc Sds_sim Sds_transport Sds_vm Space

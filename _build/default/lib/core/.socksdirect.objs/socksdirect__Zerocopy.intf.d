@@ -1,0 +1,1 @@
+lib/core/zerocopy.mli: Bytes Cost Engine Sds_sim Sds_transport Sds_vm

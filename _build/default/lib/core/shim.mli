@@ -1,0 +1,40 @@
+(** The glibc-interposition surface (§3): uniform FD-based calls that work
+    the same on SocksDirect sockets, kernel fallback connections, pipe ends
+    and plain files, mirroring what the LD_PRELOADed libsd intercepts. *)
+
+exception Not_supported of string
+
+val open_file : Libsd.thread -> string -> int
+(** open(2) on a regular file; kernel-backed, visible in the remapping
+    table. *)
+
+val read : Libsd.thread -> int -> Bytes.t -> off:int -> len:int -> int
+val write : Libsd.thread -> int -> Bytes.t -> off:int -> len:int -> int
+val close : Libsd.thread -> int -> unit
+
+type fcntl_cmd =
+  | F_GETFL
+  | F_SETFL of { nonblock : bool }
+  | F_DUPFD
+
+val fcntl : Libsd.thread -> int -> fcntl_cmd -> int
+
+type sockopt =
+  | SO_SNDBUF
+  | SO_RCVBUF
+  | SO_REUSEADDR
+  | SO_KEEPALIVE
+  | TCP_NODELAY
+  | SO_ERROR
+
+val setsockopt : Libsd.thread -> int -> sockopt -> int -> unit
+(** Buffer-size options are recorded for round-tripping; options that are
+    structurally meaningless on SocksDirect (TCP_NODELAY, SO_KEEPALIVE,
+    SO_REUSEADDR) are accepted as no-ops for compatibility. *)
+
+val getsockopt : Libsd.thread -> int -> sockopt -> int
+
+val getsockname : Libsd.thread -> int -> int * int
+(** [(host id, port)]. *)
+
+val getpeername : Libsd.thread -> int -> int * int

@@ -1,0 +1,88 @@
+(** User-space socket objects and their transports.
+
+    A socket is two FIFO directions, each backed by an intra-host SHM
+    channel, an inter-host RDMA ring, or a kernel TCP fd (fallback to
+    regular peers).  Metadata and buffers live logically in shared memory so
+    they survive fork ([refs]).  The connection state machine is the
+    paper's Figure 6.
+
+    The record types are concrete: the monitor builds transports, libsd
+    drives the data path, and tests inspect state. *)
+
+open Sds_sim
+open Sds_transport
+
+type state =
+  | Closed
+  | Bound
+  | Listening
+  | Wait_dispatch  (** SYN sent to monitor, waiting for queue setup *)
+  | Wait_server  (** queue ready, waiting for server ACK *)
+  | Wait_client  (** server side: dispatched, ACK not yet sent *)
+  | Established
+  | Shut
+
+val string_of_state : state -> string
+
+(** Both directions are the same ring channel in its SHM or RDMA flavour
+    (§4.2); the tx side also tracks fork/exec RDMA re-initialization. *)
+type chan_tx = {
+  chan : Shm_chan.t;
+  mutable needs_reinit : bool;  (** set in a forked child / after exec *)
+}
+
+type tx_transport =
+  | Tx_chan of chan_tx
+  | Tx_kernel of Sds_kernel.Kernel.process * int
+
+type rx_transport =
+  | Rx_chan of Shm_chan.t
+  | Rx_kernel of Sds_kernel.Kernel.process * int
+
+type t = {
+  sid : int;
+  mutable host : Host.t;  (** mutable: container live migration (§4.1.3) *)
+  cost : Cost.t;
+  mutable state : state;
+  mutable tx : tx_transport option;
+  mutable rx : rx_transport option;
+  send_token : Token.t;
+  recv_token : Token.t;
+  incoming : Msg.t Queue.t;  (** completed messages ready for recv *)
+  rx_wq : Waitq.t;
+  mutable deliver_hooks : (unit -> unit) list;
+  mutable partial : (Bytes.t * int) option;  (** stream-reassembly remainder *)
+  mutable rx_interrupt : bool;
+  mutable nonblocking : bool;  (** O_NONBLOCK *)
+  mutable local_port : int;
+  mutable peer_host : int;
+  mutable peer_port : int;
+  mutable refs : int;  (** shared across fork *)
+  mutable peer_sock : t option;  (** simulator-side pairing, for migration *)
+  mutable fin_sent : bool;
+  mutable fin_seen : bool;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+  mutable zerocopy_sends : int;
+  mutable zerocopy_recvs : int;
+  mutable requested_bufsize : int option;  (** SO_SNDBUF/SO_RCVBUF request *)
+}
+
+val create : Host.t -> cost:Cost.t -> tid:int -> t
+
+val tx_exn : t -> tx_transport
+val rx_exn : t -> rx_transport
+
+val deliver : t -> Msg.t -> unit
+(** Commit a completed inbound message (NIC sink / SHM poll path). *)
+
+val add_deliver_hook : t -> (unit -> unit) -> unit
+
+val has_buffered : t -> bool
+
+val poll_rx : t -> bool
+(** Poll the rx transport once, moving anything available into [incoming];
+    true if progress was made. *)
+
+val readable : t -> bool
+val is_eof : t -> bool

@@ -1,0 +1,54 @@
+(* Token-based socket sharing (§4.1).
+
+   Each socket queue direction has one token; only the holder may operate on
+   the queue, so the common case runs without any lock.  A non-holder
+   requests a take-over through the monitor: it joins a FIFO waiting list,
+   the monitor asks the active holder to release, and grants the token to
+   the list head.  Deadlock-free (token is always held by a thread or the
+   monitor) and starvation-free (FIFO, each thread queued at most once). *)
+
+open Sds_sim
+
+type t = {
+  mutable holder : int option;  (** thread uid *)
+  mutable busy : bool;  (** holder is mid-operation *)
+  waiters : Waitq.t;
+  mutable takeovers : int;
+  takeover_cost : int;
+}
+
+let create ~cost ~holder =
+  { holder = Some holder; busy = false; waiters = Waitq.create (); takeovers = 0; takeover_cost = cost.Cost.takeover }
+
+let holder t = t.holder
+let takeovers t = t.takeovers
+
+(* Fast path: the calling thread already holds the token — zero cost, this
+   is the case the whole design optimizes for. *)
+let rec acquire t ~tid =
+  match t.holder with
+  | Some h when h = tid -> ()
+  | _ ->
+    (* Take-over through the monitor: one message to the monitor, monitor
+       notifies the holder, holder returns the token, monitor grants. *)
+    t.takeovers <- t.takeovers + 1;
+    Proc.sleep_ns t.takeover_cost;
+    if t.busy then begin
+      (* Holder mid-operation: queue on the waiting list; the release path
+         signals the list head. *)
+      (match Waitq.wait t.waiters with _ -> ());
+      acquire t ~tid
+    end
+    else t.holder <- Some tid
+
+(* Mark the operation window so a take-over never interleaves mid-message. *)
+let with_held t ~tid f =
+  acquire t ~tid;
+  t.busy <- true;
+  Fun.protect ~finally:(fun () ->
+      t.busy <- false;
+      Waitq.signal t.waiters)
+    f
+
+(* Fork: the parent inherits the token; the child starts inactive (§4.1.2). *)
+let on_fork t ~parent_tid = t.holder <- Some parent_tid

@@ -1,0 +1,25 @@
+(** Token-based socket sharing (§4.1).
+
+    Each socket-queue direction has one token; only the holder may operate,
+    so the common case runs with no lock.  Non-holders take over through the
+    monitor (FIFO waiting list; deadlock- and starvation-free). *)
+
+open Sds_sim
+
+type t
+
+val create : cost:Cost.t -> holder:int -> t
+
+val holder : t -> int option
+val takeovers : t -> int
+
+val acquire : t -> tid:int -> unit
+(** Zero-cost when [tid] already holds the token; otherwise one monitor
+    round trip (the ~0.6 us take-over), queueing FIFO behind a busy holder. *)
+
+val with_held : t -> tid:int -> (unit -> 'a) -> 'a
+(** Run [f] holding the token, with the busy window marked so a take-over
+    never interleaves mid-message. *)
+
+val on_fork : t -> parent_tid:int -> unit
+(** The parent inherits the token; the child starts inactive (§4.1.2). *)

@@ -1,0 +1,60 @@
+(* Zero copy for large messages via page remapping (§4.3).
+
+   Send: the sender obtains the (obfuscated) physical addresses of its
+   page-aligned send buffer through the blessed driver, marks the pages
+   shared copy-on-write, and ships the addresses in-band while the payload
+   stays put.  Receive: the receiver remaps those pages into the
+   application's buffer — a batched remap at map_32_pages cost instead of a
+   per-byte copy — then returns foreign pages to the owner's pool once the
+   buffer is reused.
+
+   The crossover is the paper's: remapping one page costs more than copying
+   it, so only sends/recvs of at least [threshold] = 16 KiB take this path. *)
+
+open Sds_sim
+open Sds_vm
+module Msg = Sds_transport.Msg
+
+let threshold = 16 * 1024
+
+(* Owner-uid -> pool, for the cross-process page-return protocol. *)
+let pools : (int, Pool.t) Hashtbl.t = Hashtbl.create 16
+
+let register_pool ~uid pool = Hashtbl.replace pools uid pool
+let unregister_pool ~uid = Hashtbl.remove pools uid
+
+(* Sender side: pin + export pages and build the page-list message.  Charges
+   one kernel crossing for the driver call plus a small per-page bookkeeping
+   cost.
+
+   Ownership: the steady state of the paper's protocol is a transfer — the
+   sender's virtual buffer promptly gets fresh pool pages on its next reuse
+   (COW remap) while the physical pages travel to the receiver and come back
+   to the sender's pool when the receiver's buffer is overwritten.  The data
+   path models that steady state directly; the COW machinery itself is
+   exercised through [Space.write] (see the vm tests). *)
+let send_pages ~cost ~space ~src ~off ~len =
+  let buf = Space.buffer_of_bytes space src ~off ~len in
+  let pages = Array.length buf.Space.pages in
+  Array.iter Page.pin buf.Space.pages;
+  Proc.sleep_ns (Cost.syscall cost + (pages * 20));
+  Msg.make (Msg.Pages (buf.Space.pages, len))
+
+(* Receiver side: remap the pages into the application buffer (charged), copy
+   the content for the caller (free in simulated time — the mapping makes it
+   the same memory), then unmap and run the page-return protocol. *)
+let recv_pages ~cost ~space ~engine pages ~len ~dst ~dst_off =
+  let buf = Space.map_received space pages ~len in
+  Proc.sleep_ns (Cost.remap_cost cost len);
+  Space.read buf ~dst ~dst_off;
+  let foreign = Space.unmap space buf in
+  (* Return foreign pages to their owner's pool after one message hop. *)
+  if foreign <> [] then
+    Engine.schedule engine ~delay:cost.Cost.cache_migration (fun () ->
+        List.iter
+          (fun (owner, page) ->
+            Page.unpin page;
+            match Hashtbl.find_opt pools owner with
+            | Some pool -> Pool.take_back pool page
+            | None -> ())
+          foreign)

@@ -1,0 +1,31 @@
+(** Zero copy for large messages via page remapping (§4.3).
+
+    Only sends/recvs of at least [threshold] bytes take this path: remapping
+    one page costs more than copying it, so the crossover sits at 16 KiB. *)
+
+open Sds_sim
+
+val threshold : int
+(** 16 KiB. *)
+
+val register_pool : uid:int -> Sds_vm.Pool.t -> unit
+(** Register a process's page pool for the cross-process return protocol. *)
+
+val unregister_pool : uid:int -> unit
+
+val send_pages :
+  cost:Cost.t -> space:Sds_vm.Space.t -> src:Bytes.t -> off:int -> len:int -> Sds_transport.Msg.t
+(** Pin and export the buffer's pages and build the page-list message.
+    Charges one kernel crossing plus per-page bookkeeping. *)
+
+val recv_pages :
+  cost:Cost.t ->
+  space:Sds_vm.Space.t ->
+  engine:Engine.t ->
+  Sds_vm.Page.t array ->
+  len:int ->
+  dst:Bytes.t ->
+  dst_off:int ->
+  unit
+(** Remap received pages into the application buffer (charged at the batched
+    remap rate), then unmap and return foreign pages to their owner's pool. *)

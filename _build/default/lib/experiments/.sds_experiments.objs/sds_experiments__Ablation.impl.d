@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Bytes Common Cost Engine Proc Sds_apps Sds_sim Socksdirect

@@ -1,0 +1,1 @@
+lib/experiments/accept_scale.ml: Array Bytes Common Engine Fmt List Proc Sds_apps Sds_sim Socksdirect String

@@ -1,0 +1,1 @@
+lib/experiments/apps_exp.ml: Bytes Common Engine Proc Sds_apps Sds_sim Stats

@@ -1,0 +1,1 @@
+lib/experiments/apps_exp.mli: Sds_apps Sds_sim

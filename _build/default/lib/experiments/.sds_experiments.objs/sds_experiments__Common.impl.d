@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Bytes Cost Engine Fmt Host List Proc Raw_stacks Rng Sds_apps Sds_baselines Sds_sim Sds_transport Stats String

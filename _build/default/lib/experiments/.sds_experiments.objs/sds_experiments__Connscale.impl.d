@@ -1,0 +1,1 @@
+lib/experiments/connscale.ml: Common Engine Fmt Proc Sds_sim Socksdirect

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Bytes Common Cost Engine Fmt List Proc Sds_apps Sds_sim Socksdirect Stats

@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Common Engine List Proc Sds_apps Sds_sim Stats

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Array Common Engine Fmt List Proc Sds_apps Sds_kernel Sds_sim

@@ -1,0 +1,1 @@
+lib/experiments/fig78.ml: Common List Raw_stacks Sds_apps Sds_sim

@@ -1,0 +1,1 @@
+lib/experiments/fig78.mli: Sds_apps Sds_sim

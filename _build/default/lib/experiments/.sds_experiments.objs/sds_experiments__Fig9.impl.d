@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Common Float List Raw_stacks Sds_apps Sds_baselines

@@ -1,0 +1,1 @@
+lib/experiments/loss.ml: Common Fmt Host List Nic Sds_apps Sds_sim Sds_transport

@@ -1,0 +1,1 @@
+lib/experiments/loss.mli: Sds_transport

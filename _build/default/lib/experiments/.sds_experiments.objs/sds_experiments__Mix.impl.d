@@ -1,0 +1,1 @@
+lib/experiments/mix.ml: Bytes Common Engine Fmt Int64 List Proc Rng Sds_apps Sds_sim Sds_workloads Stats

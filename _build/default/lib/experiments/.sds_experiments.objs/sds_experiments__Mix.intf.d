@@ -1,0 +1,1 @@
+lib/experiments/mix.mli: Sds_apps Sds_sim

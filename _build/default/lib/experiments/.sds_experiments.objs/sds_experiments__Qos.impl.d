@@ -1,0 +1,1 @@
+lib/experiments/qos.ml: Bytes Common Engine Host Msg Nic Proc Sds_sim Sds_transport

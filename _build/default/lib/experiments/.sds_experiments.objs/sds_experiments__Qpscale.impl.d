@@ -1,0 +1,1 @@
+lib/experiments/qpscale.ml: Common Host List Nic Raw_stacks Sds_sim Sds_transport Stats

@@ -1,0 +1,1 @@
+lib/experiments/raw_stacks.ml: Bytes Hashtbl Host Msg Nic Proc Queue Sds_apps Sds_sim Sds_transport Shm_chan Waitq

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Bytes Common Cost Engine Fmt List Proc Raw_stacks Sds_apps Sds_baselines Sds_kernel Sds_sim Stats

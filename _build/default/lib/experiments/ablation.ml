@@ -1,0 +1,112 @@
+(* Ablations of the design decisions DESIGN.md calls out:
+
+   1. token sharing vs per-op locking vs per-op take-over (§4.1.1's 27 / 5 /
+      1.6 Mop/s discussion);
+   2. adaptive batching on/off (inter-host 8-byte throughput);
+   3. zero copy on/off (intra-host 1 MiB throughput);
+   4. polling vs immediate interrupt mode (intra-host latency). *)
+
+open Sds_sim
+open Common
+module L = Socksdirect.Libsd
+module Token = Socksdirect.Token
+
+(* Two threads of one process alternating sends on ONE shared socket: every
+   send needs a token take-over — the worst case of §4.1.1. *)
+let takeover_alternating_rate () =
+  let w = make_world () in
+  let h = add_host w in
+  let received = ref 0 in
+  let ready = ref false in
+  ignore
+    (Proc.spawn w.engine ~name:"ab-server" (fun () ->
+         let ctx = L.init h in
+         let th = L.create_thread ctx ~core:2 () in
+         let lfd = L.socket th in
+         L.bind th lfd ~port:9100;
+         L.listen th lfd;
+         ready := true;
+         let fd = L.accept th lfd in
+         let buf = Bytes.create 64 in
+         let rec loop () =
+           let n = L.recv th fd buf ~off:0 ~len:64 in
+           if n > 0 then begin
+             received := !received + (n / 8);
+             loop ()
+           end
+         in
+         loop ()));
+  ignore
+    (Proc.spawn w.engine ~name:"ab-client" (fun () ->
+         while not !ready do
+           Proc.sleep_ns 1_000
+         done;
+         let ctx = L.init h in
+         let th1 = L.create_thread ctx ~core:0 () in
+         let th2 = L.create_thread ctx ~core:1 () in
+         let fd = L.socket th1 in
+         L.connect th1 fd ~dst:h ~port:9100;
+         let buf = Bytes.create 8 in
+         (* Alternate the sending thread on every message. *)
+         let rec loop i =
+           let th = if i land 1 = 0 then th1 else th2 in
+           ignore (L.send th fd buf ~off:0 ~len:8);
+           loop (i + 1)
+         in
+         loop 0));
+  let window_ns = 5_000_000 in
+  let at_start = ref 0 and at_end = ref 0 in
+  Engine.schedule w.engine ~delay:1_000_000 (fun () -> at_start := !received);
+  Engine.schedule w.engine ~delay:(1_000_000 + window_ns) (fun () ->
+      at_end := !received;
+      Engine.stop w.engine);
+  Engine.run ~until:(2_000_000 + window_ns) w.engine;
+  float_of_int (!at_end - !at_start) /. (float_of_int window_ns /. 1e9)
+
+let run () =
+  header "Ablation: token-based sharing (§4.1.1)";
+  let single =
+    let w = make_world () in
+    let h = add_host w in
+    stream_tput (module Sds_apps.Sock_api.Sds) w ~client_host:h ~server_host:h ~size:8 ~pairs:1
+      ~warmup_ns:1_000_000 ~window_ns:5_000_000
+  in
+  let alternating = takeover_alternating_rate () in
+  (* Hypothetical per-op lock: queue cost plus one uncontended spinlock. *)
+  let cost = Cost.default in
+  let locked =
+    1e9 /. ((1e9 /. single) +. float_of_int cost.Cost.spinlock)
+  in
+  tsv_row [ "single owner (token fast path)"; f2 (mops single) ^ " Mop/s" ];
+  tsv_row [ "per-op locking (modelled)"; f2 (mops locked) ^ " Mop/s" ];
+  tsv_row [ "alternating take-over (worst case)"; f2 (mops alternating) ^ " Mop/s" ];
+
+  header "Ablation: adaptive batching (§4.2)";
+  let tput config_name (module Api : Sds_apps.Sock_api.S) =
+    let w = make_world () in
+    let h1 = add_host w in
+    let h2 = add_host w in
+    let v =
+      stream_tput (module Api) w ~client_host:h1 ~server_host:h2 ~size:8 ~pairs:1
+        ~warmup_ns:1_000_000 ~window_ns:5_000_000
+    in
+    tsv_row [ config_name; f2 (mops v) ^ " Mmsg/s" ];
+    v
+  in
+  let batched = tput "batching on" (module Sds_apps.Sock_api.Sds) in
+  let unbatched = tput "batching off" (module Sds_apps.Sock_api.Sds_unopt) in
+
+  header "Ablation: zero copy (§4.3), intra-host 1 MiB";
+  let big config_name (module Api : Sds_apps.Sock_api.S) =
+    let w = make_world () in
+    let h = add_host w in
+    let v =
+      stream_tput (module Api) w ~client_host:h ~server_host:h ~size:1048576 ~pairs:1
+        ~warmup_ns:2_000_000 ~window_ns:20_000_000
+    in
+    tsv_row [ config_name; f2 (gbps ~size:1048576 ~msg_per_s:v) ^ " Gbps" ];
+    v
+  in
+  let zc = big "zero copy on" (module Sds_apps.Sock_api.Sds) in
+  let nozc = big "zero copy off" (module Sds_apps.Sock_api.Sds_unopt) in
+  (single, alternating, batched, unbatched, zc, nozc)

@@ -1,0 +1,10 @@
+(** Ablations of DESIGN.md §5: token sharing vs locking vs per-op take-over,
+    adaptive batching on/off, zero copy on/off. *)
+
+val takeover_alternating_rate : unit -> float
+(** Messages/second when two threads alternate sends on one socket (every
+    message pays a take-over). *)
+
+val run : unit -> float * float * float * float * float * float
+(** [(single-owner rate, alternating rate, batched, unbatched, zerocopy
+    Gbps-rate base, copying rate)]. *)

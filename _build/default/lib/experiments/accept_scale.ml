@@ -1,0 +1,70 @@
+(* Extension experiment: accept throughput of the pre-fork server as worker
+   count grows — stresses the monitor's round-robin dispatch and work
+   stealing (§4.5.2) under a connection storm, the control-plane complement
+   to Figure 9's data-plane scaling. *)
+
+open Sds_sim
+open Common
+module L = Socksdirect.Libsd
+module Prefork = Sds_apps.Prefork_server
+
+let worker_counts = [ 1; 2; 4; 8 ]
+let conns_per_worker = 400
+
+let point ~workers =
+  let w = make_world () in
+  let h = add_host w in
+  let server = Prefork.create h ~port:9300 ~workers in
+  let ready = ref false in
+  let t_start = ref 0 and t_done = ref 0 in
+  let completed = ref 0 in
+  Prefork.start server ~engine:w.engine ~conns_per_worker ~handler:Prefork.echo_handler
+    ~on_ready:(fun () -> ready := true);
+  let total = workers * conns_per_worker in
+  (* Several client threads so the connect side is not the bottleneck. *)
+  let client_threads = max 2 workers in
+  let per_client = total / client_threads in
+  for c = 0 to client_threads - 1 do
+    ignore
+      (Proc.spawn w.engine ~name:(Fmt.str "storm%d" c) (fun () ->
+           while not !ready do
+             Proc.sleep_ns 1_000
+           done;
+           if c = 0 then t_start := Engine.now w.engine;
+           let ctx = L.init h in
+           let th = L.create_thread ctx ~core:(10 + c) () in
+           let buf = Bytes.create 8 in
+           for _ = 1 to per_client do
+             let fd = L.socket th in
+             L.connect th fd ~dst:h ~port:9300;
+             ignore (L.send th fd (Bytes.of_string "8bytes!!") ~off:0 ~len:8);
+             let got = ref 0 in
+             while !got < 8 do
+               let n = L.recv th fd buf ~off:!got ~len:(8 - !got) in
+               if n = 0 then failwith "storm: eof";
+               got := !got + n
+             done;
+             L.close th fd;
+             incr completed;
+             if !completed = per_client * client_threads then t_done := Engine.now w.engine
+           done))
+  done;
+  Engine.run ~until:120_000_000_000 w.engine;
+  if !t_done = 0 then failwith "accept_scale: storm did not finish";
+  let conns = per_client * client_threads in
+  let rate = float_of_int conns /. (float_of_int (!t_done - !t_start) /. 1e9) in
+  let served = Prefork.served server in
+  (rate, served)
+
+let run () =
+  header "Extension: pre-fork server accept throughput vs workers (dispatch + stealing)";
+  tsv_row [ "workers"; "conns/s"; "per-worker spread" ];
+  List.map
+    (fun workers ->
+      let rate, served = point ~workers in
+      let spread =
+        String.concat "," (Array.to_list (Array.map string_of_int served))
+      in
+      tsv_row [ string_of_int workers; Fmt.str "%.0f" rate; spread ];
+      (workers, rate, served))
+    worker_counts

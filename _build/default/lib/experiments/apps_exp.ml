@@ -1,0 +1,98 @@
+(* §5.3.2 Redis and §5.3.3 RPC application experiments. *)
+
+open Sds_sim
+open Common
+
+(* Redis: 8-byte GET over the network (generator on another host), mean and
+   1%/99% latency — the numbers the paper reports from redis-benchmark. *)
+let redis_point (module Api : Sds_apps.Sock_api.S) =
+  let module Kv = Sds_apps.Kvstore.Make (Api) in
+  let w = make_world () in
+  let client_host = add_host w in
+  let server_host = add_host w in
+  let stats = Stats.create () in
+  let ready = ref false in
+  let gets = 300 and warmup = 30 in
+  ignore
+    (Proc.spawn w.engine ~name:"redis-server" (fun () ->
+         let ep = Api.make_endpoint server_host ~core:1 in
+         let l = Api.listen ep ~port:6379 in
+         ready := true;
+         (* +1 for the initial SET *)
+         Kv.run_server ep l ~requests:(gets + warmup + 1)));
+  let done_ = ref false in
+  ignore
+    (Proc.spawn w.engine ~name:"redis-bench" (fun () ->
+         while not !ready do
+           Proc.sleep_ns 1_000
+         done;
+         let ep = Api.make_endpoint client_host ~core:0 in
+         let count = ref 0 in
+         Kv.run_client ep ~server:server_host ~port:6379 ~gets:(gets + warmup) ~value_size:8
+           ~on_latency:(fun ns ->
+             incr count;
+             if !count > warmup then Stats.add stats (float_of_int ns));
+         done_ := true));
+  Engine.run ~until:120_000_000_000 w.engine;
+  assert !done_;
+  Stats.summarize stats
+
+let run_redis () =
+  header "Redis 8-byte GET latency (us): mean [p1, p99]";
+  let p (module Api : Sds_apps.Sock_api.S) =
+    let s = redis_point (module Api) in
+    tsv_row
+      [ Api.name; f2 (ns_to_us s.Stats.mean_v); f2 (ns_to_us s.Stats.p1); f2 (ns_to_us s.Stats.p99) ];
+    s
+  in
+  let lx = p (module Sds_apps.Sock_api.Linux) in
+  let sd = p (module Sds_apps.Sock_api.Sds) in
+  (lx, sd)
+
+(* RPClib-style 1 KiB echo RPC, intra-host and inter-host. *)
+let rpc_point (module Api : Sds_apps.Sock_api.S) ~intra =
+  let module R = Sds_apps.Rpc.Make (Api) in
+  let w = make_world () in
+  let h1 = add_host w in
+  let ch, sh = if intra then (h1, h1) else (h1, add_host w) in
+  let stats = Stats.create () in
+  let calls = 100 and warmup = 10 in
+  let ready = ref false in
+  ignore
+    (Proc.spawn w.engine ~name:"rpc-server" (fun () ->
+         let ep = Api.make_endpoint sh ~core:1 in
+         let l = Api.listen ep ~port:8081 in
+         ready := true;
+         let srv = R.create_server () in
+         R.register srv "echo" (fun payload -> payload);
+         R.serve ep l srv ~calls:(calls + warmup)));
+  let done_ = ref false in
+  ignore
+    (Proc.spawn w.engine ~name:"rpc-client" (fun () ->
+         while not !ready do
+           Proc.sleep_ns 1_000
+         done;
+         let ep = Api.make_endpoint ch ~core:0 in
+         let client = R.connect ep ~dst:sh ~port:8081 in
+         let payload = Bytes.make 1024 'r' in
+         for i = 1 to calls + warmup do
+           let t0 = Engine.now w.engine in
+           let result = R.call client ~meth:"echo" ~payload in
+           assert (Bytes.length result = 1024);
+           if i > warmup then Stats.add stats (float_of_int (Engine.now w.engine - t0))
+         done;
+         done_ := true));
+  Engine.run ~until:120_000_000_000 w.engine;
+  assert !done_;
+  ns_to_us (Stats.mean stats)
+
+let run_rpc () =
+  header "RPClib 1 KiB RPC round-trip (us)";
+  tsv_row [ "stack"; "intra-host"; "inter-host" ];
+  let lx_i = rpc_point (module Sds_apps.Sock_api.Linux) ~intra:true in
+  let lx_x = rpc_point (module Sds_apps.Sock_api.Linux) ~intra:false in
+  tsv_row [ "Linux"; f2 lx_i; f2 lx_x ];
+  let sd_i = rpc_point (module Sds_apps.Sock_api.Sds) ~intra:true in
+  let sd_x = rpc_point (module Sds_apps.Sock_api.Sds) ~intra:false in
+  tsv_row [ "SocksDirect"; f2 sd_i; f2 sd_x ];
+  ((lx_i, lx_x), (sd_i, sd_x))

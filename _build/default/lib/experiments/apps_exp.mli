@@ -1,0 +1,9 @@
+(** §5.3.2 Redis GET latency and §5.3.3 RPClib round trips. *)
+
+val redis_point : (module Sds_apps.Sock_api.S) -> Sds_sim.Stats.summary
+val run_redis : unit -> Sds_sim.Stats.summary * Sds_sim.Stats.summary
+
+val rpc_point : (module Sds_apps.Sock_api.S) -> intra:bool -> float
+(** Mean RTT in microseconds for the 1 KiB echo RPC. *)
+
+val run_rpc : unit -> (float * float) * (float * float)

@@ -1,0 +1,176 @@
+(* Shared machinery for the evaluation harness: worlds, ping-pong latency,
+   closed-loop streaming throughput, multi-pair scaling — all generic over
+   the socket stack so every figure sweeps the same workload across
+   SocksDirect, Linux, LibVMA, RSocket and raw transports. *)
+
+open Sds_sim
+open Sds_transport
+
+type world = { engine : Engine.t; cost : Cost.t; rng : Rng.t; mutable hosts : Host.t list }
+
+let make_world ?(cost = Cost.default) ?(seed = 7) () =
+  (* Baseline stacks keep per-run registries; clear them between worlds. *)
+  Sds_baselines.Rsocket.reset ();
+  Sds_baselines.Libvma.reset ();
+  Raw_stacks.Raw_rdma.reset ();
+  Raw_stacks.Raw_shm.reset ();
+  { engine = Engine.create (); cost; rng = Rng.create ~seed; hosts = [] }
+
+let add_host ?(cores = 40) ?(rdma = true) w =
+  let id = List.length w.hosts in
+  let h = Host.create w.engine ~cost:w.cost ~id ~cores ~rdma ~rng:w.rng () in
+  w.hosts <- w.hosts @ [ h ];
+  h
+
+let ns_to_us ns = ns /. 1e3
+
+(* ---- ping-pong latency ---- *)
+
+(* Round-trip latency of [size]-byte messages between two endpoints.
+   [intra] places both on one host (different cores); otherwise two hosts.
+   Returns summary statistics over [rounds] measured round trips. *)
+let pingpong (module Api : Sds_apps.Sock_api.S) w ~client_host ~server_host ~size ~rounds
+    ~warmup =
+  let port = 7000 in
+  let stats = Stats.create () in
+  let ready = ref false in
+  let _server =
+    Proc.spawn w.engine ~name:"pp-server" (fun () ->
+        let ep = Api.make_endpoint server_host ~core:1 in
+        let l = Api.listen ep ~port in
+        ready := true;
+        let c = Api.accept ep l in
+        let buf = Bytes.create size in
+        let total = rounds + warmup in
+        for _ = 1 to total do
+          let got = ref 0 in
+          while !got < size do
+            let n = Api.recv ep c buf ~off:!got ~len:(size - !got) in
+            if n = 0 then failwith "pp-server: eof";
+            got := !got + n
+          done;
+          let sent = ref 0 in
+          while !sent < size do
+            sent := !sent + Api.send ep c buf ~off:!sent ~len:(size - !sent)
+          done
+        done;
+        Api.close ep c)
+  in
+  let finished = ref false in
+  let _client =
+    Proc.spawn w.engine ~name:"pp-client" (fun () ->
+        while not !ready do
+          Proc.sleep_ns 1_000
+        done;
+        let ep = Api.make_endpoint client_host ~core:0 in
+        let c = Api.connect ep ~dst:server_host ~port in
+        let buf = Bytes.create size in
+        Bytes.fill buf 0 size 'p';
+        for i = 1 to rounds + warmup do
+          let t0 = Engine.now w.engine in
+          let sent = ref 0 in
+          while !sent < size do
+            sent := !sent + Api.send ep c buf ~off:!sent ~len:(size - !sent)
+          done;
+          let got = ref 0 in
+          while !got < size do
+            let n = Api.recv ep c buf ~off:!got ~len:(size - !got) in
+            if n = 0 then failwith "pp-client: eof";
+            got := !got + n
+          done;
+          if i > warmup then Stats.add stats (float_of_int (Engine.now w.engine - t0))
+        done;
+        Api.close ep c;
+        finished := true)
+  in
+  Engine.run ~until:60_000_000_000 w.engine;
+  if not !finished then failwith "pingpong: did not finish within horizon";
+  Stats.summarize stats
+
+(* ---- streaming throughput ---- *)
+
+(* Closed-loop unidirectional stream of [size]-byte messages between
+   [pairs] thread pairs; counts receiver messages inside the measurement
+   window.  Returns aggregate messages/second. *)
+let stream_tput (module Api : Sds_apps.Sock_api.S) w ~client_host ~server_host ~size ~pairs
+    ~warmup_ns ~window_ns =
+  let port_base = 7100 in
+  let received = Array.make pairs 0 in
+  let at_start = Array.make pairs 0 in
+  let at_end = Array.make pairs 0 in
+  for p = 0 to pairs - 1 do
+    let ready = ref false in
+    let _server =
+      Proc.spawn w.engine ~name:(Fmt.str "st-server%d" p) (fun () ->
+          let ep = Api.make_endpoint server_host ~core:p in
+          let l = Api.listen ep ~port:(port_base + p) in
+          ready := true;
+          let c = Api.accept ep l in
+          let buf = Bytes.create (max size 65536) in
+          (* Count bytes: stream stacks may deliver partial reads. *)
+          let rec loop () =
+            let n = Api.recv ep c buf ~off:0 ~len:(Bytes.length buf) in
+            if n > 0 then begin
+              received.(p) <- received.(p) + n;
+              loop ()
+            end
+          in
+          loop ())
+    in
+    let _client =
+      Proc.spawn w.engine ~name:(Fmt.str "st-client%d" p) (fun () ->
+          while not !ready do
+            Proc.sleep_ns 1_000
+          done;
+          (* Client cores are disjoint from server cores even intra-host. *)
+          let ep = Api.make_endpoint client_host ~core:(pairs + p) in
+          let c = Api.connect ep ~dst:server_host ~port:(port_base + p) in
+          let buf = Bytes.create size in
+          Bytes.fill buf 0 size 's';
+          let rec loop () =
+            let sent = ref 0 in
+            while !sent < size do
+              sent := !sent + Api.send ep c buf ~off:!sent ~len:(size - !sent)
+            done;
+            loop ()
+          in
+          loop ())
+    in
+    ()
+  done;
+  (* Sample received byte counts at window boundaries.  Slow stacks with
+     lumpy receive completion (e.g. interrupt-bound kernel TCP) get the
+     window extended until at least ten messages complete inside it. *)
+  let setup_slack = 2_000_000 in
+  let total_bytes window_ns =
+    let t0 = Engine.now w.engine + setup_slack + warmup_ns in
+    Engine.schedule_at w.engine ~time:t0 (fun () -> Array.blit received 0 at_start 0 pairs);
+    Engine.schedule_at w.engine ~time:(t0 + window_ns) (fun () ->
+        Array.blit received 0 at_end 0 pairs;
+        Engine.stop w.engine);
+    Engine.run ~until:(t0 + window_ns) w.engine;
+    let total = ref 0 in
+    for p = 0 to pairs - 1 do
+      total := !total + (at_end.(p) - at_start.(p))
+    done;
+    !total
+  in
+  let rec measure window_ns attempts =
+    let bytes = total_bytes window_ns in
+    if bytes >= 10 * size || attempts = 0 then
+      float_of_int bytes /. float_of_int size /. (float_of_int window_ns /. 1e9)
+    else measure (window_ns * 5) (attempts - 1)
+  in
+  measure window_ns 4
+
+let mops v = v /. 1e6
+let gbps ~size ~msg_per_s = msg_per_s *. float_of_int size *. 8.0 /. 1e9
+
+(* ---- output helpers ---- *)
+
+let header title = Fmt.pr "@.== %s ==@." title
+
+let tsv_row cells = Fmt.pr "%s@." (String.concat "\t" cells)
+
+let f2 v = Fmt.str "%.2f" v
+let f3 v = Fmt.str "%.3f" v

@@ -1,0 +1,91 @@
+(* §6 connection scalability: connections per second through one libsd
+   thread, and control messages per second through one monitor.
+
+   As in the paper's synthetic experiment, connections are created between
+   two processes on one host so no new RDMA QPs are involved. *)
+
+open Sds_sim
+open Common
+module L = Socksdirect.Libsd
+module Monitor = Socksdirect.Monitor
+
+(* Application connect rate: one client thread connecting in a closed loop
+   to an accepting server. *)
+let app_conn_rate () =
+  let w = make_world () in
+  let h = add_host w in
+  let accepted = ref 0 in
+  let ready = ref false in
+  ignore
+    (Proc.spawn w.engine ~name:"cs-server" (fun () ->
+         let ctx = L.init h in
+         let th = L.create_thread ctx ~core:1 () in
+         let lfd = L.socket th in
+         L.bind th lfd ~port:9000;
+         L.listen th lfd;
+         ready := true;
+         let rec loop () =
+           let fd = L.accept th lfd in
+           incr accepted;
+           L.close th fd;
+           loop ()
+         in
+         loop ()));
+  let connected = ref 0 in
+  ignore
+    (Proc.spawn w.engine ~name:"cs-client" (fun () ->
+         while not !ready do
+           Proc.sleep_ns 1_000
+         done;
+         let ctx = L.init h in
+         let th = L.create_thread ctx ~core:0 () in
+         let rec loop () =
+           let fd = L.socket th in
+           L.connect th fd ~dst:h ~port:9000;
+           incr connected;
+           L.close th fd;
+           loop ()
+         in
+         loop ()));
+  let window_ns = 10_000_000 in
+  let at_start = ref 0 and at_end = ref 0 in
+  Engine.schedule w.engine ~delay:1_000_000 (fun () -> at_start := !connected);
+  Engine.schedule w.engine ~delay:(1_000_000 + window_ns) (fun () ->
+      at_end := !connected;
+      Engine.stop w.engine);
+  Engine.run ~until:(2_000_000 + window_ns) w.engine;
+  float_of_int (!at_end - !at_start) /. (float_of_int window_ns /. 1e9)
+
+(* Monitor control-message rate: several requester procs keep the monitor's
+   queue non-empty with stateless control messages (fork-secret checks). *)
+let monitor_rate () =
+  let w = make_world () in
+  let h = add_host w in
+  let monitor = Monitor.for_host h in
+  for i = 0 to 15 do
+    ignore
+      (Proc.spawn w.engine ~name:(Fmt.str "mon-req%d" i) (fun () ->
+           let rec loop () =
+             ignore
+               (Monitor.rpc monitor (fun reply ->
+                    Monitor.Fork_pair { fp_secret = i; fp_reply = reply }));
+             loop ()
+           in
+           loop ()))
+  done;
+  let window_ns = 10_000_000 in
+  let at_start = ref 0 and at_end = ref 0 in
+  Engine.schedule w.engine ~delay:1_000_000 (fun () -> at_start := Monitor.handled monitor);
+  Engine.schedule w.engine ~delay:(1_000_000 + window_ns) (fun () ->
+      at_end := Monitor.handled monitor;
+      Engine.stop w.engine);
+  Engine.run ~until:(2_000_000 + window_ns) w.engine;
+  float_of_int (!at_end - !at_start) /. (float_of_int window_ns /. 1e9)
+
+let run () =
+  header "Connection scalability (§6)";
+  let app = app_conn_rate () in
+  let mon = monitor_rate () in
+  tsv_row [ "libsd thread connections/s"; f2 (mops app) ^ "M"; "paper: 1.4M" ];
+  tsv_row [ "monitor control msgs/s"; f2 (mops mon) ^ "M"; "paper: 5.3M" ];
+  (app, mon)

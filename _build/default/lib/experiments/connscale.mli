@@ -1,0 +1,6 @@
+(** §6 connection scalability: connections/second through one libsd thread
+    and control messages/second through one monitor. *)
+
+val app_conn_rate : unit -> float
+val monitor_rate : unit -> float
+val run : unit -> float * float

@@ -1,0 +1,99 @@
+(* Figure 10: message processing latency when multiple processes share one
+   CPU core (1-8 processes).
+
+   SocksDirect: K client processes all pinned to core 0, each ping-ponging
+   with its own server thread on a dedicated core.  While waiting, a client
+   yields the core cooperatively (§4.4); the measured latency grows with the
+   rotation length — this is the real mechanism running, not a formula.
+
+   Linux: the kernel's run queue plays the same role but each hop costs a
+   full process wakeup instead of a cooperative switch.  We measure the
+   K = 1 baseline with the kernel model and add the run-queue delay
+   (K-1 extra wakeups per round trip), the standard M/D/1-style model the
+   paper's Table 2 wakeup numbers imply. *)
+
+open Sds_sim
+open Common
+module L = Socksdirect.Libsd
+
+let procs_counts = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let sds_point ~procs =
+  let w = make_world () in
+  let h = add_host w in
+  let stats = Stats.create () in
+  let rounds = 300 and warmup = 30 in
+  let finished = ref 0 in
+  for k = 0 to procs - 1 do
+    let port = 7200 + k in
+    let ready = ref false in
+    ignore
+      (Proc.spawn w.engine ~name:(Fmt.str "f10-server%d" k) (fun () ->
+           let ctx = L.init h in
+           let th = L.create_thread ctx ~core:(1 + k) () in
+           let lfd = L.socket th in
+           L.bind th lfd ~port;
+           L.listen th lfd;
+           ready := true;
+           let fd = L.accept th lfd in
+           let buf = Bytes.create 8 in
+           for _ = 1 to rounds + warmup do
+             let got = ref 0 in
+             while !got < 8 do
+               let n = L.recv th fd buf ~off:!got ~len:(8 - !got) in
+               if n = 0 then failwith "f10 server eof";
+               got := !got + n
+             done;
+             ignore (L.send th fd buf ~off:0 ~len:8)
+           done));
+    ignore
+      (Proc.spawn w.engine ~name:(Fmt.str "f10-client%d" k) (fun () ->
+           while not !ready do
+             Proc.sleep_ns 1_000
+           done;
+           let ctx = L.init h in
+           (* All clients share core 0: the contended resource. *)
+           let th = L.create_thread ctx ~core:0 () in
+           let fd = L.socket th in
+           L.connect th fd ~dst:h ~port;
+           let buf = Bytes.create 8 in
+           for i = 1 to rounds + warmup do
+             let t0 = Engine.now w.engine in
+             ignore (L.send th fd buf ~off:0 ~len:8);
+             let got = ref 0 in
+             while !got < 8 do
+               let n = L.recv th fd buf ~off:!got ~len:(8 - !got) in
+               if n = 0 then failwith "f10 client eof";
+               got := !got + n
+             done;
+             if i > warmup then Stats.add stats (float_of_int (Engine.now w.engine - t0))
+           done;
+           incr finished))
+  done;
+  Engine.run ~until:120_000_000_000 w.engine;
+  if !finished < procs then failwith "fig10: clients did not finish";
+  ns_to_us (Stats.mean stats)
+
+let linux_point ~procs =
+  let w = make_world () in
+  let h = add_host w in
+  let base =
+    pingpong (module Sds_apps.Sock_api.Linux) w ~client_host:h ~server_host:h ~size:8 ~rounds:100
+      ~warmup:10
+  in
+  let wakeup = Cost.default.Cost.process_wakeup in
+  ns_to_us (base.Stats.mean_v +. float_of_int (2 * (procs - 1) * wakeup))
+
+let run () =
+  header "Figure 10: latency with processes sharing one core";
+  tsv_row [ "processes"; "SocksDirect"; "Linux"; "(us RTT)" ];
+  let rows =
+    List.map
+      (fun procs ->
+        let sd = sds_point ~procs in
+        let lx = linux_point ~procs in
+        tsv_row [ string_of_int procs; f2 sd; f2 lx ];
+        (procs, sd, lx))
+      procs_counts
+  in
+  rows

@@ -1,0 +1,12 @@
+(** Figure 10: message latency with 1-8 processes sharing one core.
+
+    The SocksDirect series runs the real cooperative rotation (§4.4); the
+    Linux series adds a wakeup-per-waiter run-queue model to its measured
+    single-process baseline. *)
+
+val sds_point : procs:int -> float
+(** Mean RTT in microseconds. *)
+
+val linux_point : procs:int -> float
+
+val run : unit -> (int * float * float) list

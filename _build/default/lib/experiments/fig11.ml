@@ -1,0 +1,65 @@
+(* Figure 11: Nginx-style HTTP request end-to-end latency vs response size.
+
+   Topology per §5.3.1: the request generator is on a different host from
+   Nginx; the HTTP response generator (upstream) shares the host with Nginx.
+   The proxy and both generators are the same application code over each
+   stack (LibVMA is excluded, as in the paper: it cannot run Nginx). *)
+
+open Sds_sim
+open Common
+
+let sizes = [ 64; 512; 4096; 32768; 262144; 1048576 ]
+
+let point (module Api : Sds_apps.Sock_api.S) ~size =
+  let module H = Sds_apps.Http.Make (Api) in
+  let w = make_world () in
+  let gen_host = add_host w in
+  let web_host = add_host w in
+  let requests = if size >= 262144 then 30 else 100 in
+  let warmup = 5 in
+  let stats = Stats.create () in
+  let upstream_ready = ref false and proxy_ready = ref false in
+  ignore
+    (Proc.spawn w.engine ~name:"responder" (fun () ->
+         let ep = Api.make_endpoint web_host ~core:2 in
+         let l = Api.listen ep ~port:8080 in
+         upstream_ready := true;
+         H.run_responder ep l ~requests:(requests + warmup)));
+  ignore
+    (Proc.spawn w.engine ~name:"proxy" (fun () ->
+         while not !upstream_ready do
+           Proc.sleep_ns 1_000
+         done;
+         let ep = Api.make_endpoint web_host ~core:1 in
+         let l = Api.listen ep ~port:80 in
+         proxy_ready := true;
+         H.run_proxy ep ~listener:l ~upstream:web_host ~upstream_port:8080
+           ~requests:(requests + warmup)));
+  let finished = ref false in
+  ignore
+    (Proc.spawn w.engine ~name:"generator" (fun () ->
+         while not !proxy_ready do
+           Proc.sleep_ns 1_000
+         done;
+         let ep = Api.make_endpoint gen_host ~core:0 in
+         let count = ref 0 in
+         H.run_generator ep ~proxy:web_host ~port:80 ~requests:(requests + warmup) ~size
+           ~on_latency:(fun ns ->
+             incr count;
+             if !count > warmup then Stats.add stats (float_of_int ns));
+         finished := true));
+  Engine.run ~until:300_000_000_000 w.engine;
+  if not !finished then failwith "fig11: generator did not finish";
+  Stats.summarize stats
+
+let run () =
+  header "Figure 11: Nginx HTTP request end-to-end latency";
+  tsv_row [ "size"; "SocksDirect"; "Linux"; "(us, mean)" ];
+  List.map
+    (fun size ->
+      let sd = point (module Sds_apps.Sock_api.Sds) ~size in
+      let lx = point (module Sds_apps.Sock_api.Linux) ~size in
+      tsv_row
+        [ string_of_int size; f2 (ns_to_us sd.Stats.mean_v); f2 (ns_to_us lx.Stats.mean_v) ];
+      (size, ns_to_us sd.Stats.mean_v, ns_to_us lx.Stats.mean_v))
+    sizes

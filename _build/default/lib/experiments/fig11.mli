@@ -1,0 +1,7 @@
+(** Figure 11: Nginx-style HTTP request latency vs response size, remote
+    generator -> proxy -> co-located upstream. *)
+
+val sizes : int list
+val point : (module Sds_apps.Sock_api.S) -> size:int -> Sds_sim.Stats.summary
+val run : unit -> (int * float * float) list
+(** [(size, SocksDirect us, Linux us)] rows. *)

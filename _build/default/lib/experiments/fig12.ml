@@ -1,0 +1,131 @@
+(* Figure 12: network-function pipeline throughput vs number of NFs.
+
+   64-byte pcap-record packets flow source -> NF1 -> ... -> NFk -> sink, one
+   process per NF.  Channel variants: SocksDirect connections, Linux TCP
+   sockets, Linux pipes; NetBricks-style single-process composition is the
+   reference line. *)
+
+open Sds_sim
+open Common
+module Nf = Sds_apps.Nf
+
+let nf_counts = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+let packets = 8_000
+
+(* Build a K-stage pipeline over a socket stack; returns packets/second. *)
+let socket_pipeline (module Api : Sds_apps.Sock_api.S) ~stages =
+  let module C = Nf.Sock_channel (Api) in
+  let module R = Nf.Run (C) in
+  let module Io = Sds_apps.Sock_api.Io (Api) in
+  let w = make_world () in
+  let h = add_host w in
+  (* stage i listens on port 7300+i; stage i-1 connects forward to it. *)
+  let t_done = ref 0 and t_first = ref 0 in
+  let listeners_ready = Array.make (stages + 1) false in
+  (* Sink is stage index [stages]. *)
+  let finished = ref false in
+  for i = 0 to stages do
+    let port = 7300 + i in
+    ignore
+      (Proc.spawn w.engine ~name:(Fmt.str "nf%d" i) (fun () ->
+           let ep = Api.make_endpoint h ~core:(1 + i) in
+           let l = Api.listen ep ~port in
+           listeners_ready.(i) <- true;
+           let input = Io.make ep (Api.accept ep l) in
+           if i = stages then begin
+             (* sink *)
+             let n = R.sink ~input in
+             assert (n = packets);
+             t_done := Engine.now w.engine;
+             finished := true
+           end
+           else begin
+             (* middle NF: connect to the next stage *)
+             let out = Io.make ep (Api.connect ep ~dst:h ~port:(port + 1)) in
+             ignore (R.nf_stage ~input ~output:out)
+           end))
+  done;
+  ignore
+    (Proc.spawn w.engine ~name:"nf-source" (fun () ->
+         while not (Array.for_all (fun r -> r) listeners_ready) do
+           Proc.sleep_ns 1_000
+         done;
+         let ep = Api.make_endpoint h ~core:0 in
+         let out = Io.make ep (Api.connect ep ~dst:h ~port:7300) in
+         t_first := Engine.now w.engine;
+         R.source ~output:out ~packets));
+  Engine.run ~until:600_000_000_000 w.engine;
+  if not !finished then failwith "fig12: pipeline did not drain";
+  float_of_int packets /. (float_of_int (!t_done - !t_first) /. 1e9)
+
+(* Kernel-pipe pipeline: one process chain connected by pipes. *)
+let pipe_pipeline ~stages =
+  let module R = Nf.Run (Nf.Pipe_channel) in
+  let w = make_world () in
+  let h = add_host w in
+  let kernel = Sds_kernel.Kernel.for_host h in
+  let kproc = Sds_kernel.Kernel.spawn_process kernel () in
+  let t_done = ref 0 and t_first = ref 0 in
+  let finished = ref false in
+  (* Create the K+1 pipes up front (parent creates, children inherit). *)
+  let pipes = ref [] in
+  let setup = ref false in
+  ignore
+    (Proc.spawn w.engine ~name:"pipe-setup" (fun () ->
+         pipes := List.init (stages + 1) (fun _ -> Sds_kernel.Kernel.pipe kproc);
+         setup := true));
+  ignore
+    (Proc.spawn w.engine ~name:"pipe-run" (fun () ->
+         while not !setup do
+           Proc.sleep_ns 1_000
+         done;
+         let pipes = Array.of_list !pipes in
+         for i = 0 to stages - 1 do
+           let rd, _ = pipes.(i) and _, wr = pipes.(i + 1) in
+           ignore
+             (Proc.spawn w.engine ~name:(Fmt.str "pipe-nf%d" i) (fun () ->
+                  ignore (R.nf_stage ~input:(kproc, rd) ~output:(kproc, wr))))
+         done;
+         let rd_last, _ = pipes.(stages) in
+         ignore
+           (Proc.spawn w.engine ~name:"pipe-sink" (fun () ->
+                let n = R.sink ~input:(kproc, rd_last) in
+                assert (n = packets);
+                t_done := Engine.now w.engine;
+                finished := true));
+         let _, wr0 = pipes.(0) in
+         t_first := Engine.now w.engine;
+         R.source ~output:(kproc, wr0) ~packets));
+  Engine.run ~until:600_000_000_000 w.engine;
+  if not !finished then failwith "fig12: pipe pipeline did not drain";
+  float_of_int packets /. (float_of_int (!t_done - !t_first) /. 1e9)
+
+(* NetBricks-style reference: NFs composed in one address space but run on
+   separate cores with zero-cost handoff (run-to-completion pipelining), so
+   throughput is bounded by the slowest single stage, not the stage sum.
+   We measure one stage's per-packet cost and account for pipeline fill. *)
+let netbricks_point ~stages =
+  let w = make_world () in
+  let _h = add_host w in
+  let t_done = ref 0 in
+  ignore
+    (Proc.spawn w.engine ~name:"netbricks" (fun () ->
+         ignore (Nf.netbricks_pipeline ~stages:1 ~packets);
+         t_done := Engine.now w.engine));
+  Engine.run ~until:600_000_000_000 w.engine;
+  let fill = !t_done / packets * (stages - 1) in
+  float_of_int packets /. (float_of_int (!t_done + fill) /. 1e9)
+
+let run () =
+  header "Figure 12: NF pipeline throughput vs number of NFs";
+  tsv_row [ "nfs"; "SocksDirect"; "LinuxPipe"; "LinuxTCP"; "NetBricks"; "(Mpkt/s)" ];
+  List.map
+    (fun stages ->
+      let sd = socket_pipeline (module Sds_apps.Sock_api.Sds) ~stages in
+      let pipe = pipe_pipeline ~stages in
+      let tcp = socket_pipeline (module Sds_apps.Sock_api.Linux) ~stages in
+      let nb = netbricks_point ~stages in
+      tsv_row
+        [ string_of_int stages; f2 (mops sd); f2 (mops pipe); f2 (mops tcp); f2 (mops nb) ];
+      (stages, sd, pipe, tcp, nb))
+    nf_counts

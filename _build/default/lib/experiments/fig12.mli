@@ -1,0 +1,12 @@
+(** Figure 12: NF pipeline throughput vs number of NFs (SocksDirect
+    sockets, kernel pipes, kernel TCP, NetBricks-style reference). *)
+
+val nf_counts : int list
+val packets : int
+
+val socket_pipeline : (module Sds_apps.Sock_api.S) -> stages:int -> float
+(** Packets per second through a [stages]-NF chain. *)
+
+val pipe_pipeline : stages:int -> float
+val netbricks_point : stages:int -> float
+val run : unit -> (int * float * float * float * float) list

@@ -1,0 +1,81 @@
+(* Figures 7 and 8: single-core throughput and latency vs message size,
+   intra-host (Figure 7) and inter-host (Figure 8).
+
+   Each data point runs in a fresh world: one streaming pair for throughput,
+   one ping-pong pair for latency.  Figure 8 adds the raw RDMA write line. *)
+
+open Common
+
+let sizes = [ 8; 64; 512; 4096; 32768; 262144; 1048576 ]
+
+type stack = (module Sds_apps.Sock_api.S)
+
+let stacks_fig7 : stack list =
+  [
+    (module Sds_apps.Sock_api.Sds);
+    (module Sds_apps.Sock_api.Linux);
+    (module Sds_apps.Sock_api.Libvma);
+    (module Sds_apps.Sock_api.Rsocket);
+    (module Sds_apps.Sock_api.Sds_unopt);
+  ]
+
+let stacks_fig8 : stack list = stacks_fig7 @ [ (module Raw_stacks.Raw_rdma) ]
+
+let hosts_for w ~intra =
+  let h1 = add_host w in
+  if intra then (h1, h1) else (h1, add_host w)
+
+let tput_point stack ~intra ~size =
+  let w = make_world () in
+  let client_host, server_host = hosts_for w ~intra in
+  let window_ns = if size >= 262144 then 20_000_000 else 5_000_000 in
+  stream_tput stack w ~client_host ~server_host ~size ~pairs:1 ~warmup_ns:1_000_000 ~window_ns
+
+let latency_point stack ~intra ~size =
+  let w = make_world () in
+  let client_host, server_host = hosts_for w ~intra in
+  let rounds = if size >= 262144 then 50 else 200 in
+  pingpong stack w ~client_host ~server_host ~size ~rounds ~warmup:20
+
+type row = { size : int; values : (string * float) list }
+
+let sweep ~stacks ~intra ~metric =
+  List.map
+    (fun size ->
+      let values =
+        List.map
+          (fun stack ->
+            let (module Api : Sds_apps.Sock_api.S) = stack in
+            let v =
+              match metric with
+              | `Tput -> gbps ~size ~msg_per_s:(tput_point stack ~intra ~size)
+              | `Latency -> ns_to_us (latency_point stack ~intra ~size).Sds_sim.Stats.mean_v
+            in
+            (Api.name, v))
+          stacks
+      in
+      { size; values })
+    sizes
+
+let print_rows ~title ~unit rows =
+  header title;
+  (match rows with
+  | r :: _ -> tsv_row ("size" :: List.map fst r.values @ [ "(" ^ unit ^ ")" ])
+  | [] -> ());
+  List.iter
+    (fun r -> tsv_row (string_of_int r.size :: List.map (fun (_, v) -> f3 v) r.values))
+    rows
+
+let run_fig7 () =
+  let tput = sweep ~stacks:stacks_fig7 ~intra:true ~metric:`Tput in
+  print_rows ~title:"Figure 7a: intra-host single-core throughput vs message size" ~unit:"Gbps" tput;
+  let lat = sweep ~stacks:stacks_fig7 ~intra:true ~metric:`Latency in
+  print_rows ~title:"Figure 7b: intra-host RTT latency vs message size" ~unit:"us" lat;
+  (tput, lat)
+
+let run_fig8 () =
+  let tput = sweep ~stacks:stacks_fig8 ~intra:false ~metric:`Tput in
+  print_rows ~title:"Figure 8a: inter-host single-core throughput vs message size" ~unit:"Gbps" tput;
+  let lat = sweep ~stacks:stacks_fig8 ~intra:false ~metric:`Latency in
+  print_rows ~title:"Figure 8b: inter-host RTT latency vs message size" ~unit:"us" lat;
+  (tput, lat)

@@ -1,0 +1,19 @@
+(** Figures 7 and 8: single-core throughput and latency vs message size,
+    intra-host (7) and inter-host (8, including the raw RDMA line). *)
+
+val sizes : int list
+
+type stack = (module Sds_apps.Sock_api.S)
+
+val tput_point : stack -> intra:bool -> size:int -> float
+(** Aggregate messages/second for one streaming pair. *)
+
+val latency_point : stack -> intra:bool -> size:int -> Sds_sim.Stats.summary
+(** Ping-pong RTT statistics (ns). *)
+
+type row = { size : int; values : (string * float) list }
+
+val run_fig7 : unit -> row list * row list
+(** [(throughput rows in Gbps, latency rows in us)]; prints both tables. *)
+
+val run_fig8 : unit -> row list * row list

@@ -1,0 +1,63 @@
+(* Figure 9: aggregate 8-byte message throughput vs number of core pairs,
+   intra-host (9a) and inter-host (9b).
+
+   Each point: N sender threads (one per core) streaming to N receiver
+   threads over N connections.  LibVMA additionally suffers its shared-NIC-
+   queue lock contention, which is set from the pair count. *)
+
+open Common
+
+let core_counts = [ 1; 2; 4; 8; 12; 16 ]
+
+type stack = (module Sds_apps.Sock_api.S)
+
+let point (stack : stack) ~intra ~pairs =
+  let w = make_world () in
+  let h1 = add_host w in
+  let client_host, server_host = if intra then (h1, h1) else (h1, add_host w) in
+  (* LibVMA: threads of one process share NIC queues behind a lock. *)
+  let (module Api) = stack in
+  if Api.name = "LibVMA" then
+    Sds_baselines.Libvma.set_threads (Sds_baselines.Libvma.stack_for client_host) pairs;
+  stream_tput stack w ~client_host ~server_host ~size:8 ~pairs ~warmup_ns:500_000
+    ~window_ns:2_000_000
+
+let stacks : stack list =
+  [
+    (module Sds_apps.Sock_api.Sds);
+    (module Sds_apps.Sock_api.Linux);
+    (module Sds_apps.Sock_api.Libvma);
+    (module Sds_apps.Sock_api.Rsocket);
+    (module Raw_stacks.Raw_rdma);
+    (module Sds_apps.Sock_api.Sds_unopt);
+  ]
+
+let sweep ~intra =
+  List.map
+    (fun pairs ->
+      ( pairs,
+        List.map
+          (fun stack ->
+            let (module Api : Sds_apps.Sock_api.S) = stack in
+            (* The raw RDMA line only exists inter-host. *)
+            if intra && Api.name = "RDMA" then (Api.name, nan)
+            else (Api.name, mops (point stack ~intra ~pairs)))
+          stacks ))
+    core_counts
+
+let print_sweep ~title rows =
+  header title;
+  (match rows with
+  | (_, vs) :: _ -> tsv_row (("cores" :: List.map fst vs) @ [ "(Mmsg/s)" ])
+  | [] -> ());
+  List.iter
+    (fun (pairs, vs) ->
+      tsv_row (string_of_int pairs :: List.map (fun (_, v) -> if Float.is_nan v then "-" else f2 v) vs))
+    rows
+
+let run () =
+  let intra = sweep ~intra:true in
+  print_sweep ~title:"Figure 9a: intra-host 8-byte throughput vs cores" intra;
+  let inter = sweep ~intra:false in
+  print_sweep ~title:"Figure 9b: inter-host 8-byte throughput vs cores" inter;
+  (intra, inter)

@@ -1,0 +1,8 @@
+(** Figure 9: aggregate 8-byte message throughput vs core pairs. *)
+
+val core_counts : int list
+
+type stack = (module Sds_apps.Sock_api.S)
+
+val point : stack -> intra:bool -> pairs:int -> float
+val run : unit -> (int * (string * float) list) list * (int * (string * float) list) list

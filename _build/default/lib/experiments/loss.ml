@@ -1,0 +1,41 @@
+(* Transport robustness (§6 discussion): SocksDirect inter-host performance
+   over a lossy fabric, comparing the go-back-N recovery of commodity RDMA
+   NICs against selective retransmission (the paper cites MELO/IRN-style
+   proposals as the path to lossy-network deployments). *)
+
+open Sds_transport
+open Common
+
+let loss_rates_ppm = [ 0; 1_000; 10_000; 50_000 ]
+
+let point ~recovery ~ppm ~metric =
+  let w = make_world () in
+  let h1 = add_host w in
+  let h2 = add_host w in
+  Nic.set_loss (Host.nic h1) ~ppm ~recovery ~seed:21;
+  Nic.set_loss (Host.nic h2) ~ppm ~recovery ~seed:22;
+  match metric with
+  | `Latency ->
+    let s =
+      pingpong (module Sds_apps.Sock_api.Sds) w ~client_host:h1 ~server_host:h2 ~size:8
+        ~rounds:300 ~warmup:20
+    in
+    ns_to_us s.Sds_sim.Stats.mean_v
+  | `Tput ->
+    mops
+      (stream_tput (module Sds_apps.Sock_api.Sds) w ~client_host:h1 ~server_host:h2 ~size:8
+         ~pairs:1 ~warmup_ns:1_000_000 ~window_ns:5_000_000)
+
+let run () =
+  header "Lossy fabric: SocksDirect inter-host 8-byte RTT and throughput vs loss rate";
+  tsv_row [ "loss"; "RTT go-back-N"; "RTT selective"; "Mmsg/s go-back-N"; "Mmsg/s selective" ];
+  List.map
+    (fun ppm ->
+      let lat_g = point ~recovery:Nic.Go_back_n ~ppm ~metric:`Latency in
+      let lat_s = point ~recovery:Nic.Selective ~ppm ~metric:`Latency in
+      let tp_g = point ~recovery:Nic.Go_back_n ~ppm ~metric:`Tput in
+      let tp_s = point ~recovery:Nic.Selective ~ppm ~metric:`Tput in
+      tsv_row
+        [ Fmt.str "%.2f%%" (float_of_int ppm /. 10_000.); f2 lat_g; f2 lat_s; f2 tp_g; f2 tp_s ];
+      (ppm, lat_g, lat_s, tp_g, tp_s))
+    loss_rates_ppm

@@ -1,0 +1,9 @@
+(** Lossy-fabric robustness: SocksDirect inter-host 8-byte RTT and
+    throughput vs loss rate, go-back-N vs selective retransmission. *)
+
+val loss_rates_ppm : int list
+
+val point :
+  recovery:Sds_transport.Nic.recovery -> ppm:int -> metric:[ `Latency | `Tput ] -> float
+
+val run : unit -> (int * float * float * float * float) list

@@ -1,0 +1,175 @@
+(* Extension experiments beyond the paper's figures:
+
+   1. "mix": goodput on the wide-area message-size mix the paper cites
+      ([70]) — small messages dominate counts, bulk dominates bytes — across
+      all stacks, inter-host.
+   2. "loadlat": open-loop latency vs offered load for SocksDirect vs Linux
+      intra-host — the classic hockey-stick; shows where each stack's
+      service rate saturates. *)
+
+open Sds_sim
+open Common
+module Dist = Sds_workloads.Dist
+
+(* ---- 1. internet-mix goodput ---- *)
+
+(* Closed-loop stream of Internet_mix-sized messages; returns (msg/s, Gbps). *)
+let mix_point (module Api : Sds_apps.Sock_api.S) =
+  let w = make_world () in
+  let h1 = add_host w in
+  let h2 = add_host w in
+  let bytes_recv = ref 0 and msgs_sent = ref 0 in
+  let ready = ref false in
+  ignore
+    (Proc.spawn w.engine ~name:"mix-server" (fun () ->
+         let ep = Api.make_endpoint h2 ~core:1 in
+         let l = Api.listen ep ~port:7800 in
+         ready := true;
+         let c = Api.accept ep l in
+         let buf = Bytes.create 65536 in
+         let rec loop () =
+           let n = Api.recv ep c buf ~off:0 ~len:65536 in
+           if n > 0 then begin
+             bytes_recv := !bytes_recv + n;
+             loop ()
+           end
+         in
+         loop ()));
+  ignore
+    (Proc.spawn w.engine ~name:"mix-client" (fun () ->
+         while not !ready do
+           Proc.sleep_ns 1_000
+         done;
+         let ep = Api.make_endpoint h1 ~core:0 in
+         let c = Api.connect ep ~dst:h2 ~port:7800 in
+         let rng = Rng.create ~seed:31 in
+         let buf = Bytes.create 65536 in
+         let rec loop () =
+           let size = Dist.sample_size rng Dist.Internet_mix in
+           let sent = ref 0 in
+           while !sent < size do
+             sent := !sent + Api.send ep c buf ~off:!sent ~len:(size - !sent)
+           done;
+           incr msgs_sent;
+           loop ()
+         in
+         loop ()));
+  let window_ns = 10_000_000 in
+  let b0 = ref 0 and b1 = ref 0 and m0 = ref 0 and m1 = ref 0 in
+  Engine.schedule w.engine ~delay:2_000_000 (fun () ->
+      b0 := !bytes_recv;
+      m0 := !msgs_sent);
+  Engine.schedule w.engine ~delay:(2_000_000 + window_ns) (fun () ->
+      b1 := !bytes_recv;
+      m1 := !msgs_sent;
+      Engine.stop w.engine);
+  Engine.run ~until:(3_000_000 + window_ns) w.engine;
+  let secs = float_of_int window_ns /. 1e9 in
+  (float_of_int (!m1 - !m0) /. secs, float_of_int (!b1 - !b0) *. 8.0 /. 1e9 /. secs)
+
+let run_mix () =
+  header "Extension: inter-host goodput on the wide-area size mix ([70])";
+  tsv_row [ "stack"; "Mmsg/s"; "Gbps" ];
+  List.map
+    (fun stack ->
+      let (module Api : Sds_apps.Sock_api.S) = stack in
+      let msgs, gbps = mix_point stack in
+      tsv_row [ Api.name; f2 (mops msgs); f2 gbps ];
+      (Api.name, msgs, gbps))
+    [
+      ((module Sds_apps.Sock_api.Sds) : (module Sds_apps.Sock_api.S));
+      (module Sds_apps.Sock_api.Linux);
+      (module Sds_apps.Sock_api.Libvma);
+      (module Sds_apps.Sock_api.Rsocket);
+    ]
+
+(* ---- 2. latency vs offered load ---- *)
+
+(* Open-loop: a Poisson stream of 64-byte requests at [rate]; the server
+   echoes; latency measured per message by matching send timestamps. *)
+let loadlat_point (module Api : Sds_apps.Sock_api.S) ~rate_per_sec =
+  let w = make_world () in
+  let h = add_host w in
+  let stats = Stats.create () in
+  let ready = ref false in
+  ignore
+    (Proc.spawn w.engine ~name:"ll-server" (fun () ->
+         let ep = Api.make_endpoint h ~core:1 in
+         let l = Api.listen ep ~port:7801 in
+         ready := true;
+         let c = Api.accept ep l in
+         let buf = Bytes.create 64 in
+         let rec loop () =
+           let got = ref 0 in
+           let eof = ref false in
+           while !got < 64 && not !eof do
+             let n = Api.recv ep c buf ~off:!got ~len:(64 - !got) in
+             if n = 0 then eof := true else got := !got + n
+           done;
+           if not !eof then begin
+             (* Echo just the 8-byte timestamp header back. *)
+             let sent = ref 0 in
+             while !sent < 8 do
+               sent := !sent + Api.send ep c buf ~off:!sent ~len:(8 - !sent)
+             done;
+             loop ()
+           end
+         in
+         loop ()));
+  (* The sender is open-loop: it never waits for replies. *)
+  ignore
+    (Proc.spawn w.engine ~name:"ll-sender" (fun () ->
+         while not !ready do
+           Proc.sleep_ns 1_000
+         done;
+         let ep = Api.make_endpoint h ~core:0 in
+         let c = Api.connect ep ~dst:h ~port:7801 in
+         (* A separate reader proc consumes echoes and computes latency. *)
+         ignore
+           (Proc.spawn w.engine ~name:"ll-reader" (fun () ->
+                let buf = Bytes.create 8 in
+                let rec loop () =
+                  let got = ref 0 in
+                  while !got < 8 do
+                    let n = Api.recv ep c buf ~off:!got ~len:(8 - !got) in
+                    if n = 0 then failwith "ll-reader: eof";
+                    got := !got + n
+                  done;
+                  let t_sent = Int64.to_int (Bytes.get_int64_le buf 0) in
+                  Stats.add stats (float_of_int (Engine.now w.engine - t_sent));
+                  loop ()
+                in
+                loop ()));
+         let rng = Rng.create ~seed:33 in
+         let buf = Bytes.create 64 in
+         let rec send_loop () =
+           Proc.sleep_ns (Dist.poisson_gap_ns rng ~rate_per_sec);
+           Bytes.set_int64_le buf 0 (Int64.of_int (Engine.now w.engine));
+           let sent = ref 0 in
+           while !sent < 64 do
+             sent := !sent + Api.send ep c buf ~off:!sent ~len:(64 - !sent)
+           done;
+           send_loop ()
+         in
+         send_loop ()));
+  Engine.run ~until:30_000_000 w.engine;
+  Stats.summarize stats
+
+let run_loadlat () =
+  header "Extension: 64-byte request latency vs offered load (intra-host, open loop)";
+  tsv_row [ "offered Mreq/s"; "SD mean us"; "SD p99 us"; "Linux mean us"; "Linux p99 us" ];
+  List.map
+    (fun rate ->
+      let sd = loadlat_point (module Sds_apps.Sock_api.Sds) ~rate_per_sec:rate in
+      let lx_rate = min rate 500_000.0 (* beyond Linux's service rate the queue diverges *) in
+      let lx = loadlat_point (module Sds_apps.Sock_api.Linux) ~rate_per_sec:lx_rate in
+      tsv_row
+        [
+          Fmt.str "%.2f" (rate /. 1e6);
+          f2 (ns_to_us sd.Stats.mean_v);
+          f2 (ns_to_us sd.Stats.p99);
+          f2 (ns_to_us lx.Stats.mean_v) ^ Fmt.str " (@%.2fM)" (lx_rate /. 1e6);
+          f2 (ns_to_us lx.Stats.p99);
+        ];
+      (rate, sd, lx))
+    [ 100_000.; 500_000.; 2_000_000.; 8_000_000.; 16_000_000. ]

@@ -1,0 +1,12 @@
+(** Extension experiments: goodput on the wide-area message-size mix, and
+    open-loop latency vs offered load. *)
+
+val mix_point : (module Sds_apps.Sock_api.S) -> float * float
+(** [(messages/s, Gbps)] on the Internet_mix distribution, inter-host. *)
+
+val run_mix : unit -> (string * float * float) list
+
+val loadlat_point : (module Sds_apps.Sock_api.S) -> rate_per_sec:float -> Sds_sim.Stats.summary
+(** Latency distribution of 64-byte requests at a Poisson offered load. *)
+
+val run_loadlat : unit -> (float * Sds_sim.Stats.summary * Sds_sim.Stats.summary) list

@@ -1,0 +1,58 @@
+(* Performance isolation (Table 3's QoS row): two inter-host flows share a
+   NIC; shaping one on its QP must cap that flow and leave the other's
+   bandwidth share intact — the "QoS offloaded to the NIC" property. *)
+
+open Sds_sim
+open Sds_transport
+open Common
+
+(* Two 4 KiB streaming flows for [window_ns]; flow A optionally shaped.
+   Returns (A Gbps, B Gbps). *)
+let two_flows ~shape_a =
+  let w = make_world () in
+  let h1 = add_host w in
+  let h2 = add_host w in
+  let n1 = Host.nic h1 and n2 = Host.nic h2 in
+  let cq1 = Nic.create_cq n1 and cq2 = Nic.create_cq n2 in
+  let recv_a = ref 0 and recv_b = ref 0 in
+  let spawn_flow name qp counter =
+    ignore
+      (Proc.spawn w.engine ~name (fun () ->
+           let payload = Bytes.make 4096 'f' in
+           let rec loop i =
+             Nic.wait_send_capacity qp;
+             Proc.sleep_ns 100 (* sender CPU per write *);
+             Nic.write_imm qp (Msg.data (Bytes.copy payload)) ~imm:i;
+             loop (i + 1)
+           in
+           ignore counter;
+           loop 1))
+  in
+  let qa, pa = Nic.connect_qps ~charge_setup:false n1 n2 ~scq_a:cq1 ~rcq_a:cq1 ~scq_b:cq2 ~rcq_b:cq2 in
+  let qb, pb = Nic.connect_qps ~charge_setup:false n1 n2 ~scq_a:cq1 ~rcq_a:cq1 ~scq_b:cq2 ~rcq_b:cq2 in
+  Nic.set_remote_sink pa (fun m -> recv_a := !recv_a + Msg.payload_len m);
+  Nic.set_remote_sink pb (fun m -> recv_b := !recv_b + Msg.payload_len m);
+  if shape_a then Nic.set_rate_limit qa ~bytes_per_sec:1.25e9 ~burst_bytes:65536;
+  spawn_flow "qos-a" qa recv_a;
+  spawn_flow "qos-b" qb recv_b;
+  let window_ns = 5_000_000 in
+  let a0 = ref 0 and b0 = ref 0 and a1 = ref 0 and b1 = ref 0 in
+  Engine.schedule w.engine ~delay:1_000_000 (fun () ->
+      a0 := !recv_a;
+      b0 := !recv_b);
+  Engine.schedule w.engine ~delay:(1_000_000 + window_ns) (fun () ->
+      a1 := !recv_a;
+      b1 := !recv_b;
+      Engine.stop w.engine);
+  Engine.run ~until:(2_000_000 + window_ns) w.engine;
+  let gbps d = float_of_int d *. 8.0 /. float_of_int window_ns in
+  (gbps (!a1 - !a0), gbps (!b1 - !b0))
+
+let run () =
+  header "QoS: two 4 KiB flows sharing a NIC, flow A shaped to 10 Gbps";
+  tsv_row [ "config"; "flow A Gbps"; "flow B Gbps" ];
+  let a_free, b_free = two_flows ~shape_a:false in
+  tsv_row [ "unshaped"; f2 a_free; f2 b_free ];
+  let a_cap, b_cap = two_flows ~shape_a:true in
+  tsv_row [ "A shaped"; f2 a_cap; f2 b_cap ];
+  ((a_free, b_free), (a_cap, b_cap))

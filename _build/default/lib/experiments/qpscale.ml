@@ -1,0 +1,35 @@
+(* §6 "scale to many connections": inter-host small-message latency as the
+   number of live QPs grows past the NIC's on-chip QP-state cache.  With
+   thousands of connections each operation risks a state fetch over PCIe —
+   the cache-miss problem the paper discusses (and expects bigger NIC
+   memories to relieve). *)
+
+open Sds_sim
+open Sds_transport
+open Common
+
+let qp_counts = [ 16; 256; 1024; 2048; 4096; 8192 ]
+
+let point ~qps =
+  let w = make_world () in
+  let h1 = add_host w in
+  let h2 = add_host w in
+  let n1 = Host.nic h1 and n2 = Host.nic h2 in
+  let cq1 = Nic.create_cq n1 and cq2 = Nic.create_cq n2 in
+  (* Background connections occupying NIC QP state. *)
+  for _ = 1 to qps - 1 do
+    let _qa, qb = Nic.connect_qps ~charge_setup:false n1 n2 ~scq_a:cq1 ~rcq_a:cq1 ~scq_b:cq2 ~rcq_b:cq2 in
+    Nic.set_remote_sink qb ignore
+  done;
+  let s = pingpong (module Raw_stacks.Raw_rdma) w ~client_host:h1 ~server_host:h2 ~size:8 ~rounds:100 ~warmup:10 in
+  ns_to_us s.Stats.mean_v
+
+let run () =
+  header "QP scalability: 8-byte RDMA write RTT vs live QPs (NIC cache pressure, §6)";
+  tsv_row [ "live QPs"; "RTT (us)" ];
+  List.map
+    (fun qps ->
+      let v = point ~qps in
+      tsv_row [ string_of_int qps; f2 v ];
+      (qps, v))
+    qp_counts

@@ -1,0 +1,8 @@
+(** §6: 8-byte RDMA write RTT as live QPs overflow the NIC's QP-state
+    cache. *)
+
+val qp_counts : int list
+val point : qps:int -> float
+(** Mean RTT in microseconds with [qps] live QPs. *)
+
+val run : unit -> (int * float) list

@@ -1,0 +1,7 @@
+(** Tables 1-4 of the paper: overhead inventory, micro-operation costs,
+    the feature matrix, and the per-stack latency breakdown. *)
+
+val run_table1 : unit -> unit
+val run_table2 : unit -> unit
+val run_table3 : unit -> unit
+val run_table4 : unit -> unit

@@ -1,0 +1,1 @@
+lib/kernel/fd_table.ml: Array Sds_sim

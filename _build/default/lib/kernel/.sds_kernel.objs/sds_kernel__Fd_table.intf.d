@@ -1,0 +1,1 @@
+lib/kernel/fd_table.mli:

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Cost Engine Fd_table Hashtbl Host Kstream List Option Proc Queue Sds_sim Sds_transport Waitq

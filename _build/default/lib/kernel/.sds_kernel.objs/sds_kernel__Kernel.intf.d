@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Bytes Fd_table Host Kstream Queue Sds_sim Sds_transport Waitq

@@ -1,0 +1,1 @@
+lib/kernel/kstream.ml: Bytes Cost Engine List Proc Queue Sds_sim Waitq

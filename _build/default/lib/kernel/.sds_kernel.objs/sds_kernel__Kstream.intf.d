@@ -1,0 +1,1 @@
+lib/kernel/kstream.mli: Bytes Cost Engine Sds_sim Waitq

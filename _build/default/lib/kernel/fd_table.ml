@@ -1,0 +1,90 @@
+(* Kernel-style file-descriptor table.
+
+   Linux always allocates the lowest available FD — applications such as
+   Redis and Memcached rely on this (§2.1.4), so both the kernel model and
+   libsd's remapping table preserve it.  Lookup is O(1); allocation pops the
+   lowest recycled descriptor first. *)
+
+module Heap = Sds_sim.Heap
+
+type 'a t = {
+  mutable entries : 'a option array;
+  (* Min-heap of recycled descriptors below [next_fresh]. *)
+  recycled : int Heap.t;
+  mutable next_fresh : int;
+  first_fd : int;
+}
+
+let create ?(first_fd = 3) () =
+  {
+    entries = Array.make 64 None;
+    recycled = Heap.create ~less:(fun a b -> a < b) ~dummy:(-1) ();
+    next_fresh = first_fd;
+    first_fd;
+  }
+
+let ensure_capacity t fd =
+  if fd >= Array.length t.entries then begin
+    let bigger = Array.make (max (2 * Array.length t.entries) (fd + 1)) None in
+    Array.blit t.entries 0 bigger 0 (Array.length t.entries);
+    t.entries <- bigger
+  end
+
+(* Allocate the lowest available descriptor and bind it to [v]. *)
+let alloc t v =
+  let fd =
+    match Heap.pop t.recycled with
+    | Some fd -> fd
+    | None ->
+      let fd = t.next_fresh in
+      t.next_fresh <- t.next_fresh + 1;
+      fd
+  in
+  ensure_capacity t fd;
+  t.entries.(fd) <- Some v;
+  fd
+
+(* Bind a specific descriptor (dup2-style); replaces any existing binding. *)
+let bind t fd v =
+  if fd < 0 then invalid_arg "Fd_table.bind: negative fd";
+  ensure_capacity t fd;
+  (* Keep allocation invariants: descriptors at or above next_fresh must be
+     marked used, holes below it recycled. *)
+  if fd >= t.next_fresh then begin
+    for d = t.next_fresh to fd - 1 do
+      Heap.push t.recycled d
+    done;
+    t.next_fresh <- fd + 1
+  end;
+  t.entries.(fd) <- Some v
+
+let find t fd =
+  if fd < 0 || fd >= Array.length t.entries then None else t.entries.(fd)
+
+let mem t fd = find t fd <> None
+
+let close t fd =
+  match find t fd with
+  | None -> false
+  | Some _ ->
+    t.entries.(fd) <- None;
+    Heap.push t.recycled fd;
+    true
+
+let iter t f =
+  Array.iteri (fun fd -> function Some v -> f fd v | None -> ()) t.entries
+
+let fold t f acc =
+  let acc = ref acc in
+  iter t (fun fd v -> acc := f fd v !acc);
+  !acc
+
+let count t = fold t (fun _ _ n -> n + 1) 0
+
+(* Snapshot for fork: the child gets a copy-on-write image of the table. *)
+let copy t =
+  let recycled = Heap.create ~less:(fun a b -> a < b) ~dummy:(-1) () in
+  let fresh = { entries = Array.copy t.entries; recycled; next_fresh = t.next_fresh; first_fd = t.first_fd } in
+  (* Rebuild the recycle heap from holes. *)
+  Array.iteri (fun fd v -> if v = None && fd >= t.first_fd && fd < t.next_fresh then Heap.push recycled fd) t.entries;
+  fresh

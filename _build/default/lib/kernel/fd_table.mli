@@ -1,0 +1,27 @@
+(** Kernel-style file-descriptor table with Linux's lowest-free-FD
+    allocation semantics, which applications like Redis rely on (§2.1.4). *)
+
+type 'a t
+
+val create : ?first_fd:int -> unit -> 'a t
+(** [first_fd] defaults to 3 (0-2 are stdio). *)
+
+val alloc : 'a t -> 'a -> int
+(** Bind [v] to the lowest available descriptor. *)
+
+val bind : 'a t -> int -> 'a -> unit
+(** Bind a specific descriptor (dup2-style); replaces any existing binding
+    and keeps the lowest-free invariant for later allocations. *)
+
+val find : 'a t -> int -> 'a option
+val mem : 'a t -> int -> bool
+
+val close : 'a t -> int -> bool
+(** [false] if the descriptor was not open. *)
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+val fold : 'a t -> (int -> 'a -> 'b -> 'b) -> 'b -> 'b
+val count : 'a t -> int
+
+val copy : 'a t -> 'a t
+(** Snapshot for fork: entries shared, table private. *)

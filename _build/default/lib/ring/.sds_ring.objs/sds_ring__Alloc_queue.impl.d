@@ -1,0 +1,1 @@
+lib/ring/alloc_queue.ml: Array Bytes

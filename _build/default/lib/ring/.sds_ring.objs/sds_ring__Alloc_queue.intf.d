@@ -1,0 +1,1 @@
+lib/ring/alloc_queue.mli: Bytes

@@ -1,0 +1,1 @@
+lib/ring/locked_queue.ml: Bytes Mutex Queue

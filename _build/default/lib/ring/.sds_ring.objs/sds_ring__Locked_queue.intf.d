@@ -1,0 +1,1 @@
+lib/ring/locked_queue.mli: Bytes

@@ -1,0 +1,1 @@
+lib/ring/spsc_ring.ml: Bytes Int32

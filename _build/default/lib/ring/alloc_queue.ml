@@ -1,0 +1,54 @@
+(* Baseline: the traditional NIC-style ring of Figure 4a — a fixed-size ring
+   of metadata entries, each pointing at a freshly allocated MTU-sized packet
+   buffer.  Every message pays a buffer allocate + free and suffers internal
+   fragmentation for sub-MTU payloads (§2.1.2).  Used by the Bechamel suite
+   to measure buffer-management overhead against the back-to-back ring. *)
+
+type entry = { buf : Bytes.t; mutable len : int }
+
+type t = {
+  entries : entry option array;
+  mutable head : int;
+  mutable tail : int;
+  buffer_size : int;
+  mutable enqueued : int;
+  mutable dequeued : int;
+  mutable bytes_wasted : int;  (** internal fragmentation accumulator *)
+}
+
+let create ?(slots = 1024) ?(buffer_size = 4096) () =
+  { entries = Array.make slots None; head = 0; tail = 0; buffer_size; enqueued = 0; dequeued = 0; bytes_wasted = 0 }
+
+let slots t = Array.length t.entries
+let length t = t.tail - t.head
+
+let try_enqueue t src ~off ~len =
+  if len > t.buffer_size then invalid_arg "Alloc_queue.try_enqueue: larger than MTU buffer";
+  if t.tail - t.head >= Array.length t.entries then false
+  else begin
+    (* The allocation below is the point of this baseline: one fresh
+       MTU-sized buffer per packet. *)
+    let buf = Bytes.create t.buffer_size in
+    Bytes.blit src off buf 0 len;
+    t.entries.(t.tail mod Array.length t.entries) <- Some { buf; len };
+    t.tail <- t.tail + 1;
+    t.enqueued <- t.enqueued + 1;
+    t.bytes_wasted <- t.bytes_wasted + (t.buffer_size - len);
+    true
+  end
+
+let try_dequeue t =
+  if t.head = t.tail then None
+  else begin
+    let idx = t.head mod Array.length t.entries in
+    match t.entries.(idx) with
+    | None -> None
+    | Some e ->
+      t.entries.(idx) <- None;
+      t.head <- t.head + 1;
+      t.dequeued <- t.dequeued + 1;
+      (* Copy out, then drop the buffer (the "free" half of alloc/free). *)
+      Some (Bytes.sub e.buf 0 e.len)
+  end
+
+let bytes_wasted t = t.bytes_wasted

@@ -1,0 +1,18 @@
+(** Baseline NIC-style ring (Figure 4a): fixed metadata slots, one freshly
+    allocated MTU-sized buffer per packet, internal fragmentation for
+    sub-MTU payloads (§2.1.2). *)
+
+type t
+
+val create : ?slots:int -> ?buffer_size:int -> unit -> t
+val slots : t -> int
+val length : t -> int
+
+val try_enqueue : t -> Bytes.t -> off:int -> len:int -> bool
+(** [false] when all slots are occupied.  Raises [Invalid_argument] when the
+    payload exceeds the per-packet buffer size. *)
+
+val try_dequeue : t -> Bytes.t option
+
+val bytes_wasted : t -> int
+(** Accumulated internal fragmentation. *)

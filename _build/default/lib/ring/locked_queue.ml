@@ -1,0 +1,44 @@
+(* Baseline: a multi-producer/multi-consumer message queue protected by a
+   mutex — the "socket FD lock" design every operation of Linux, LibVMA and
+   RSocket pays (§2.1.1).  Used by the Bechamel suite to measure the real
+   cost gap against the lock-free SPSC ring on identical workloads. *)
+
+type t = {
+  lock : Mutex.t;
+  q : Bytes.t Queue.t;
+  capacity_bytes : int;
+  mutable used : int;
+  mutable enqueued : int;
+  mutable dequeued : int;
+}
+
+let create ?(capacity_bytes = 64 * 1024) () =
+  { lock = Mutex.create (); q = Queue.create (); capacity_bytes; used = 0; enqueued = 0; dequeued = 0 }
+
+let try_enqueue t src ~off ~len =
+  Mutex.lock t.lock;
+  let ok = t.used + len <= t.capacity_bytes in
+  if ok then begin
+    t.q |> Queue.push (Bytes.sub src off len);
+    t.used <- t.used + len;
+    t.enqueued <- t.enqueued + 1
+  end;
+  Mutex.unlock t.lock;
+  ok
+
+let try_dequeue t =
+  Mutex.lock t.lock;
+  let r = Queue.take_opt t.q in
+  (match r with
+  | Some b ->
+    t.used <- t.used - Bytes.length b;
+    t.dequeued <- t.dequeued + 1
+  | None -> ());
+  Mutex.unlock t.lock;
+  r
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.q in
+  Mutex.unlock t.lock;
+  n

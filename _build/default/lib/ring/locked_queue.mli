@@ -1,0 +1,13 @@
+(** Baseline message queue protected by a mutex on every operation — the
+    per-FD-lock design of §2.1.1, measured against the lock-free SPSC ring
+    by the Bechamel suite. *)
+
+type t
+
+val create : ?capacity_bytes:int -> unit -> t
+
+val try_enqueue : t -> Bytes.t -> off:int -> len:int -> bool
+(** [false] when the byte capacity would be exceeded. *)
+
+val try_dequeue : t -> Bytes.t option
+val length : t -> int

@@ -1,0 +1,155 @@
+(* The per-socket allocation-free ring buffer of §4.2.
+
+   Messages are stored back-to-back in one contiguous byte ring: an 8-byte
+   header (4-byte length, 2-byte flags, 2-byte checksum of the header) is
+   followed immediately by the payload, padded to 8-byte alignment so header
+   reads are aligned.  There is no per-packet buffer allocation and no
+   metadata ring: enqueue is a bounds check plus two blits.
+
+   Flow control is credit-based exactly as in the paper: the sender spends
+   [credits] bytes per enqueue; the receiver counts consumed bytes and posts
+   a credit return once it crosses half the ring, which the transport layer
+   delivers back to the sender (in shared memory this is a single flag write;
+   under RDMA it rides an RDMA write).  [dequeue ~auto_credit:true] performs
+   the return synchronously, which is what a bare in-process queue does.
+
+   Single-producer / single-consumer by design — SocksDirect guarantees one
+   active sender and one active receiver per direction via tokens, which is
+   precisely what removes the per-operation lock. *)
+
+let header_bytes = 8
+let align = 8
+
+type t = {
+  buf : Bytes.t;
+  size : int;  (** power of two *)
+  mask : int;
+  mutable head : int;  (** consumer position (absolute, monotonically grows) *)
+  mutable tail : int;  (** producer position (absolute) *)
+  mutable credits : int;  (** producer-side view of free bytes *)
+  mutable pending_return : int;  (** consumer-side bytes not yet returned *)
+  mutable enqueued : int;
+  mutable dequeued : int;
+}
+
+let default_size = 64 * 1024
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ?(size = default_size) () =
+  if not (is_power_of_two size) then invalid_arg "Spsc_ring.create: size must be a power of two";
+  if size < 64 then invalid_arg "Spsc_ring.create: size too small";
+  {
+    buf = Bytes.create size;
+    size;
+    mask = size - 1;
+    head = 0;
+    tail = 0;
+    credits = size;
+    pending_return = 0;
+    enqueued = 0;
+    dequeued = 0;
+  }
+
+let capacity t = t.size
+let credits t = t.credits
+let used t = t.tail - t.head
+let is_empty t = t.head = t.tail
+let enqueued t = t.enqueued
+let dequeued t = t.dequeued
+
+let record_bytes len = (header_bytes + len + align - 1) land lnot (align - 1)
+
+(* Wrap-around blit of [len] bytes from [src] into the ring at absolute
+   position [pos]. *)
+let blit_in t src src_off pos len =
+  let off = pos land t.mask in
+  let first = min len (t.size - off) in
+  Bytes.blit src src_off t.buf off first;
+  if first < len then Bytes.blit src (src_off + first) t.buf 0 (len - first)
+
+let blit_out t pos dst dst_off len =
+  let off = pos land t.mask in
+  let first = min len (t.size - off) in
+  Bytes.blit t.buf off dst dst_off first;
+  if first < len then Bytes.blit t.buf 0 dst (dst_off + first) (len - first)
+
+let header_checksum len flags = (len lxor (len lsr 13) lxor flags) land 0xFFFF
+
+let write_header t pos len flags =
+  let hdr = Bytes.create header_bytes in
+  Bytes.set_int32_le hdr 0 (Int32.of_int len);
+  Bytes.set_uint16_le hdr 4 flags;
+  Bytes.set_uint16_le hdr 6 (header_checksum len flags);
+  blit_in t hdr 0 pos header_bytes
+
+let read_header t pos =
+  let hdr = Bytes.create header_bytes in
+  blit_out t pos hdr 0 header_bytes;
+  let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+  let flags = Bytes.get_uint16_le hdr 4 in
+  let sum = Bytes.get_uint16_le hdr 6 in
+  if sum <> header_checksum len flags then None else Some (len, flags)
+
+(* Attempt to enqueue [len] bytes of [src] (with [flags] in the header).
+   Returns [false] when the sender lacks credits — never overwrites. *)
+let try_enqueue ?(flags = 0) t src ~off ~len =
+  if len < 0 || off < 0 || off + len > Bytes.length src then invalid_arg "Spsc_ring.try_enqueue";
+  let need = record_bytes len in
+  if need > t.size / 2 then invalid_arg "Spsc_ring.try_enqueue: message larger than half ring";
+  if need > t.credits then false
+  else begin
+    (* Payload first, then the header: the consumer polls the header, so
+       total-store-order (or the RDMA completion) guarantees it never reads
+       a half-written payload (§4.2 consistency argument). *)
+    blit_in t src (off + 0) (t.tail + header_bytes) len;
+    write_header t t.tail len flags;
+    t.tail <- t.tail + need;
+    t.credits <- t.credits - need;
+    t.enqueued <- t.enqueued + 1;
+    true
+  end
+
+type dequeued = { data : Bytes.t; flags : int }
+
+(* Credit return the consumer owes the producer; the transport delivers it by
+   calling [return_credits].  Returns 0 until half the ring has been
+   consumed, matching the paper's batched credit-return flag. *)
+let take_credit_return t =
+  if t.pending_return >= t.size / 2 then begin
+    let r = t.pending_return in
+    t.pending_return <- 0;
+    r
+  end
+  else 0
+
+let return_credits t n =
+  if n < 0 || t.credits + n > t.size then invalid_arg "Spsc_ring.return_credits";
+  t.credits <- t.credits + n
+
+let try_dequeue ?(auto_credit = false) t =
+  if t.head = t.tail then None
+  else
+    match read_header t t.head with
+    | None -> None
+    | Some (len, flags) ->
+      let data = Bytes.create len in
+      blit_out t (t.head + header_bytes) data 0 len;
+      let consumed = record_bytes len in
+      t.head <- t.head + consumed;
+      t.pending_return <- t.pending_return + consumed;
+      t.dequeued <- t.dequeued + 1;
+      if auto_credit then begin
+        let r = t.pending_return in
+        t.pending_return <- 0;
+        t.credits <- t.credits + r
+      end;
+      Some { data; flags }
+
+(* Peek the length of the next message without consuming it. *)
+let peek_len t =
+  if t.head = t.tail then None
+  else
+    match read_header t t.head with
+    | None -> None
+    | Some (len, _) -> Some len

@@ -1,0 +1,47 @@
+(** The per-socket allocation-free ring buffer of §4.2.
+
+    Single-producer / single-consumer; messages stored back-to-back with an
+    8-byte header; credit-based flow control with batched credit return.
+
+    Invariant: [credits + pending-return + used = capacity], and a message
+    occupies at most half the ring, so a blocked sender always becomes
+    unblocked once the consumer drains the ring (no credit deadlock). *)
+
+type t
+
+val header_bytes : int
+
+val create : ?size:int -> unit -> t
+(** [size] must be a power of two [>= 64]; default 64 KiB. *)
+
+val capacity : t -> int
+val credits : t -> int
+(** Producer-side view of free bytes. *)
+
+val used : t -> int
+val is_empty : t -> bool
+val enqueued : t -> int
+val dequeued : t -> int
+
+val record_bytes : int -> int
+(** Ring bytes occupied by a message of the given payload length. *)
+
+val try_enqueue : ?flags:int -> t -> Bytes.t -> off:int -> len:int -> bool
+(** [false] when the sender lacks credits.  Raises [Invalid_argument] when
+    the message alone exceeds half the ring (the zero-copy path must be used
+    for those). *)
+
+type dequeued = { data : Bytes.t; flags : int }
+
+val try_dequeue : ?auto_credit:bool -> t -> dequeued option
+(** [auto_credit] returns credits synchronously (bare in-process queue); the
+    default leaves them pending for the transport to deliver. *)
+
+val take_credit_return : t -> int
+(** Credits the consumer owes; non-zero only once half the ring has been
+    consumed (batched credit-return flag). *)
+
+val return_credits : t -> int -> unit
+(** Deliver a credit return to the producer side. *)
+
+val peek_len : t -> int option

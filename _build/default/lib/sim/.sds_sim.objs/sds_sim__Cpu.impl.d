@@ -1,0 +1,1 @@
+lib/sim/cpu.ml: Cost Engine Proc Queue

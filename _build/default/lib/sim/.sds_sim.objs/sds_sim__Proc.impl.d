@@ -1,0 +1,1 @@
+lib/sim/proc.ml: Effect Engine Hashtbl List Obj

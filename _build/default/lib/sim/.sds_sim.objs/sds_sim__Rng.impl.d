@@ -1,0 +1,1 @@
+lib/sim/rng.ml: Bytes Char Int64

@@ -1,0 +1,95 @@
+(* A simulated CPU core shared by cooperatively-scheduled polling threads.
+
+   A single baton circulates: only its holder is considered to be on the
+   core.  [yield_turn] re-queues the caller and hands the baton to the
+   oldest waiter, charging the cooperative context-switch cost from Table 2
+   per hop (or only a cheap poll-gap spin when the thread is alone).  This
+   is exactly the §4.4 time-sharing mechanism, and it produces Figure 10's
+   linear latency growth with processes per core.
+
+   A holder about to block on an external event must call [release] so the
+   rotation continues without it (interrupt mode, §4.4); dead procs are
+   skipped when the baton reaches them. *)
+
+type state =
+  | Idle  (** no baton in flight *)
+  | Scheduled  (** baton handed over, switch in progress *)
+  | Held of int  (** proc id of the current holder *)
+
+type t = {
+  engine : Engine.t;
+  id : int;
+  switch_cost : int;
+  spin_cost : int;
+  turn_q : (Proc.t * (unit -> unit)) Queue.t;
+  mutable state : state;
+  mutable last_holder : int;  (** who ran last; switching back to them is free *)
+  mutable members : int;
+}
+
+let create engine ~id ~cost =
+  {
+    engine;
+    id;
+    switch_cost = cost.Cost.yield_switch;
+    spin_cost = 10 (* polling one's own queues between turns *);
+    turn_q = Queue.create ();
+    state = Idle;
+    last_holder = -1;
+    members = 0;
+  }
+
+let id t = t.id
+let members t = t.members
+let enter t = t.members <- t.members + 1
+let leave t = t.members <- max 0 (t.members - 1)
+
+(* Hand the baton to the oldest live waiter. *)
+let rec dispatch t ~prev =
+  match Queue.take_opt t.turn_q with
+  | None -> t.state <- Idle
+  | Some (p, wake) ->
+    if not (Proc.is_alive p) then dispatch t ~prev
+    else begin
+      let pid = Proc.id p in
+      t.state <- Scheduled;
+      let delay = if prev = Some pid then t.spin_cost else t.switch_cost in
+      Engine.schedule t.engine ~delay (fun () ->
+          if Proc.is_alive p then begin
+            t.state <- Held pid;
+            t.last_holder <- pid;
+            wake ()
+          end
+          else dispatch t ~prev:None)
+    end
+
+(* Give up the core until the rotation returns to us. *)
+let yield_turn t =
+  Proc.suspend (fun p wake ->
+      let pid = Proc.id p in
+      Queue.push (p, wake) t.turn_q;
+      match t.state with
+      | Held h when h = pid -> dispatch t ~prev:(Some pid)
+      | Idle ->
+        (* An idle core still warm from this proc costs no switch. *)
+        dispatch t ~prev:(if t.last_holder = pid then Some pid else None)
+      | Held _ | Scheduled -> ())
+
+(* Pass the baton onward without re-entering the rotation; only the holder
+   identified by [pid] may do so. *)
+let release_for t ~pid =
+  match t.state with
+  | Held h when h = pid ->
+    (* If the released baton comes back to the same proc there is no real
+       context switch — releasing to run a little application code and then
+       polling again costs only the spin gap. *)
+    dispatch t ~prev:(Some pid)
+  | Held _ | Idle | Scheduled -> ()
+
+(* [release] from inside the running proc. *)
+let release t =
+  let p = Proc.self () in
+  release_for t ~pid:(Proc.id p)
+
+(* Busy-occupy the core for [ns] of work. *)
+let work _t ns = if ns > 0 then Proc.sleep_ns ns

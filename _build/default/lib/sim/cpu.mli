@@ -1,0 +1,29 @@
+(** A simulated CPU core shared by cooperatively-scheduled polling threads
+    (the §4.4 [sched_yield] time-sharing mechanism). *)
+
+type t
+
+val create : Engine.t -> id:int -> cost:Cost.t -> t
+val id : t -> int
+
+val members : t -> int
+(** Number of threads currently bound to this core. *)
+
+val enter : t -> unit
+val leave : t -> unit
+
+val yield_turn : t -> unit
+(** Give up the core until the rotation returns; one cooperative context
+    switch per hop, or a cheap spin when alone.  Must run inside a proc. *)
+
+val release : t -> unit
+(** Pass the baton onward without re-entering the rotation (used before
+    blocking in interrupt mode).  Must run inside a proc; no-op when the
+    caller is not the holder. *)
+
+val release_for : t -> pid:int -> unit
+(** Like [release] but with an explicit proc id; safe outside a proc
+    context (thread-exit hooks). *)
+
+val work : t -> int -> unit
+(** [work t ns] occupies the core for [ns] nanoseconds of CPU work. *)

@@ -1,0 +1,70 @@
+(* Array-backed binary min-heap, specialized by a client-supplied ordering.
+
+   Used as the event queue of the discrete-event engine; also reused by the
+   NIC model for retransmission timers.  Not thread-safe: the whole simulator
+   is single-domain by construction. *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+  less : 'a -> 'a -> bool;
+  dummy : 'a;
+}
+
+let create ?(capacity = 256) ~less ~dummy () =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity dummy; size = 0; less; dummy }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) t.dummy in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.less t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.less t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && t.less t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t x =
+  if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- t.dummy;
+    if t.size > 0 then sift_down t 0;
+    Some top
+  end
+
+let clear t =
+  Array.fill t.data 0 t.size t.dummy;
+  t.size <- 0

@@ -1,0 +1,19 @@
+(** Array-backed binary min-heap.
+
+    The ordering is supplied at creation time via [less]; [dummy] is a value
+    used to fill unused slots (it is never returned). *)
+
+type 'a t
+
+val create : ?capacity:int -> less:('a -> 'a -> bool) -> dummy:'a -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** [peek t] returns the minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop t] removes and returns the minimum element. *)
+
+val clear : 'a t -> unit

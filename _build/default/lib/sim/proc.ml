@@ -1,0 +1,118 @@
+(* Simulated processes / threads as effect-handler coroutines.
+
+   A proc is a cooperative fiber driven by the discrete-event engine: effects
+   performed inside the fiber (sleep, suspend, yield) capture the one-shot
+   continuation and hand it to the engine, so blocking socket calls read
+   naturally in direct style while time only advances in the simulator. *)
+
+type state = Running | Blocked | Dead
+
+type t = {
+  id : int;
+  name : string;
+  engine : Engine.t;
+  mutable state : state;
+  mutable on_exit : (unit -> unit) list;
+  (* Arbitrary per-proc slots used by upper layers (current cpu, libsd
+     context, ...).  Keys are allocated by [new_key]. *)
+  slots : (int, Obj.t) Hashtbl.t;
+}
+
+type _ Effect.t +=
+  | Sleep_ns : int -> unit Effect.t
+  | Suspend : (t -> (unit -> unit) -> unit) -> unit Effect.t
+  | Self : t Effect.t
+
+exception Killed
+
+let next_id = ref 0
+
+let sleep_ns n =
+  if n < 0 then invalid_arg "Proc.sleep_ns: negative duration";
+  Effect.perform (Sleep_ns n)
+
+let suspend f = Effect.perform (Suspend f)
+let self () = Effect.perform Self
+
+(* Yield to any other event scheduled at the current instant. *)
+let pause () = sleep_ns 0
+
+let finish p =
+  p.state <- Dead;
+  let callbacks = p.on_exit in
+  p.on_exit <- [];
+  List.iter (fun f -> f ()) callbacks
+
+let spawn engine ?(name = "proc") body =
+  incr next_id;
+  let p =
+    { id = !next_id; name; engine; state = Running; on_exit = []; slots = Hashtbl.create 4 }
+  in
+  let handler =
+    {
+      Effect.Deep.retc = (fun () -> finish p);
+      exnc =
+        (fun exn ->
+          finish p;
+          match exn with
+          | Killed -> ()
+          | exn -> Engine.record_error engine exn);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep_ns n ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                Engine.schedule engine ~delay:n (fun () ->
+                    if p.state <> Dead then Effect.Deep.continue k ()
+                    else Effect.Deep.discontinue k Killed))
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                p.state <- Blocked;
+                let fired = ref false in
+                let wake () =
+                  if not !fired then begin
+                    fired := true;
+                    Engine.schedule engine ~delay:0 (fun () ->
+                        if p.state <> Dead then begin
+                          p.state <- Running;
+                          Effect.Deep.continue k ()
+                        end
+                        else Effect.Deep.discontinue k Killed)
+                  end
+                in
+                register p wake)
+          | Self -> Some (fun (k : (a, unit) Effect.Deep.continuation) -> Effect.Deep.continue k p)
+          | _ -> None);
+    }
+  in
+  Engine.schedule engine ~delay:0 (fun () -> Effect.Deep.match_with body () handler);
+  p
+
+let on_exit p f = if p.state = Dead then f () else p.on_exit <- f :: p.on_exit
+
+(* Mark the proc dead; its continuation is discontinued with [Killed] the
+   next time it would resume. *)
+let kill p = if p.state <> Dead then p.state <- Dead
+
+let is_alive p = p.state <> Dead
+let name p = p.name
+let id p = p.id
+let engine p = p.engine
+
+(* Typed per-proc slots. *)
+type 'a key = int
+
+let key_counter = ref 0
+
+let new_key () =
+  incr key_counter;
+  !key_counter
+
+let set_slot (type a) p (key : a key) (v : a) = Hashtbl.replace p.slots key (Obj.repr v)
+
+let get_slot (type a) p (key : a key) : a option =
+  match Hashtbl.find_opt p.slots key with
+  | None -> None
+  | Some o -> Some (Obj.obj o : a)

@@ -1,0 +1,42 @@
+(** Simulated processes / threads as effect-handler coroutines.
+
+    All functions except [spawn], [on_exit], [kill] and the accessors must be
+    called from inside a running proc (they perform effects). *)
+
+type t
+
+exception Killed
+(** Raised inside a proc whose [kill] was requested, at its next resumption. *)
+
+val spawn : Engine.t -> ?name:string -> (unit -> unit) -> t
+(** [spawn engine body] creates a proc that starts running [body] at the
+    current simulated instant.  Uncaught exceptions from [body] abort the
+    engine run. *)
+
+val sleep_ns : int -> unit
+(** Advance this proc's simulated time. *)
+
+val pause : unit -> unit
+(** Yield to other events scheduled at the current instant. *)
+
+val suspend : (t -> (unit -> unit) -> unit) -> unit
+(** [suspend register] blocks the proc; [register p wake] stores [wake]
+    wherever appropriate.  Calling [wake] (idempotent) resumes the proc at the
+    caller's simulated time. *)
+
+val self : unit -> t
+val on_exit : t -> (unit -> unit) -> unit
+val kill : t -> unit
+val is_alive : t -> bool
+val name : t -> string
+val id : t -> int
+val engine : t -> Engine.t
+
+(** Typed per-proc slots, used by upper layers to attach context (current
+    CPU, libsd state) to a proc. *)
+
+type 'a key
+
+val new_key : unit -> 'a key
+val set_slot : t -> 'a key -> 'a -> unit
+val get_slot : t -> 'a key -> 'a option

@@ -1,0 +1,58 @@
+(* Shared-resource service models.
+
+   [Fifo] is a single-server queue expressed as a "free-at" timeline: a user
+   starts service at [max now free_at] and advances the timeline by its
+   service time — correct FCFS queueing delays without extra processes.
+   The NIC egress link and RSocket's buffer manager are instances.
+
+   [Token_bucket] is the standard rate limiter (QoS): capacity [burst]
+   tokens refilled at [rate] per second; a debit that exceeds the balance
+   returns the wait until enough tokens accumulate. *)
+
+type fifo = { engine : Engine.t; mutable free_at : int }
+
+let fifo engine = { engine; free_at = 0 }
+
+(* Occupy the server for [service_ns]; returns the total delay (queueing +
+   service) from now until this user's service completes. *)
+let fifo_acquire t ~service_ns =
+  if service_ns < 0 then invalid_arg "Resource.fifo_acquire: negative service";
+  let now = Engine.now t.engine in
+  let start = max now t.free_at in
+  t.free_at <- start + service_ns;
+  start + service_ns - now
+
+let fifo_busy t = t.free_at > Engine.now t.engine
+
+type token_bucket = {
+  tb_engine : Engine.t;
+  rate_per_sec : float;  (** tokens per second *)
+  burst : float;
+  mutable tokens : float;
+  mutable last_refill : int;
+}
+
+let token_bucket engine ~rate_per_sec ~burst =
+  if rate_per_sec <= 0.0 || burst <= 0.0 then
+    invalid_arg "Resource.token_bucket: rate and burst must be positive";
+  { tb_engine = engine; rate_per_sec; burst; tokens = burst; last_refill = Engine.now engine }
+
+let refill t =
+  let now = Engine.now t.tb_engine in
+  let dt = float_of_int (now - t.last_refill) /. 1e9 in
+  t.tokens <- Float.min t.burst (t.tokens +. (dt *. t.rate_per_sec));
+  t.last_refill <- now
+
+(* Debit [amount] tokens; returns the nanoseconds to wait before the debit
+   is covered (0 when within the burst allowance).  The debit is recorded
+   immediately, so concurrent users queue behind each other. *)
+let debit t amount =
+  refill t;
+  let a = float_of_int amount in
+  t.tokens <- t.tokens -. a;
+  if t.tokens >= 0.0 then 0
+  else int_of_float (Float.ceil (-.t.tokens /. t.rate_per_sec *. 1e9))
+
+let balance t =
+  refill t;
+  t.tokens

@@ -1,0 +1,22 @@
+(** Shared-resource service models: a FIFO single-server queue as a
+    "free-at" timeline, and a token-bucket rate limiter (QoS). *)
+
+type fifo
+
+val fifo : Engine.t -> fifo
+
+val fifo_acquire : fifo -> service_ns:int -> int
+(** Occupy the server for [service_ns]; returns the queueing + service delay
+    from now. *)
+
+val fifo_busy : fifo -> bool
+
+type token_bucket
+
+val token_bucket : Engine.t -> rate_per_sec:float -> burst:float -> token_bucket
+
+val debit : token_bucket -> int -> int
+(** Debit tokens; returns the nanoseconds to wait before the debit is
+    covered (0 within the burst allowance). *)
+
+val balance : token_bucket -> float

@@ -1,0 +1,47 @@
+(* Deterministic splittable PRNG (splitmix64).
+
+   The whole reproduction must be deterministic: every source of randomness
+   (workload generators, work stealing choices, timing jitter) draws from a
+   seeded stream so experiments are replayable bit-for-bit. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  { state = next_int64 t }
+
+(* Uniform int in [0, bound).  Keep 62 bits so the value fits OCaml's
+   63-bit native int non-negatively. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Exponentially distributed inter-arrival, mean [mean]. *)
+let exponential t ~mean =
+  let u = float t in
+  let u = if u <= 0. then 1e-12 else u in
+  -.mean *. log u
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set b i (Char.unsafe_chr (int t 256))
+  done;
+  b

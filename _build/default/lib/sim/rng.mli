@@ -1,0 +1,26 @@
+(** Deterministic splittable PRNG (splitmix64). *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** [split t] derives an independent stream; advancing one never perturbs
+    the other, which keeps experiments deterministic under reordering. *)
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] when
+    [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean. *)
+
+val bytes : t -> int -> Bytes.t
+(** [bytes t n] is [n] uniformly random bytes (test payloads). *)

@@ -1,0 +1,95 @@
+(* Sample collection and summary statistics for experiments.
+
+   Latency series report mean and the 1%/99% percentiles exactly as the
+   paper's error bars do. *)
+
+type t = {
+  mutable samples : float array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { samples = Array.make 64 0.; len = 0; sorted = true }
+
+let clear t =
+  t.len <- 0;
+  t.sorted <- true
+
+let add t v =
+  if t.len = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.len) 0. in
+    Array.blit t.samples 0 bigger 0 t.len;
+    t.samples <- bigger
+  end;
+  t.samples.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+let count t = t.len
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.len in
+    Array.sort compare live;
+    Array.blit live 0 t.samples 0 t.len;
+    t.sorted <- true
+  end
+
+let mean t =
+  if t.len = 0 then nan
+  else begin
+    let sum = ref 0. in
+    for i = 0 to t.len - 1 do
+      sum := !sum +. t.samples.(i)
+    done;
+    !sum /. float_of_int t.len
+  end
+
+(* Nearest-rank percentile, [p] in [0, 100]. *)
+let percentile t p =
+  if t.len = 0 then nan
+  else begin
+    ensure_sorted t;
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int t.len)) in
+    let idx = max 0 (min (t.len - 1) (rank - 1)) in
+    t.samples.(idx)
+  end
+
+let min_v t = percentile t 0.
+let max_v t = if t.len = 0 then nan else (ensure_sorted t; t.samples.(t.len - 1))
+
+let stddev t =
+  if t.len < 2 then 0.
+  else begin
+    let m = mean t in
+    let acc = ref 0. in
+    for i = 0 to t.len - 1 do
+      let d = t.samples.(i) -. m in
+      acc := !acc +. (d *. d)
+    done;
+    sqrt (!acc /. float_of_int (t.len - 1))
+  end
+
+type summary = {
+  n : int;
+  mean_v : float;
+  p1 : float;
+  p50 : float;
+  p99 : float;
+  min_s : float;
+  max_s : float;
+}
+
+let summarize t =
+  {
+    n = t.len;
+    mean_v = mean t;
+    p1 = percentile t 1.;
+    p50 = percentile t 50.;
+    p99 = percentile t 99.;
+    min_s = min_v t;
+    max_s = max_v t;
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf "n=%d mean=%.2f p1=%.2f p50=%.2f p99=%.2f" s.n s.mean_v s.p1 s.p50 s.p99

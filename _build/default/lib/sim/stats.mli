@@ -1,0 +1,29 @@
+(** Sample collection and summary statistics for experiments. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+val percentile : t -> float -> float
+(** Nearest-rank percentile; argument in [\[0, 100\]]. *)
+
+val min_v : t -> float
+val max_v : t -> float
+val stddev : t -> float
+
+type summary = {
+  n : int;
+  mean_v : float;
+  p1 : float;
+  p50 : float;
+  p99 : float;
+  min_s : float;
+  max_s : float;
+}
+
+val summarize : t -> summary
+val pp_summary : Format.formatter -> summary -> unit

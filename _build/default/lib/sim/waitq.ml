@@ -1,0 +1,70 @@
+(* Condition-variable-like wait queue for simulated procs.
+
+   Wakers are delivered in FIFO order.  [wait] optionally times out, which is
+   how poll loops with deadlines are built. *)
+
+type waiter = {
+  wake : unit -> unit;
+  mutable done_ : bool;
+  mutable timed_out : bool;
+}
+
+type t = { q : waiter Queue.t; mutable signals_pending : int }
+
+let create () = { q = Queue.create (); signals_pending = 0 }
+
+let waiting t =
+  Queue.fold (fun acc w -> if w.done_ then acc else acc + 1) 0 t.q
+
+type outcome = Signaled | Timeout
+
+let wait ?timeout_ns t =
+  (* A signal that raced ahead of the wait is consumed immediately: this
+     keeps the classic produce-then-wake pattern free of lost wakeups. *)
+  if t.signals_pending > 0 then begin
+    t.signals_pending <- t.signals_pending - 1;
+    Signaled
+  end
+  else begin
+    let cell = ref Signaled in
+    Proc.suspend (fun p wake ->
+        let w = { wake; done_ = false; timed_out = false } in
+        Queue.push w t.q;
+        match timeout_ns with
+        | None -> ()
+        | Some d ->
+          Engine.schedule (Proc.engine p) ~delay:d (fun () ->
+              if not w.done_ then begin
+                w.done_ <- true;
+                w.timed_out <- true;
+                cell := Timeout;
+                wake ()
+              end));
+    !cell
+  end
+
+let rec signal t =
+  match Queue.take_opt t.q with
+  | None -> t.signals_pending <- t.signals_pending + 1
+  | Some w ->
+    if w.done_ then signal t
+    else begin
+      w.done_ <- true;
+      w.wake ()
+    end
+
+(* Wake every waiter currently queued; does not bank pending signals. *)
+let broadcast t =
+  let rec drain () =
+    match Queue.take_opt t.q with
+    | None -> ()
+    | Some w ->
+      if not w.done_ then begin
+        w.done_ <- true;
+        w.wake ()
+      end;
+      drain ()
+  in
+  drain ()
+
+let clear_pending t = t.signals_pending <- 0

@@ -1,0 +1,24 @@
+(** FIFO wait queue (condition variable) for simulated procs. *)
+
+type t
+
+type outcome = Signaled | Timeout
+
+val create : unit -> t
+
+val waiting : t -> int
+(** Number of procs currently blocked on the queue. *)
+
+val wait : ?timeout_ns:int -> t -> outcome
+(** Block the calling proc until [signal]/[broadcast] or the timeout.  A
+    signal issued while nobody waits is banked and consumed by the next
+    [wait] (no lost wakeups). *)
+
+val signal : t -> unit
+(** Wake the oldest waiter, or bank the signal when the queue is empty. *)
+
+val broadcast : t -> unit
+(** Wake every current waiter; banks nothing. *)
+
+val clear_pending : t -> unit
+(** Drop banked signals. *)

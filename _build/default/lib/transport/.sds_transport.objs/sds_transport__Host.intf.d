@@ -1,0 +1,1 @@
+lib/transport/host.mli: Cost Cpu Engine Hashtbl Nic Obj Rng Sds_sim

@@ -1,0 +1,1 @@
+lib/transport/msg.ml: Array Bytes Sds_vm

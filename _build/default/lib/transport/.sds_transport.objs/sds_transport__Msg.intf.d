@@ -1,0 +1,1 @@
+lib/transport/msg.mli: Bytes Sds_vm

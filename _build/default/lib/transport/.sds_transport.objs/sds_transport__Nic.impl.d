@@ -1,0 +1,1 @@
+lib/transport/nic.ml: Cost Engine Hashtbl List Msg Proc Queue Resource Rng Sds_sim Waitq

@@ -1,0 +1,1 @@
+lib/transport/nic.mli: Cost Engine Msg Sds_sim Waitq

@@ -1,0 +1,1 @@
+lib/transport/shm_chan.ml: Array Bytes Cost Engine Int64 List Msg Nic Proc Queue Sds_ring Sds_sim Sds_vm Waitq

@@ -1,0 +1,1 @@
+lib/transport/shm_chan.mli: Cost Engine Msg Nic Sds_sim Waitq

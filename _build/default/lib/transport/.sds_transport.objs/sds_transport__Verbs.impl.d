@@ -1,0 +1,1 @@
+lib/transport/verbs.ml: Bytes Cost Hashtbl List Msg Nic Proc Sds_sim

@@ -1,0 +1,1 @@
+lib/transport/verbs.mli: Bytes Nic

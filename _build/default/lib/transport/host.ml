@@ -1,0 +1,55 @@
+(* A simulated host: CPU cores, one RDMA NIC, a deterministic RNG stream.
+
+   Hosts are the unit of "intra vs inter": two endpoints on the same host
+   communicate over SHM, otherwise over the NICs. *)
+
+open Sds_sim
+
+type t = {
+  id : int;
+  engine : Engine.t;
+  cost : Cost.t;
+  nic : Nic.nic;
+  cores : Cpu.t array;
+  rng : Rng.t;
+  mutable rdma_capable : bool;
+  mutable sds_capable : bool;  (** runs a SocksDirect monitor *)
+  (* Per-host state attached by upper layers (kernel instance, monitor
+     daemon) without creating dependency cycles. *)
+  ext : (string, Obj.t) Hashtbl.t;
+}
+
+let create engine ~cost ~id ?(cores = 16) ?(rdma = true) ~rng () =
+  {
+    id;
+    engine;
+    cost;
+    nic = Nic.create_nic engine ~cost ~host_id:id;
+    cores = Array.init cores (fun i -> Cpu.create engine ~id:i ~cost);
+    rng = Rng.split rng;
+    rdma_capable = rdma;
+    sds_capable = true;
+    ext = Hashtbl.create 4;
+  }
+
+(* Typed accessors for per-host extension state. *)
+let find_ext (type a) t key : a option =
+  match Hashtbl.find_opt t.ext key with
+  | None -> None
+  | Some o -> Some (Obj.obj o : a)
+
+let set_ext (type a) t key (v : a) = Hashtbl.replace t.ext key (Obj.repr v)
+
+let get_ext_or t key ~create =
+  match find_ext t key with
+  | Some v -> v
+  | None ->
+    let v = create t in
+    set_ext t key v;
+    v
+
+let id t = t.id
+let nic t = t.nic
+let core t i = t.cores.(i mod Array.length t.cores)
+let num_cores t = Array.length t.cores
+let same_host a b = a.id = b.id

@@ -1,0 +1,38 @@
+(** A simulated host: CPU cores, one RDMA NIC, a deterministic RNG stream.
+
+    Hosts are the unit of "intra vs inter": endpoints on the same host
+    communicate over SHM, otherwise over the NICs. *)
+
+open Sds_sim
+
+type t = {
+  id : int;
+  engine : Engine.t;
+  cost : Cost.t;
+  nic : Nic.nic;
+  cores : Cpu.t array;
+  rng : Rng.t;
+  mutable rdma_capable : bool;
+  mutable sds_capable : bool;  (** runs a SocksDirect monitor *)
+  ext : (string, Obj.t) Hashtbl.t;
+      (** per-host state attached by upper layers (kernel, monitor) *)
+}
+
+val create :
+  Engine.t -> cost:Cost.t -> id:int -> ?cores:int -> ?rdma:bool -> rng:Rng.t -> unit -> t
+
+val id : t -> int
+val nic : t -> Nic.nic
+
+val core : t -> int -> Cpu.t
+(** [core t i] wraps around when [i >= num_cores t]. *)
+
+val num_cores : t -> int
+val same_host : t -> t -> bool
+
+(** Typed accessors for per-host extension state.  The phantom typing is by
+    convention on the key string; each key must always be used at one type. *)
+
+val find_ext : t -> string -> 'a option
+val set_ext : t -> string -> 'a -> unit
+val get_ext_or : t -> string -> create:(t -> 'a) -> 'a

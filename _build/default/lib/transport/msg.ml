@@ -1,0 +1,58 @@
+(* Messages as carried by simulated transports.
+
+   The payload is either inline bytes (small messages, copied through the
+   ring) or an array of zero-copy pages whose addresses ride the ring while
+   the data stays in place (§4.3). *)
+
+type payload =
+  | Inline of Bytes.t
+  | Pages of Sds_vm.Page.t array * int  (** pages, payload length *)
+
+type kind =
+  | Data
+  | Control of string  (** connection management / monitor commands *)
+
+type t = {
+  seq : int;
+  kind : kind;
+  payload : payload;
+  mutable sent_at : int;  (** simulated send timestamp, for latency accounting *)
+}
+
+let seq_counter = ref 0
+
+let make ?(kind = Data) payload =
+  incr seq_counter;
+  { seq = !seq_counter; kind; payload; sent_at = 0 }
+
+let data bytes = make (Inline bytes)
+let data_string s = data (Bytes.of_string s)
+let control tag = make ~kind:(Control tag) (Inline Bytes.empty)
+
+let payload_len t =
+  match t.payload with
+  | Inline b -> Bytes.length b
+  | Pages (_, len) -> len
+
+(* Bytes this message occupies in a ring: inline payload travels in-band,
+   page payloads contribute only their 8-byte page addresses. *)
+let ring_len t =
+  match t.payload with
+  | Inline b -> Bytes.length b
+  | Pages (pages, _) -> 8 * Array.length pages
+
+let to_bytes t =
+  match t.payload with
+  | Inline b -> b
+  | Pages (pages, len) ->
+    let b = Bytes.create len in
+    let remaining = ref len in
+    Array.iteri
+      (fun i p ->
+        if !remaining > 0 then begin
+          let chunk = min Sds_vm.Page.size !remaining in
+          Sds_vm.Page.read p ~off:0 ~dst:b ~dst_off:(i * Sds_vm.Page.size) ~len:chunk;
+          remaining := !remaining - chunk
+        end)
+      pages;
+    b

@@ -1,0 +1,35 @@
+(** Messages as carried by the simulated transports.
+
+    A payload is either inline bytes (copied through the ring) or an array
+    of zero-copy pages whose addresses ride the ring while the data stays in
+    place (§4.3). *)
+
+type payload =
+  | Inline of Bytes.t
+  | Pages of Sds_vm.Page.t array * int  (** pages, payload length *)
+
+type kind =
+  | Data
+  | Control of string  (** connection management / monitor commands *)
+
+type t = {
+  seq : int;
+  kind : kind;
+  payload : payload;
+  mutable sent_at : int;  (** simulated send timestamp, for latency accounting *)
+}
+
+val make : ?kind:kind -> payload -> t
+val data : Bytes.t -> t
+val data_string : string -> t
+val control : string -> t
+
+val payload_len : t -> int
+(** Application bytes carried. *)
+
+val ring_len : t -> int
+(** Bytes occupied in a ring: inline payload travels in-band, page payloads
+    contribute only their 8-byte page addresses. *)
+
+val to_bytes : t -> Bytes.t
+(** Materialize the payload (gathers pages for zero-copy messages). *)

@@ -1,0 +1,340 @@
+(* RDMA NIC model: reliable-connection queue pairs, one-sided WRITE /
+   WRITE-with-immediate, two-sided SEND/RECV, completion queues (shareable
+   across QPs, §4.2 "amortize polling overhead"), bounded send queues with
+   adaptive batching, an on-NIC QP-state cache with miss penalty (§6), and
+   egress-link serialization at 100 Gbps.
+
+   Latency decomposition per the paper's Table 4: doorbell+DMA on the send
+   side, wire serialization per byte, NIC processing + propagation, and for
+   two-sided verbs an extra receive-side DMA. *)
+
+open Sds_sim
+
+type completion = {
+  qp_id : int;
+  wr_id : int;
+  imm : int option;
+  msg : Msg.t option;  (** delivered message for receive completions *)
+}
+
+type recovery = Go_back_n | Selective
+
+type nic = {
+  engine : Engine.t;
+  cost : Cost.t;
+  host_id : int;
+  mutable live_qps : int;
+  mutable egress_free_at : int;
+  mutable tx_ops : int;
+  mutable tx_msgs : int;
+  mutable tx_bytes : int;
+  mutable cache_misses : int;
+  (* Lossy-fabric model (§4.2 / §6 transport discussion): wire drops with
+     probability loss_ppm/1e6; recovery either replays everything in flight
+     (go-back-N) or just the lost WQE (selective retransmission). *)
+  mutable loss_ppm : int;
+  mutable recovery : recovery;
+  mutable rto_ns : int;
+  mutable loss_rng : Rng.t option;
+  mutable retransmits : int;
+}
+
+type cq = {
+  cq_nic : nic;
+  events : completion Queue.t;
+  cq_waitq : Waitq.t;
+}
+
+type qp = {
+  id : int;
+  nic : nic;
+  cost : Cost.t;
+  scq : cq;
+  rcq : cq;
+  mutable peer : qp option;
+  mutable inflight : int;
+  max_inflight : int;
+  pending : (Msg.t * int option) Queue.t;  (** batched unsent (msg, imm) *)
+  mutable remote_sink : (Msg.t -> unit) option;
+      (** what a remote-memory write means at the receiver (e.g. commit into
+          the receiver's ring copy) *)
+  mutable wr_counter : int;
+  mutable batched_flushes : int;
+  mutable batch : bool;
+      (** merge pending sends into one WQE on completion (the §4.2 adaptive
+          batching); plain RDMA users post one WQE per message *)
+  mutable tx_free_at : int;  (** per-QP WQE processing spacing *)
+  send_wq : Waitq.t;  (** signalled per send completion (send-queue space) *)
+  (* RC in-order delivery under retransmission: WQEs commit at the receiver
+     strictly in sequence; late arrivals park in the stash. *)
+  mutable tx_seq : int;
+  mutable commit_expected : int;
+  commit_stash : (int, unit -> unit) Hashtbl.t;
+  (* Per-QP egress shaping — the "QoS offloaded to the NIC" row of
+     Table 3.  None = unshaped. *)
+  mutable rate_limit : Resource.token_bucket option;
+}
+
+let qp_counter = ref 0
+
+let create_nic engine ~cost ~host_id =
+  { engine; cost; host_id; live_qps = 0; egress_free_at = 0; tx_ops = 0; tx_msgs = 0;
+    tx_bytes = 0; cache_misses = 0; loss_ppm = 0; recovery = Go_back_n; rto_ns = 16_000;
+    loss_rng = None; retransmits = 0 }
+
+(* Configure the lossy-fabric model on this NIC's egress. *)
+let set_loss (nic : nic) ~ppm ~recovery ~seed =
+  nic.loss_ppm <- ppm;
+  nic.recovery <- recovery;
+  nic.loss_rng <- Some (Rng.create ~seed)
+
+let retransmits (nic : nic) = nic.retransmits
+let nic_cost (nic : nic) = nic.cost
+
+let create_cq nic = { cq_nic = nic; events = Queue.create (); cq_waitq = Waitq.create () }
+
+let cq_waitq cq = cq.cq_waitq
+let cq_pending cq = Queue.length cq.events
+let cq_poll cq = Queue.take_opt cq.events
+
+let post_completion cq c =
+  Queue.push c cq.events;
+  Waitq.signal cq.cq_waitq
+
+(* QP-state cache: with more live QPs than on-NIC cache entries, each
+   operation pays an expected miss penalty proportional to the overflow. *)
+let cache_penalty (nic : nic) =
+  let entries = nic.cost.Cost.nic_qp_cache_entries in
+  if nic.live_qps <= entries then 0
+  else begin
+    nic.cache_misses <- nic.cache_misses + 1;
+    nic.cost.Cost.nic_qp_cache_miss * (nic.live_qps - entries) / nic.live_qps
+  end
+
+(* Serialize [bytes] onto the egress link; returns the added queueing +
+   serialization delay.  Two rate limits apply: a per-QP WQE processing gap
+   (~13 M WQE/s per QP, Table 2's one-sided write rate) and a NIC-global
+   per-op gap (~110 M WQE/s aggregate) plus wire serialization.  Adaptive
+   batching amortizes both by merging messages into one WQE. *)
+let qp_wqe_gap = 75
+let nic_wqe_gap = 9
+
+let egress_delay (nic : nic) ~qp_free_at ~bytes =
+  let now = Engine.now nic.engine in
+  let ser = max (Cost.wire_cost nic.cost bytes) nic_wqe_gap in
+  let start = max (max now nic.egress_free_at) !qp_free_at in
+  nic.egress_free_at <- start + ser;
+  qp_free_at := max (start + ser) (!qp_free_at + qp_wqe_gap);
+  (start - now) + ser
+
+(* Create a connected QP pair between two NICs.  The ~30 us libibverbs setup
+   cost is charged to the calling proc (connection setup path only). *)
+let connect_qps ?(charge_setup = true) nic_a nic_b ~scq_a ~rcq_a ~scq_b ~rcq_b =
+  incr qp_counter;
+  let a =
+    { id = !qp_counter; nic = nic_a; cost = nic_a.cost; scq = scq_a; rcq = rcq_a; peer = None;
+      inflight = 0; max_inflight = nic_a.cost.Cost.nic_max_inflight; pending = Queue.create ();
+      remote_sink = None; wr_counter = 0; batched_flushes = 0; batch = false; tx_free_at = 0;
+      send_wq = Waitq.create (); tx_seq = 0; commit_expected = 0; commit_stash = Hashtbl.create 8;
+      rate_limit = None }
+  in
+  incr qp_counter;
+  let b =
+    { id = !qp_counter; nic = nic_b; cost = nic_b.cost; scq = scq_b; rcq = rcq_b; peer = None;
+      inflight = 0; max_inflight = nic_b.cost.Cost.nic_max_inflight; pending = Queue.create ();
+      remote_sink = None; wr_counter = 0; batched_flushes = 0; batch = false; tx_free_at = 0;
+      send_wq = Waitq.create (); tx_seq = 0; commit_expected = 0; commit_stash = Hashtbl.create 8;
+      rate_limit = None }
+  in
+  a.peer <- Some b;
+  b.peer <- Some a;
+  nic_a.live_qps <- nic_a.live_qps + 1;
+  nic_b.live_qps <- nic_b.live_qps + 1;
+  if charge_setup then Proc.sleep_ns nic_a.cost.Cost.rdma_qp_create;
+  (a, b)
+
+let destroy_qp qp =
+  (match qp.peer with
+  | Some p ->
+    p.peer <- None;
+    p.nic.live_qps <- max 0 (p.nic.live_qps - 1)
+  | None -> ());
+  qp.peer <- None;
+  qp.nic.live_qps <- max 0 (qp.nic.live_qps - 1)
+
+let set_remote_sink qp f = qp.remote_sink <- Some f
+
+(* Install the remote-commit handler for writes FIRED ON [qp]: the NIC
+   dispatches through the peer QP's sink, so this sets it there. *)
+let on_commit qp f =
+  match qp.peer with
+  | Some p -> p.remote_sink <- Some f
+  | None -> invalid_arg "Nic.on_commit: QP not connected"
+
+let set_batching qp b = qp.batch <- b
+
+(* Per-QP hardware rate limiter (QoS, Table 3): egress of this QP is shaped
+   to [bytes_per_sec] with a [burst_bytes] allowance. *)
+let set_rate_limit qp ~bytes_per_sec ~burst_bytes =
+  qp.rate_limit <-
+    Some
+      (Resource.token_bucket qp.nic.engine ~rate_per_sec:bytes_per_sec
+         ~burst:(float_of_int burst_bytes))
+
+(* Shaping delay for [bytes] on this QP (0 when unshaped). *)
+let shape_delay qp ~bytes =
+  match qp.rate_limit with
+  | None -> 0
+  | Some tb -> Resource.debit tb bytes
+
+(* Block the calling proc until the send queue has a free WQE slot — what a
+   verbs user does when ibv_post_send returns ENOMEM. *)
+let wait_send_capacity qp =
+  while qp.inflight + Queue.length qp.pending >= qp.max_inflight do
+    match Waitq.wait qp.send_wq with _ -> ()
+  done
+let inflight qp = qp.inflight
+let batched_flushes qp = qp.batched_flushes
+
+let peer_exn qp =
+  match qp.peer with
+  | Some p -> p
+  | None -> invalid_arg "Nic: QP not connected"
+
+(* Run stashed commits that have become in-order. *)
+let rec drain_stash qp =
+  match Hashtbl.find_opt qp.commit_stash qp.commit_expected with
+  | Some thunk ->
+    Hashtbl.remove qp.commit_stash qp.commit_expected;
+    thunk ();
+    (* thunk advanced commit_expected *)
+    drain_stash qp
+  | None -> ()
+
+(* Offer WQE [seq]'s commit; RC semantics commit strictly in order. *)
+let offer_commit qp ~seq thunk =
+  if seq = qp.commit_expected then begin
+    thunk ();
+    drain_stash qp
+  end
+  else Hashtbl.replace qp.commit_stash seq thunk
+
+(* Does the fabric eat this transmission? *)
+let fabric_drops (nic : nic) =
+  match nic.loss_rng with
+  | Some rng when nic.loss_ppm > 0 -> Rng.int rng 1_000_000 < nic.loss_ppm
+  | _ -> false
+
+(* Fire one RDMA write on the wire carrying [msgs]; total payload [bytes].
+   Write-with-immediate generates a receive completion carrying [imm].
+   Lost transmissions are replayed after the RTO — everything in flight for
+   go-back-N, just this WQE for selective retransmission — and commits stay
+   in sequence either way. *)
+let rec fire_write qp ~msgs ~bytes =
+  let nic = qp.nic in
+  nic.tx_msgs <- nic.tx_msgs + List.length msgs;
+  qp.inflight <- qp.inflight + 1;
+  let seq = qp.tx_seq in
+  qp.tx_seq <- qp.tx_seq + 1;
+  let now_sent = Engine.now nic.engine in
+  List.iter (fun (m, _) -> m.Msg.sent_at <- now_sent) msgs;
+  transmit qp ~seq ~msgs ~bytes
+
+and transmit qp ~seq ~msgs ~bytes =
+  let peer = peer_exn qp in
+  let nic = qp.nic in
+  nic.tx_ops <- nic.tx_ops + 1;
+  nic.tx_bytes <- nic.tx_bytes + bytes;
+  let dma = qp.cost.Cost.doorbell_dma_sd + cache_penalty nic in
+  let qp_free = ref qp.tx_free_at in
+  let ser = egress_delay nic ~qp_free_at:qp_free ~bytes in
+  qp.tx_free_at <- !qp_free;
+  let one_way = shape_delay qp ~bytes + dma + ser + qp.cost.Cost.nic_wire in
+  if fabric_drops nic then begin
+    nic.retransmits <- nic.retransmits + 1;
+    (* Go-back-N stalls the pipeline for the replay of everything after the
+       hole; model that as an extra per-in-flight-WQE delay. *)
+    let penalty =
+      match nic.recovery with
+      | Go_back_n -> qp.inflight * qp_wqe_gap
+      | Selective -> 0
+    in
+    Engine.schedule nic.engine ~delay:(nic.rto_ns + penalty) (fun () ->
+        transmit qp ~seq ~msgs ~bytes)
+  end
+  else
+    Engine.schedule nic.engine ~delay:one_way (fun () ->
+        offer_commit qp ~seq (fun () ->
+            qp.commit_expected <- qp.commit_expected + 1;
+            (* Remote memory commit, then the completion: the completion is
+               delivered only after the data is visible (§4.2). *)
+            List.iter
+              (fun (m, imm) ->
+                (match peer.remote_sink with Some sink -> sink m | None -> ());
+                match imm with
+                | Some imm ->
+                  qp.wr_counter <- qp.wr_counter + 1;
+                  post_completion peer.rcq
+                    { qp_id = peer.id; wr_id = qp.wr_counter; imm = Some imm; msg = Some m }
+                | None -> ())
+              msgs;
+            (* Sender-side completion (ack) after the return half. *)
+            Engine.schedule nic.engine ~delay:qp.cost.Cost.nic_wire (fun () ->
+                qp.inflight <- qp.inflight - 1;
+                qp.wr_counter <- qp.wr_counter + 1;
+                post_completion qp.scq { qp_id = qp.id; wr_id = qp.wr_counter; imm = None; msg = None };
+                Waitq.signal qp.send_wq;
+                (* Adaptive batching: on completion, flush everything unsent
+                   as a single RDMA write (§4.2).  Non-batching QPs drain one
+                   message per completion, paying a WQE each. *)
+                if not (Queue.is_empty qp.pending) && qp.inflight < qp.max_inflight then
+                  if qp.batch then begin
+                    let batch = List.of_seq (Queue.to_seq qp.pending) in
+                    Queue.clear qp.pending;
+                    qp.batched_flushes <- qp.batched_flushes + 1;
+                    let total = List.fold_left (fun acc (m, _) -> acc + Msg.payload_len m) 0 batch in
+                    fire_write qp ~msgs:batch ~bytes:total
+                  end
+                  else begin
+                    let m, imm = Queue.pop qp.pending in
+                    fire_write qp ~msgs:[ (m, imm) ] ~bytes:(Msg.payload_len m)
+                  end)))
+
+(* One-sided write with immediate: the SocksDirect data path.  If the send
+   queue is below the in-flight cap the message goes out alone (minimum
+   latency on idle links); otherwise it joins the pending batch (maximum
+   throughput on busy links). *)
+let write_imm qp msg ~imm =
+  if qp.inflight < qp.max_inflight then fire_write qp ~msgs:[ (msg, Some imm) ] ~bytes:(Msg.payload_len msg)
+  else Queue.push (msg, Some imm) qp.pending
+
+(* Two-sided send (RSocket's wire primitive): extra receive-side DMA. *)
+let send_2sided qp msg =
+  let peer = peer_exn qp in
+  let nic = qp.nic in
+  nic.tx_ops <- nic.tx_ops + 1;
+  nic.tx_msgs <- nic.tx_msgs + 1;
+  let bytes = Msg.payload_len msg in
+  nic.tx_bytes <- nic.tx_bytes + bytes;
+  let dma = qp.cost.Cost.doorbell_dma_2sided + cache_penalty nic + shape_delay qp ~bytes in
+  let qp_free = ref qp.tx_free_at in
+  let ser = egress_delay nic ~qp_free_at:qp_free ~bytes in
+  qp.tx_free_at <- !qp_free;
+  let one_way = dma + ser + qp.cost.Cost.nic_wire in
+  msg.Msg.sent_at <- Engine.now nic.engine;
+  Engine.schedule nic.engine ~delay:one_way (fun () ->
+      (match peer.remote_sink with Some sink -> sink msg | None -> ());
+      qp.wr_counter <- qp.wr_counter + 1;
+      post_completion peer.rcq { qp_id = peer.id; wr_id = qp.wr_counter; imm = None; msg = Some msg })
+
+(* NIC hairpin: LibVMA and RSocket forward intra-host traffic through the
+   NIC; this is their PCIe round trip (§2.2 / Table 2). *)
+let hairpin (nic : nic) msg ~deliver =
+  let bytes = Msg.payload_len msg in
+  (* Table 2's 0.95 us hairpin figure is a round trip; one way is half. *)
+  let delay = (nic.cost.Cost.nic_hairpin / 2) + Cost.wire_cost nic.cost bytes in
+  msg.Msg.sent_at <- Engine.now nic.engine;
+  Engine.schedule nic.engine ~delay (fun () -> deliver msg)
+
+let stats (nic : nic) = (nic.tx_ops, nic.tx_msgs, nic.tx_bytes, nic.cache_misses)
+let live_qps (nic : nic) = nic.live_qps

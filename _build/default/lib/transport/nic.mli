@@ -1,0 +1,92 @@
+(** RDMA NIC model: reliable-connection queue pairs, one-sided WRITE with
+    immediate, two-sided SEND, completion queues, adaptive batching, an
+    on-NIC QP-state cache with miss penalty, and 100 Gbps egress-link
+    serialization with per-QP and NIC-global WQE-rate limits.
+
+    Latency decomposition follows the paper's Table 4: doorbell + DMA on the
+    send side, wire serialization per byte, NIC processing + propagation,
+    and an extra receive-side DMA for two-sided verbs. *)
+
+open Sds_sim
+
+type nic
+type cq
+type qp
+
+type recovery = Go_back_n | Selective
+
+type completion = {
+  qp_id : int;
+  wr_id : int;
+  imm : int option;
+  msg : Msg.t option;  (** delivered message for receive completions *)
+}
+
+val create_nic : Engine.t -> cost:Cost.t -> host_id:int -> nic
+val nic_cost : nic -> Cost.t
+val create_cq : nic -> cq
+
+val cq_waitq : cq -> Waitq.t
+val cq_pending : cq -> int
+val cq_poll : cq -> completion option
+
+val connect_qps :
+  ?charge_setup:bool ->
+  nic ->
+  nic ->
+  scq_a:cq ->
+  rcq_a:cq ->
+  scq_b:cq ->
+  rcq_b:cq ->
+  qp * qp
+(** Create a connected QP pair.  [charge_setup] (default true) bills the
+    ~30 us libibverbs creation latency to the calling proc. *)
+
+val destroy_qp : qp -> unit
+
+val set_remote_sink : qp -> (Msg.t -> unit) -> unit
+(** What a remote-memory write means at THIS side: messages fired on the
+    peer QP are committed through this sink before their completion. *)
+
+val on_commit : qp -> (Msg.t -> unit) -> unit
+(** The dual: install the commit handler for writes fired ON [qp]
+    (equivalent to [set_remote_sink] on its peer). *)
+
+val set_batching : qp -> bool -> unit
+(** Enable §4.2 adaptive batching: pending sends merge into one WQE on
+    completion.  Off by default (plain RDMA posts one WQE per message). *)
+
+val inflight : qp -> int
+val batched_flushes : qp -> int
+
+val wait_send_capacity : qp -> unit
+(** Block the calling proc until the send queue has a free WQE slot. *)
+
+val write_imm : qp -> Msg.t -> imm:int -> unit
+(** One-sided write with immediate — the SocksDirect data path.  Below the
+    in-flight cap the message goes out alone (minimum latency); above it,
+    it joins the pending batch (maximum throughput). *)
+
+val send_2sided : qp -> Msg.t -> unit
+(** Two-sided send (RSocket's primitive): extra receive-side DMA. *)
+
+val hairpin : nic -> Msg.t -> deliver:(Msg.t -> unit) -> unit
+(** Intra-host forwarding through the NIC (LibVMA / RSocket / Arrakis
+    style): one PCIe traversal each way. *)
+
+val stats : nic -> int * int * int * int
+(** [(tx_wqes, tx_msgs, tx_bytes, qp_cache_misses)]. *)
+
+val live_qps : nic -> int
+
+val set_loss : nic -> ppm:int -> recovery:recovery -> seed:int -> unit
+(** Configure the lossy-fabric model on this NIC's egress: drop probability
+    in parts per million and the recovery scheme.  Commits at the receiver
+    stay strictly in WQE order either way (RC semantics); go-back-N
+    additionally stalls the pipeline behind the hole. *)
+
+val retransmits : nic -> int
+
+val set_rate_limit : qp -> bytes_per_sec:float -> burst_bytes:int -> unit
+(** Per-QP hardware rate limiter — the "QoS offloaded to the NIC" row of
+    Table 3.  Egress of this QP is shaped; other QPs are unaffected. *)

@@ -1,0 +1,175 @@
+(* The per-socket ring channel (§4.2), in both transport flavours.
+
+   One Spsc_ring carries the receiver's copy of the ring; the sender's copy
+   is the same object in simulation (a single memory), with visibility
+   delayed by the transport:
+
+   - [Shm]: cache-coherence hardware is the synchronization; a message
+     becomes visible one cache-line migration after the enqueue.
+   - [Rdma qp]: the sender's enqueue is synchronized to the receiver's copy
+     by a one-sided WRITE-with-immediate on [qp]; visibility happens when
+     the NIC commits the write (which the NIC model orders strictly, even
+     under loss and retransmission), exactly the "completion after data"
+     guarantee §4.2 relies on.
+
+   Inline payloads move through the ring for real; zero-copy messages put
+   only their page addresses in-band.  Flow control is the ring's credit
+   scheme: the sender spends ring credits per enqueue, and the receiver's
+   batched half-ring credit return travels back over the same transport
+   (one cache migration, or one RDMA write).
+
+   Time accounting: the sender pays the per-message ring bookkeeping plus
+   the app-to-ring copy for inline payloads; the receiver pays the
+   ring-to-app copy on dequeue. *)
+
+open Sds_sim
+
+type mode = Polling | Interrupt
+
+type via =
+  | Shm
+  | Rdma of Nic.qp
+
+type t = {
+  engine : Engine.t;
+  cost : Cost.t;
+  via : via;
+  ring : Sds_ring.Spsc_ring.t;
+  descs : Msg.t Queue.t;  (** messages visible to the receiver *)
+  mutable visible : int;
+  rx_waitq : Waitq.t;
+  tx_waitq : Waitq.t;  (** signalled when credits return *)
+  mutable rx_mode : mode;
+  mutable on_interrupt_write : (t -> unit) option;
+  mutable deliver_hooks : (unit -> unit) list;  (** fired on every delivery (epoll) *)
+  mutable sent : int;
+  mutable received : int;
+  (* Secret token guarding the queue: only holders may attach (§3). *)
+  token : int;
+}
+
+let token_counter = ref 0
+
+let make engine ~cost ~via ~ring_size =
+  incr token_counter;
+  {
+    engine;
+    cost;
+    via;
+    ring = Sds_ring.Spsc_ring.create ~size:ring_size ();
+    descs = Queue.create ();
+    visible = 0;
+    rx_waitq = Waitq.create ();
+    tx_waitq = Waitq.create ();
+    rx_mode = Polling;
+    on_interrupt_write = None;
+    deliver_hooks = [];
+    sent = 0;
+    received = 0;
+    token = !token_counter;
+  }
+
+(* Commit one message at the receiver: it becomes visible, waiters and
+   epoll hooks fire, and interrupt-mode receivers get their monitor relay. *)
+let commit t msg =
+  Queue.push msg t.descs;
+  t.visible <- t.visible + 1;
+  Waitq.signal t.rx_waitq;
+  List.iter (fun f -> f ()) t.deliver_hooks;
+  match (t.rx_mode, t.on_interrupt_write) with
+  | Interrupt, Some hook -> hook t
+  | (Polling | Interrupt), _ -> ()
+
+let create engine ~cost ?(ring_size = 64 * 1024) () = make engine ~cost ~via:Shm ~ring_size
+
+(* The inter-host flavour: enqueues are synchronized to the peer through
+   [qp]; this installs the QP's remote sink. *)
+let create_rdma engine ~cost ~qp ?(ring_size = 64 * 1024) () =
+  let t = make engine ~cost ~via:(Rdma qp) ~ring_size in
+  (* Writes fired on [qp] must commit into THIS channel at the remote end. *)
+  Nic.on_commit qp (fun msg -> commit t msg);
+  t
+
+let token t = t.token
+let via t = t.via
+let rx_waitq t = t.rx_waitq
+let tx_waitq t = t.tx_waitq
+let set_mode t m = t.rx_mode <- m
+let mode t = t.rx_mode
+let set_interrupt_hook t f = t.on_interrupt_write <- Some f
+let add_deliver_hook t f = t.deliver_hooks <- f :: t.deliver_hooks
+let sent t = t.sent
+let received t = t.received
+let credits t = Sds_ring.Spsc_ring.credits t.ring
+
+let pending t = t.visible
+
+type send_result = Sent | Full
+
+(* Non-blocking send.  Charges sender-side time, spends ring credits, and
+   synchronizes the enqueue to the receiver's copy. *)
+let try_send t msg =
+  let inline_len = Msg.ring_len msg in
+  let payload =
+    match msg.Msg.payload with
+    | Msg.Inline b -> b
+    | Msg.Pages (pages, _) ->
+      (* Serialize obfuscated page addresses in-band. *)
+      let b = Bytes.create (8 * Array.length pages) in
+      Array.iteri
+        (fun i p -> Bytes.set_int64_le b (i * 8) (Int64.of_int (Sds_vm.Page.obfuscated_address p)))
+        pages;
+      b
+  in
+  if not (Sds_ring.Spsc_ring.try_enqueue t.ring payload ~off:0 ~len:inline_len) then Full
+  else begin
+    msg.Msg.sent_at <- Engine.now t.engine;
+    t.sent <- t.sent + 1;
+    (* Sender-side CPU: ring bookkeeping + inline copy into the ring. *)
+    let copy =
+      match msg.Msg.payload with
+      | Msg.Inline b -> Cost.copy_cost t.cost (Bytes.length b)
+      | Msg.Pages _ -> 0
+    in
+    Proc.sleep_ns (t.cost.Cost.shm_msg_overhead + copy);
+    (match t.via with
+    | Shm ->
+      (* Visibility after one cache-line migration. *)
+      Engine.schedule t.engine ~delay:t.cost.Cost.cache_migration (fun () -> commit t msg)
+    | Rdma qp ->
+      (* One-sided write with immediate syncs the ring delta; the NIC sink
+         commits it at the receiver in order. *)
+      Nic.write_imm qp msg ~imm:t.token);
+    Sent
+  end
+
+(* Non-blocking receive.  Charges receiver-side time; posts batched credit
+   returns back to the sender over the same transport. *)
+let try_recv t =
+  if t.visible = 0 then None
+  else begin
+    let msg = Queue.pop t.descs in
+    t.visible <- t.visible - 1;
+    (match Sds_ring.Spsc_ring.try_dequeue t.ring with
+    | None -> assert false (* desc and ring move in lock step *)
+    | Some { data; _ } -> assert (Bytes.length data = Msg.ring_len msg));
+    t.received <- t.received + 1;
+    let copy =
+      match msg.Msg.payload with
+      | Msg.Inline b -> Cost.copy_cost t.cost (Bytes.length b)
+      | Msg.Pages _ -> 0
+    in
+    Proc.sleep_ns (t.cost.Cost.shm_msg_overhead + copy);
+    let credit = Sds_ring.Spsc_ring.take_credit_return t.ring in
+    if credit > 0 then begin
+      let return_delay =
+        match t.via with
+        | Shm -> t.cost.Cost.cache_migration
+        | Rdma _ -> t.cost.Cost.doorbell_dma_sd + t.cost.Cost.nic_wire
+      in
+      Engine.schedule t.engine ~delay:return_delay (fun () ->
+          Sds_ring.Spsc_ring.return_credits t.ring credit;
+          Waitq.broadcast t.tx_waitq)
+    end;
+    Some msg
+  end

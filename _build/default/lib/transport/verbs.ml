@@ -1,0 +1,165 @@
+(* A libibverbs-flavoured facade over the NIC model.
+
+   The real SocksDirect is written against verbs: protection domains,
+   registered memory regions, queue pairs moved through the
+   RESET/INIT/RTR/RTS state ladder, work requests posted to send queues and
+   completions polled from CQs.  This module exposes that vocabulary so
+   code reads like an RDMA application, enforcing the call discipline
+   (posting on a non-RTS QP fails, writing through an unregistered or
+   read-only MR fails) that the bespoke [Nic] API does not. *)
+
+open Sds_sim
+
+type access = Local_read | Local_write | Remote_read | Remote_write
+
+type pd = { pd_nic : Nic.nic; pd_id : int; mutable mrs : int }
+
+type mr = {
+  mr_pd : pd;
+  mr_id : int;
+  buf : Bytes.t;
+  lkey : int;
+  rkey : int;
+  mutable access : access list;
+  mutable registered : bool;
+}
+
+type qp_state = Reset | Init | Rtr | Rts | Error
+
+type qp = {
+  vqp_pd : pd;
+  mutable raw : Nic.qp option;  (** connected at RTR *)
+  mutable state : qp_state;
+  send_cq : Nic.cq;
+  recv_cq : Nic.cq;
+  mutable posted_recvs : mr list;
+}
+
+exception Invalid_state of string
+
+let pd_counter = ref 0
+let mr_counter = ref 0
+
+(* ibv_alloc_pd *)
+let alloc_pd nic =
+  incr pd_counter;
+  { pd_nic = nic; pd_id = !pd_counter; mrs = 0 }
+
+(* ibv_reg_mr: pins [buf] and hands out local/remote keys.  Registration is
+   the slow path (kernel crossing + pinning), as in the real stack. *)
+let reg_mr pd buf ~access =
+  Proc.sleep_ns (Cost.syscall (Nic.nic_cost pd.pd_nic) + (Bytes.length buf / 4096 * 100));
+  incr mr_counter;
+  pd.mrs <- pd.mrs + 1;
+  { mr_pd = pd; mr_id = !mr_counter; buf; lkey = !mr_counter * 2; rkey = (!mr_counter * 2) + 1;
+    access; registered = true }
+
+(* ibv_dereg_mr *)
+let dereg_mr mr =
+  if not mr.registered then raise (Invalid_state "MR already deregistered");
+  mr.registered <- false;
+  mr.mr_pd.mrs <- mr.mr_pd.mrs - 1
+
+(* ibv_create_cq *)
+let create_cq nic = Nic.create_cq nic
+
+(* ibv_create_qp: starts in RESET. *)
+let create_qp pd ~send_cq ~recv_cq =
+  { vqp_pd = pd; raw = None; state = Reset; send_cq; recv_cq; posted_recvs = [] }
+
+(* The RESET -> INIT -> RTR -> RTS ladder of ibv_modify_qp.  Connecting to
+   the peer happens at RTR, which is when the underlying RC channel is
+   wired (the exchange of QPNs/GIDs is the caller's out-of-band job, as
+   with real verbs). *)
+let modify_qp_init qp =
+  if qp.state <> Reset then raise (Invalid_state "modify INIT: not in RESET");
+  qp.state <- Init
+
+let modify_qp_rtr qp ~peer =
+  if qp.state <> Init then raise (Invalid_state "modify RTR: not in INIT");
+  if peer.state <> Init && peer.state <> Rtr then raise (Invalid_state "peer QP not ready");
+  (match (qp.raw, peer.raw) with
+  | None, None ->
+    let a, b =
+      Nic.connect_qps ~charge_setup:true qp.vqp_pd.pd_nic peer.vqp_pd.pd_nic ~scq_a:qp.send_cq
+        ~rcq_a:qp.recv_cq ~scq_b:peer.send_cq ~rcq_b:peer.recv_cq
+    in
+    qp.raw <- Some a;
+    peer.raw <- Some b
+  | _ -> ());
+  qp.state <- Rtr
+
+let modify_qp_rts qp =
+  if qp.state <> Rtr then raise (Invalid_state "modify RTS: not in RTR");
+  qp.state <- Rts
+
+let raw_exn qp =
+  match qp.raw with
+  | Some r -> r
+  | None -> raise (Invalid_state "QP not connected")
+
+let check_mr_read mr =
+  if not mr.registered then raise (Invalid_state "MR deregistered");
+  if not (List.mem Local_read mr.access) then raise (Invalid_state "MR lacks LOCAL_READ")
+
+(* ibv_post_recv: hand a writable MR to the receive queue (two-sided). *)
+let post_recv qp mr =
+  if not mr.registered then raise (Invalid_state "MR deregistered");
+  if not (List.mem Local_write mr.access) then raise (Invalid_state "recv MR lacks LOCAL_WRITE");
+  qp.posted_recvs <- qp.posted_recvs @ [ mr ]
+
+type send_opcode =
+  | Rdma_write_with_imm of { imm : int }
+  | Send
+
+(* ibv_post_send: one work request over [mr.buf.(off..off+len)].  The remote
+   side of an RDMA write must have granted REMOTE_WRITE on some MR — the
+   caller attests with [remote_rkey], checked against the registry like a
+   real NIC checks rkeys. *)
+let rkey_registry : (int, mr) Hashtbl.t = Hashtbl.create 32
+
+let export_rkey mr =
+  if not (List.mem Remote_write mr.access) then raise (Invalid_state "MR lacks REMOTE_WRITE");
+  Hashtbl.replace rkey_registry mr.rkey mr;
+  mr.rkey
+
+let post_send qp ~opcode ~mr ~off ~len ?remote_rkey () =
+  if qp.state <> Rts then raise (Invalid_state "post_send: QP not in RTS");
+  check_mr_read mr;
+  if off < 0 || len < 0 || off + len > Bytes.length mr.buf then
+    raise (Invalid_state "post_send: scatter entry out of MR bounds");
+  let raw = raw_exn qp in
+  Nic.wait_send_capacity raw;
+  let payload = Msg.data (Bytes.sub mr.buf off len) in
+  match opcode with
+  | Rdma_write_with_imm { imm } ->
+    (match remote_rkey with
+    | Some rkey when Hashtbl.mem rkey_registry rkey -> ()
+    | _ -> raise (Invalid_state "post_send: invalid rkey for RDMA write"));
+    Nic.write_imm raw payload ~imm
+  | Send -> Nic.send_2sided raw payload
+
+(* ibv_poll_cq: up to [max] completions. *)
+let poll_cq cq ~max =
+  let rec take n acc =
+    if n = 0 then List.rev acc
+    else
+      match Nic.cq_poll cq with
+      | Some c -> take (n - 1) (c :: acc)
+      | None -> List.rev acc
+  in
+  take max []
+
+(* Deliver inbound two-sided messages into posted receive buffers, consuming
+   one per message, as the RQ does. *)
+let install_recv_handler qp ~on_recv =
+  let raw = raw_exn qp in
+  Nic.set_remote_sink raw (fun msg ->
+      match qp.posted_recvs with
+      | [] -> () (* RNR: dropped, a real RC QP would NAK *)
+      | mr :: rest ->
+        qp.posted_recvs <- rest;
+        let b = Msg.to_bytes msg in
+        let n = min (Bytes.length b) (Bytes.length mr.buf) in
+        Bytes.blit b 0 mr.buf 0 n;
+        on_recv mr n)

@@ -1,0 +1,68 @@
+(** A libibverbs-flavoured facade over the NIC model: protection domains,
+    registered memory regions, the RESET/INIT/RTR/RTS queue-pair ladder,
+    work requests and completion polling — with the call discipline a real
+    verbs provider enforces.
+
+    All functions that move a QP or post work must run inside a simulated
+    proc (they charge time or block). *)
+
+exception Invalid_state of string
+
+type access = Local_read | Local_write | Remote_read | Remote_write
+
+type pd
+type qp_state = Reset | Init | Rtr | Rts | Error
+
+type mr = {
+  mr_pd : pd;
+  mr_id : int;
+  buf : Bytes.t;
+  lkey : int;
+  rkey : int;
+  mutable access : access list;
+  mutable registered : bool;
+}
+
+type qp = {
+  vqp_pd : pd;
+  mutable raw : Nic.qp option;
+  mutable state : qp_state;
+  send_cq : Nic.cq;
+  recv_cq : Nic.cq;
+  mutable posted_recvs : mr list;
+}
+
+val alloc_pd : Nic.nic -> pd
+
+val reg_mr : pd -> Bytes.t -> access:access list -> mr
+(** Pins the buffer; charges the kernel crossing plus per-page pin cost. *)
+
+val dereg_mr : mr -> unit
+val create_cq : Nic.nic -> Nic.cq
+val create_qp : pd -> send_cq:Nic.cq -> recv_cq:Nic.cq -> qp
+
+val modify_qp_init : qp -> unit
+val modify_qp_rtr : qp -> peer:qp -> unit
+(** Wires the RC channel to [peer] (both sides must be at least INIT). *)
+
+val modify_qp_rts : qp -> unit
+
+val post_recv : qp -> mr -> unit
+(** Queue a LOCAL_WRITE MR on the receive queue (two-sided). *)
+
+type send_opcode =
+  | Rdma_write_with_imm of { imm : int }
+  | Send
+
+val export_rkey : mr -> int
+(** Grant remote-write access; returns the rkey to hand to the peer. *)
+
+val post_send : qp -> opcode:send_opcode -> mr:mr -> off:int -> len:int -> ?remote_rkey:int -> unit -> unit
+(** Raises {!Invalid_state} on a non-RTS QP, a deregistered or read-denied
+    MR, an out-of-bounds scatter entry, or an RDMA write without a valid
+    rkey.  Blocks while the send queue is full. *)
+
+val poll_cq : Nic.cq -> max:int -> Nic.completion list
+
+val install_recv_handler : qp -> on_recv:(mr -> int -> unit) -> unit
+(** Route inbound two-sided messages into posted receive MRs. *)

@@ -1,0 +1,1 @@
+lib/vm/pool.ml: Page Stack

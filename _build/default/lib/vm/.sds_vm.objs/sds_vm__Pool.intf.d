@@ -1,0 +1,1 @@
+lib/vm/pool.mli: Page

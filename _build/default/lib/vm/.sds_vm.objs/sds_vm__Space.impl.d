@@ -1,0 +1,1 @@
+lib/vm/space.ml: Array Bytes Page Pool

@@ -1,0 +1,1 @@
+lib/vm/space.mli: Bytes Page Pool

@@ -1,0 +1,61 @@
+(* Simulated physical pages.
+
+   A page carries real payload bytes so that content integrity through the
+   zero-copy remap paths is testable, plus the state the §4.3 mechanism
+   manipulates: reference count (sharing after remap), copy-on-write flag,
+   and RDMA pin state. *)
+
+let size = 4096
+
+type t = {
+  id : int;
+  mutable data : Bytes.t;
+  mutable refcount : int;
+  mutable cow : bool;
+  mutable pinned : bool;
+  mutable owner : int;  (** process id of the pool that must receive it back *)
+}
+
+let counter = ref 0
+
+let create ~owner =
+  incr counter;
+  { id = !counter; data = Bytes.create size; refcount = 1; cow = false; pinned = false; owner }
+
+let pages_for_bytes len = (len + size - 1) / size
+
+(* Write [src] into the page at [off], honouring copy-on-write: a shared COW
+   page is first replaced by a private copy (the caller charges the copy
+   cost). Returns the page that now holds the data (either [t] or the new
+   private copy) and whether a copy happened. *)
+let write t ~off ~src ~src_off ~len =
+  if t.cow && t.refcount > 1 then begin
+    let fresh = create ~owner:t.owner in
+    Bytes.blit t.data 0 fresh.data 0 size;
+    t.refcount <- t.refcount - 1;
+    Bytes.blit src src_off fresh.data off len;
+    (fresh, true)
+  end
+  else begin
+    t.cow <- false;
+    Bytes.blit src src_off t.data off len;
+    (t, false)
+  end
+
+let read t ~off ~dst ~dst_off ~len = Bytes.blit t.data off dst dst_off len
+
+let share t =
+  t.refcount <- t.refcount + 1;
+  t.cow <- true
+
+let unref t =
+  if t.refcount <= 0 then invalid_arg "Page.unref: refcount already zero";
+  t.refcount <- t.refcount - 1
+
+let pin t = t.pinned <- true
+let unpin t = t.pinned <- false
+
+(* Obfuscated physical address as passed over the SHM control channel: the
+   monitor-blessed NIC driver hands these out so a process cannot forge a
+   mapping to arbitrary memory (§4.3). *)
+let obfuscated_address t = t.id lxor 0x5DEECE66D

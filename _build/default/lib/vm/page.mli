@@ -1,0 +1,39 @@
+(** Simulated physical pages carrying real payload bytes, with the state the
+    §4.3 zero-copy mechanism manipulates: reference count, copy-on-write
+    flag, RDMA pin state, owning process. *)
+
+val size : int
+(** 4096. *)
+
+type t = {
+  id : int;
+  mutable data : Bytes.t;
+  mutable refcount : int;
+  mutable cow : bool;
+  mutable pinned : bool;
+  mutable owner : int;  (** process uid whose pool must receive it back *)
+}
+
+val create : owner:int -> t
+val pages_for_bytes : int -> int
+
+val write : t -> off:int -> src:Bytes.t -> src_off:int -> len:int -> t * bool
+(** Write honouring copy-on-write: a shared COW page is first replaced by a
+    private copy.  Returns the page now holding the data and whether a copy
+    happened (the caller charges the copy cost). *)
+
+val read : t -> off:int -> dst:Bytes.t -> dst_off:int -> len:int -> unit
+
+val share : t -> unit
+(** Add a reference and mark copy-on-write (sender side of a zero-copy
+    hand-off). *)
+
+val unref : t -> unit
+(** Raises [Invalid_argument] if the refcount is already zero. *)
+
+val pin : t -> unit
+val unpin : t -> unit
+
+val obfuscated_address : t -> int
+(** The address form passed over control channels, so a process cannot forge
+    a mapping to arbitrary memory (§4.3). *)

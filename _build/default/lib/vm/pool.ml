@@ -1,0 +1,64 @@
+(* Per-process free-page pool (§4.3).
+
+   Kernel page allocation takes a global lock, so libsd keeps a local pool
+   and returns foreign pages to their owner through a message.  The pool
+   tracks exactly that: frees of local pages are O(1) pushes, frees of
+   foreign pages are surfaced to the caller for the return protocol. *)
+
+type t = {
+  owner : int;
+  free : Page.t Stack.t;
+  mutable allocated : int;
+  mutable refilled : int;
+  mutable foreign_returns : int;
+  capacity : int;
+}
+
+let create ~owner ~capacity =
+  let t = { owner; free = Stack.create (); allocated = 0; refilled = 0; foreign_returns = 0; capacity } in
+  for _ = 1 to capacity do
+    Stack.push (Page.create ~owner) t.free
+  done;
+  t
+
+let owner t = t.owner
+let available t = Stack.length t.free
+let allocated t = t.allocated
+let refills t = t.refilled
+let foreign_returns t = t.foreign_returns
+
+(* Allocate one page, refilling from the (simulated) kernel when empty; the
+   caller charges the kernel-crossing cost if [refilled] grew. *)
+let alloc t =
+  t.allocated <- t.allocated + 1;
+  match Stack.pop_opt t.free with
+  | Some p ->
+    p.Page.refcount <- 1;
+    p.Page.cow <- false;
+    p
+  | None ->
+    t.refilled <- t.refilled + 1;
+    Page.create ~owner:t.owner
+
+type freed = Local | Foreign of int  (** owner process to return the page to *)
+
+(* Drop one reference; the page re-enters a free list only when the last
+   reference dies. *)
+let free t (p : Page.t) =
+  Page.unref p;
+  if p.Page.refcount > 0 then Local
+  else if p.Page.owner = t.owner then begin
+    Stack.push p t.free;
+    Local
+  end
+  else begin
+    t.foreign_returns <- t.foreign_returns + 1;
+    Foreign p.Page.owner
+  end
+
+(* Receive a page returned by a remote peer (step 6 of Figure 5b). *)
+let take_back t (p : Page.t) =
+  if p.Page.owner <> t.owner then invalid_arg "Pool.take_back: not our page";
+  p.Page.refcount <- 1;
+  p.Page.cow <- false;
+  Stack.push p t.free

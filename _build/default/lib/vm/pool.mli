@@ -1,0 +1,30 @@
+(** Per-process free-page pool (§4.3).
+
+    Kernel page allocation takes a global lock, so libsd keeps a local pool;
+    pages freed by a foreign process are surfaced for the return protocol
+    rather than pooled locally. *)
+
+type t
+
+val create : owner:int -> capacity:int -> t
+val owner : t -> int
+val available : t -> int
+val allocated : t -> int
+
+val refills : t -> int
+(** Times the pool went empty and fell back to (simulated) kernel
+    allocation; the caller charges the kernel-crossing cost. *)
+
+val foreign_returns : t -> int
+
+val alloc : t -> Page.t
+
+type freed = Local | Foreign of int  (** owner process to return the page to *)
+
+val free : t -> Page.t -> freed
+(** Drop one reference; the page re-enters a free list only when the last
+    reference dies, and only in its owner's pool. *)
+
+val take_back : t -> Page.t -> unit
+(** Receive a page returned by a remote peer (step 6 of Figure 5b).  Raises
+    [Invalid_argument] if the page belongs to another pool. *)

@@ -1,0 +1,100 @@
+(* A process's view of zero-copy buffers: arrays of mapped pages.
+
+   This is deliberately a buffer-granular model rather than a full page
+   table: the §4.3 mechanism only ever remaps whole page-aligned buffers, so
+   a buffer is an array of page references plus the COW bookkeeping. *)
+
+type buffer = {
+  mutable pages : Page.t array;
+  mutable len : int;  (** payload bytes, <= Array.length pages * Page.size *)
+}
+
+type t = {
+  pid : int;
+  pool : Pool.t;
+  mutable mapped_pages : int;
+  mutable cow_copies : int;
+}
+
+let create ~pid ~pool_capacity = { pid; pool = Pool.create ~owner:pid ~capacity:pool_capacity; mapped_pages = 0; cow_copies = 0 }
+
+let pid t = t.pid
+let pool t = t.pool
+let mapped_pages t = t.mapped_pages
+let cow_copies t = t.cow_copies
+
+(* Materialize application bytes as pinned-able pages.  In the real system
+   the application buffer already lives in these pages, so the blit below
+   models no simulated-time cost. *)
+let buffer_of_bytes t src ~off ~len =
+  let n = Page.pages_for_bytes len in
+  let pages =
+    Array.init n (fun i ->
+        let p = Pool.alloc t.pool in
+        let chunk_off = i * Page.size in
+        let chunk_len = min Page.size (len - chunk_off) in
+        Bytes.blit src (off + chunk_off) p.Page.data 0 chunk_len;
+        p)
+  in
+  t.mapped_pages <- t.mapped_pages + n;
+  { pages; len }
+
+(* Mark every page shared copy-on-write, as the sender does before handing
+   page addresses to the peer. *)
+let share_for_send buf = Array.iter Page.share buf.pages
+
+(* Map pages received from a peer into this space (receive side of Fig 5). *)
+let map_received t pages ~len =
+  t.mapped_pages <- t.mapped_pages + Array.length pages;
+  { pages; len }
+
+let read buf ~dst ~dst_off =
+  let remaining = ref buf.len in
+  Array.iteri
+    (fun i p ->
+      if !remaining > 0 then begin
+        let chunk = min Page.size !remaining in
+        Page.read p ~off:0 ~dst ~dst_off:(dst_off + (i * Page.size)) ~len:chunk;
+        remaining := !remaining - chunk
+      end)
+    buf.pages
+
+let to_bytes buf =
+  let b = Bytes.create buf.len in
+  read buf ~dst:b ~dst_off:0;
+  b
+
+(* Overwrite part of a buffer, exercising the COW path; returns the number
+   of page copies that occurred (the caller charges copy costs). *)
+let write t buf ~at ~src ~src_off ~len =
+  if at + len > Array.length buf.pages * Page.size then invalid_arg "Space.write: out of range";
+  let copies = ref 0 in
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = at + !pos in
+    let page_idx = abs / Page.size in
+    let page_off = abs mod Page.size in
+    let chunk = min (Page.size - page_off) (len - !pos) in
+    let page, copied =
+      Page.write buf.pages.(page_idx) ~off:page_off ~src ~src_off:(src_off + !pos) ~len:chunk
+    in
+    if copied then begin
+      incr copies;
+      buf.pages.(page_idx) <- page
+    end;
+    pos := !pos + chunk
+  done;
+  t.cow_copies <- t.cow_copies + !copies;
+  buf.len <- max buf.len (at + len);
+  !copies
+
+(* Unmap and free a buffer; foreign pages are reported for the page-return
+   protocol. *)
+let unmap t buf =
+  t.mapped_pages <- t.mapped_pages - Array.length buf.pages;
+  Array.fold_left
+    (fun acc p ->
+      match Pool.free t.pool p with
+      | Pool.Local -> acc
+      | Pool.Foreign owner -> (owner, p) :: acc)
+    [] buf.pages

@@ -1,0 +1,36 @@
+(** A process's view of zero-copy buffers: arrays of mapped pages with COW
+    bookkeeping.  Buffer-granular rather than a full page table — the §4.3
+    mechanism only remaps whole page-aligned buffers. *)
+
+type buffer = { mutable pages : Page.t array; mutable len : int }
+
+type t
+
+val create : pid:int -> pool_capacity:int -> t
+val pid : t -> int
+val pool : t -> Pool.t
+val mapped_pages : t -> int
+val cow_copies : t -> int
+
+val buffer_of_bytes : t -> Bytes.t -> off:int -> len:int -> buffer
+(** Materialize application bytes as pages from the local pool.  In the real
+    system the application buffer already lives in these pages, so this
+    models no simulated-time cost. *)
+
+val share_for_send : buffer -> unit
+(** Mark every page shared copy-on-write (sender side before handing page
+    addresses to the peer). *)
+
+val map_received : t -> Page.t array -> len:int -> buffer
+(** Map pages received from a peer into this space. *)
+
+val read : buffer -> dst:Bytes.t -> dst_off:int -> unit
+val to_bytes : buffer -> Bytes.t
+
+val write : t -> buffer -> at:int -> src:Bytes.t -> src_off:int -> len:int -> int
+(** Overwrite part of a buffer, exercising copy-on-write; returns the number
+    of page copies performed (the caller charges copy costs). *)
+
+val unmap : t -> buffer -> (int * Page.t) list
+(** Unmap and free; returns [(owner, page)] pairs that must be returned to
+    foreign pools (the page-return protocol). *)

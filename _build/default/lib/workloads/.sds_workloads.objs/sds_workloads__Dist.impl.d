@@ -1,0 +1,1 @@
+lib/workloads/dist.ml: Array Rng Sds_sim

@@ -1,0 +1,73 @@
+(* Workload distributions for the evaluation harness.
+
+   Message sizes follow either simple synthetic shapes or the wide-area mix
+   the paper cites ([70] Thompson et al.: most packets are small, a heavy
+   tail carries most bytes).  Key popularity for KV workloads is Zipfian,
+   arrivals are Poisson — the standard datacenter modelling toolkit. *)
+
+open Sds_sim
+
+type size_dist =
+  | Fixed of int
+  | Uniform of int * int  (** inclusive bounds *)
+  | Internet_mix
+      (** 40% tiny (40-64 B ACK-like), 30% small (128-576 B), 20% MTU-ish
+          (1000-1500 B), 10% bulk (4-64 KiB) *)
+  | Bimodal of { small : int; large : int; large_percent : int }
+
+let sample_size rng = function
+  | Fixed n -> n
+  | Uniform (a, b) ->
+    if b < a then invalid_arg "Dist.sample_size: empty range";
+    a + Rng.int rng (b - a + 1)
+  | Internet_mix ->
+    let r = Rng.int rng 100 in
+    if r < 40 then 40 + Rng.int rng 25
+    else if r < 70 then 128 + Rng.int rng 449
+    else if r < 90 then 1000 + Rng.int rng 501
+    else 4096 + Rng.int rng (65536 - 4096)
+  | Bimodal { small; large; large_percent } ->
+    if Rng.int rng 100 < large_percent then large else small
+
+let mean_size rng dist ~samples =
+  let total = ref 0 in
+  for _ = 1 to samples do
+    total := !total + sample_size rng dist
+  done;
+  float_of_int !total /. float_of_int samples
+
+(* Zipf(s) over [1..n] by inverse-CDF on a precomputed table. *)
+type zipf = { cdf : float array }
+
+let zipf ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf: n must be positive";
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  { cdf }
+
+(* Sample a rank in [0..n-1]; rank 0 is the hottest key. *)
+let sample_zipf rng z =
+  let u = Rng.float rng in
+  let n = Array.length z.cdf in
+  (* binary search for the first cdf >= u *)
+  let rec bs lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if z.cdf.(mid) >= u then bs lo mid else bs (mid + 1) hi
+  in
+  bs 0 (n - 1)
+
+(* Poisson arrivals: exponential gap for a target rate (events/second),
+   in integer nanoseconds (>= 1). *)
+let poisson_gap_ns rng ~rate_per_sec =
+  if rate_per_sec <= 0.0 then invalid_arg "Dist.poisson_gap_ns: rate must be positive";
+  let mean_ns = 1e9 /. rate_per_sec in
+  max 1 (int_of_float (Rng.exponential rng ~mean:mean_ns))

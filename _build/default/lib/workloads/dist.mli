@@ -1,0 +1,26 @@
+(** Workload distributions: message sizes (including the wide-area mix the
+    paper cites), Zipf key popularity, Poisson arrivals.  All sampling is
+    from explicit deterministic RNG streams. *)
+
+open Sds_sim
+
+type size_dist =
+  | Fixed of int
+  | Uniform of int * int  (** inclusive bounds *)
+  | Internet_mix
+      (** 40% tiny (40-64 B), 30% small (128-576 B), 20% MTU-ish
+          (1000-1500 B), 10% bulk (4-64 KiB) *)
+  | Bimodal of { small : int; large : int; large_percent : int }
+
+val sample_size : Rng.t -> size_dist -> int
+val mean_size : Rng.t -> size_dist -> samples:int -> float
+
+type zipf
+
+val zipf : n:int -> s:float -> zipf
+(** Zipf(s) over ranks [0..n-1] (rank 0 hottest). *)
+
+val sample_zipf : Rng.t -> zipf -> int
+
+val poisson_gap_ns : Rng.t -> rate_per_sec:float -> int
+(** Exponential inter-arrival gap for the given rate, >= 1 ns. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Bytes Cost Engine Host List Proc Rng Sds_sim Sds_transport

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Bytes Fmt Gen Helpers Int32 List Option Printf QCheck QCheck_alcotest Sds_apps Sds_sim Socksdirect String

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Bytes Helpers List Sds_baselines Sds_sim

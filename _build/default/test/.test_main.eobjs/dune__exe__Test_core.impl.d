@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Char Fmt Helpers List Printf Sds_kernel Sds_sim Sds_transport Sds_vm Socksdirect

@@ -1,0 +1,1 @@
+test/test_core2.ml: Alcotest Array Buffer Bytes Char Digest Gen Helpers List Printf QCheck QCheck_alcotest Sds_sim Sds_transport Socksdirect

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Sds_apps Sds_baselines Sds_experiments Sds_sim

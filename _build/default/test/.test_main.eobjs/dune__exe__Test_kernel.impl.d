@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Buffer Bytes Cost Engine Gen Hashtbl Helpers List Proc QCheck QCheck_alcotest Sds_kernel Sds_sim String

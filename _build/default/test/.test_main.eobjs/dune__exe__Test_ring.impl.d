@@ -1,0 +1,1 @@
+test/test_ring.ml: Alcotest Bytes Gen List Printf QCheck QCheck_alcotest Queue Sds_ring String

@@ -1,0 +1,1 @@
+test/test_shim.ml: Alcotest Bytes Helpers Sds_kernel Sds_transport Socksdirect

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cost Engine Float Fmt Gen Heap Helpers List Proc QCheck QCheck_alcotest Rng Sds_sim Sds_transport Stats Waitq

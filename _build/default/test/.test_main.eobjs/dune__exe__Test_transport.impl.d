@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Array Bytes Cost Engine Gen Helpers Host List Msg Nic Printf Proc QCheck QCheck_alcotest Queue Sds_experiments Sds_sim Sds_transport Sds_vm Shm_chan Stats

@@ -1,0 +1,1 @@
+test/test_verbs.ml: Alcotest Bytes Helpers Host List Nic Sds_sim Sds_transport Verbs

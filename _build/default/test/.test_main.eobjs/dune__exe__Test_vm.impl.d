@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Bytes Char Gen List Page Pool QCheck QCheck_alcotest Sds_vm Space String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array QCheck QCheck_alcotest Sds_sim Sds_workloads

@@ -1,0 +1,299 @@
+(* Tests for the application layer: HTTP parsing and proxying, the KV store
+   protocol, the RPC library, the NF pipeline — each run over both the
+   SocksDirect stack and the Linux kernel stack to demonstrate the
+   drop-in-replacement property. *)
+
+open Helpers
+module Http = Sds_apps.Http
+module Sapi = Sds_apps.Sock_api
+
+(* ---- protocol codecs (pure) ---- *)
+
+let test_http_parse_header () =
+  Alcotest.(check (option (pair string string)))
+    "header" (Some ("content-length", "42"))
+    (Http.parse_header_line "Content-Length: 42");
+  Alcotest.(check (option (pair string string))) "no colon" None (Http.parse_header_line "garbage")
+
+let test_http_content_length () =
+  Alcotest.(check int) "present" 17 (Http.content_length [ ("content-length", "17") ]);
+  Alcotest.(check int) "absent" 0 (Http.content_length []);
+  Alcotest.(check int) "malformed" 0 (Http.content_length [ ("content-length", "x") ])
+
+let test_rpc_frame_roundtrip () =
+  let payload = Bytes.of_string "payload-bytes" in
+  let b = Sds_apps.Rpc.frame ~call_id:77 ~meth:"concat" ~payload in
+  let id, meth, p = Sds_apps.Rpc.parse b in
+  Alcotest.(check int) "call id" 77 id;
+  Alcotest.(check string) "method" "concat" meth;
+  Alcotest.(check string) "payload" "payload-bytes" (Bytes.to_string p)
+
+let prop_rpc_roundtrip =
+  QCheck.Test.make ~name:"rpc frame/parse roundtrip" ~count:100
+    QCheck.(triple (int_range 0 1000000) (string_of_size (Gen.int_range 0 30)) (string_of_size (Gen.int_range 0 500)))
+    (fun (id, meth, payload) ->
+      let b = Sds_apps.Rpc.frame ~call_id:id ~meth ~payload:(Bytes.of_string payload) in
+      let id', meth', p' = Sds_apps.Rpc.parse b in
+      id' = id && meth' = meth && Bytes.to_string p' = payload)
+
+let test_nf_packet_format () =
+  let p = Sds_apps.Nf.make_packet ~seq:123456789 in
+  Alcotest.(check int) "packet size" Sds_apps.Nf.packet_bytes (Bytes.length p);
+  Alcotest.(check int) "incl_len field" Sds_apps.Nf.packet_payload
+    (Int32.to_int (Bytes.get_int32_le p 8))
+
+(* ---- generic end-to-end scenarios, stack-parameterized ---- *)
+
+let http_proxy_scenario (module Api : Sapi.S) () =
+  let module H = Http.Make (Api) in
+  let w = make_world () in
+  let gen_host = add_host w in
+  let web_host = add_host w in
+  let requests = 5 in
+  let upstream_ready = ref false and proxy_ready = ref false in
+  ignore
+    (spawn w "responder" (fun () ->
+         let ep = Api.make_endpoint web_host ~core:2 in
+         let l = Api.listen ep ~port:8080 in
+         upstream_ready := true;
+         H.run_responder ep l ~requests));
+  ignore
+    (spawn w "proxy" (fun () ->
+         wait_for upstream_ready;
+         let ep = Api.make_endpoint web_host ~core:1 in
+         let l = Api.listen ep ~port:80 in
+         proxy_ready := true;
+         H.run_proxy ep ~listener:l ~upstream:web_host ~upstream_port:8080 ~requests));
+  run w (fun () ->
+      wait_for proxy_ready;
+      let ep = Api.make_endpoint gen_host ~core:0 in
+      let latencies = ref [] in
+      H.run_generator ep ~proxy:web_host ~port:80 ~requests ~size:1000
+        ~on_latency:(fun ns -> latencies := ns :: !latencies);
+      Alcotest.(check int) "all requests answered" requests (List.length !latencies);
+      List.iter (fun l -> Alcotest.(check bool) "positive latency" true (l > 0)) !latencies)
+
+let kv_scenario (module Api : Sapi.S) () =
+  let module Kv = Sds_apps.Kvstore.Make (Api) in
+  let w = make_world () in
+  let h1 = add_host w in
+  let h2 = add_host w in
+  let gets = 10 in
+  let ready = ref false in
+  ignore
+    (spawn w "kv-server" (fun () ->
+         let ep = Api.make_endpoint h2 ~core:1 in
+         let l = Api.listen ep ~port:6379 in
+         ready := true;
+         Kv.run_server ep l ~requests:(gets + 1)));
+  run w (fun () ->
+      wait_for ready;
+      let ep = Api.make_endpoint h1 ~core:0 in
+      let count = ref 0 in
+      Kv.run_client ep ~server:h2 ~port:6379 ~gets ~value_size:8 ~on_latency:(fun _ -> incr count);
+      Alcotest.(check int) "all GETs served" gets !count)
+
+let kv_set_get_del () =
+  (* Protocol-level behaviours beyond the happy path: SET/GET/DEL/miss. *)
+  let module Api = Sapi.Sds in
+  let module Kv = Sds_apps.Kvstore.Make (Api) in
+  let module Io = Sapi.Io (Api) in
+  let w = make_world () in
+  let h = add_host w in
+  let ready = ref false in
+  ignore
+    (spawn w "kv2-server" (fun () ->
+         let ep = Api.make_endpoint h ~core:1 in
+         let l = Api.listen ep ~port:6380 in
+         ready := true;
+         Kv.run_server ep l ~requests:5));
+  run w (fun () ->
+      wait_for ready;
+      let ep = Api.make_endpoint h ~core:0 in
+      let io = Io.make ep (Api.connect ep ~dst:h ~port:6380) in
+      Kv.write_command io [ "SET"; "k1"; "v1" ];
+      (match Kv.read_bulk io with
+      | Some (Some "OK") -> ()
+      | _ -> Alcotest.fail "SET failed");
+      Kv.write_command io [ "GET"; "k1" ];
+      (match Kv.read_bulk io with
+      | Some (Some v) -> Alcotest.(check string) "GET value" "v1" v
+      | _ -> Alcotest.fail "GET failed");
+      Kv.write_command io [ "DEL"; "k1" ];
+      (match Kv.read_bulk io with Some (Some "OK") -> () | _ -> Alcotest.fail "DEL failed");
+      Kv.write_command io [ "GET"; "k1" ];
+      (match Kv.read_bulk io with
+      | Some None -> () (* nil: key deleted *)
+      | _ -> Alcotest.fail "expected miss");
+      Kv.write_command io [ "BOGUS" ];
+      match Kv.read_bulk io with
+      | Some None -> ()
+      | _ -> Alcotest.fail "expected error nil")
+
+let rpc_scenario (module Api : Sapi.S) () =
+  let module R = Sds_apps.Rpc.Make (Api) in
+  let w = make_world () in
+  let h1 = add_host w in
+  let h2 = add_host w in
+  let ready = ref false in
+  ignore
+    (spawn w "rpc-server" (fun () ->
+         let ep = Api.make_endpoint h2 ~core:1 in
+         let l = Api.listen ep ~port:8081 in
+         ready := true;
+         let srv = R.create_server () in
+         R.register srv "rev" (fun p ->
+             let s = Bytes.to_string p in
+             Bytes.of_string (String.init (String.length s) (fun i -> s.[String.length s - 1 - i])));
+         R.serve ep l srv ~calls:3));
+  run w (fun () ->
+      wait_for ready;
+      let ep = Api.make_endpoint h1 ~core:0 in
+      let client = R.connect ep ~dst:h2 ~port:8081 in
+      let r1 = R.call client ~meth:"rev" ~payload:(Bytes.of_string "abcdef") in
+      Alcotest.(check string) "reversed" "fedcba" (Bytes.to_string r1);
+      let r2 = R.call client ~meth:"rev" ~payload:(Bytes.of_string "xyz") in
+      Alcotest.(check string) "second call" "zyx" (Bytes.to_string r2);
+      let r3 = R.call client ~meth:"nope" ~payload:Bytes.empty in
+      Alcotest.(check string) "unknown method error" "ERR:no-such-method" (Bytes.to_string r3))
+
+let nf_pipeline_scenario () =
+  (* Three NF stages over SocksDirect; every packet must reach the sink. *)
+  let module Api = Sapi.Sds in
+  let module C = Sds_apps.Nf.Sock_channel (Api) in
+  let module R = Sds_apps.Nf.Run (C) in
+  let module Io = Sapi.Io (Api) in
+  let w = make_world () in
+  let h = add_host w in
+  let packets = 200 in
+  let stages = 3 in
+  let ready = Array.make (stages + 1) false in
+  let sunk = ref 0 in
+  for i = 0 to stages do
+    let port = 7700 + i in
+    ignore
+      (spawn w (Fmt.str "nf%d" i) (fun () ->
+           let ep = Api.make_endpoint h ~core:(1 + i) in
+           let l = Api.listen ep ~port in
+           ready.(i) <- true;
+           let input = Io.make ep (Api.accept ep l) in
+           if i = stages then sunk := R.sink ~input
+           else begin
+             let out = Io.make ep (Api.connect ep ~dst:h ~port:(port + 1)) in
+             ignore (R.nf_stage ~input ~output:out)
+           end))
+  done;
+  run w (fun () ->
+      while not (Array.for_all (fun r -> r) ready) do
+        Sds_sim.Proc.sleep_ns 1_000
+      done;
+      let ep = Api.make_endpoint h ~core:0 in
+      let out = Io.make ep (Api.connect ep ~dst:h ~port:7700) in
+      R.source ~output:out ~packets;
+      (* Let the pipeline drain. *)
+      Sds_sim.Proc.sleep_ns 50_000_000);
+  Alcotest.(check int) "every packet reached the sink" packets !sunk
+
+let test_netbricks_reference () =
+  let w = make_world () in
+  ignore (add_host w);
+  run w (fun () ->
+      let n = Sds_apps.Nf.netbricks_pipeline ~stages:4 ~packets:100 in
+      Alcotest.(check int) "all stages processed all packets" 400 n)
+
+let memcached_scenario (module Api : Sapi.S) () =
+  let module M = Sds_apps.Memcached.Make (Api) in
+  let w = make_world () in
+  let h1 = add_host w in
+  let h2 = add_host w in
+  let ready = ref false in
+  ignore
+    (spawn w "mc-server" (fun () ->
+         let ep = Api.make_endpoint h2 ~core:1 in
+         let l = Api.listen ep ~port:11211 in
+         ready := true;
+         M.run_server ep l ~requests:6));
+  run w (fun () ->
+      wait_for ready;
+      let ep = Api.make_endpoint h1 ~core:0 in
+      let c = M.connect ep ~dst:h2 ~port:11211 in
+      Alcotest.(check int) "SET ok" 0 (M.set c ~key:"alpha" ~value:(Bytes.of_string "one"));
+      (match M.get c ~key:"alpha" with
+      | Some v -> Alcotest.(check string) "GET hit" "one" (Bytes.to_string v)
+      | None -> Alcotest.fail "expected hit");
+      Alcotest.(check (option string)) "GET miss" None
+        (Option.map Bytes.to_string (M.get c ~key:"beta"));
+      Alcotest.(check int) "DELETE existing" 0 (M.delete c ~key:"alpha");
+      Alcotest.(check int) "DELETE missing" 1 (M.delete c ~key:"alpha");
+      Alcotest.(check (option string)) "gone" None (Option.map Bytes.to_string (M.get c ~key:"alpha")))
+
+let test_memcached_codec () =
+  let p =
+    { Sds_apps.Memcached.magic = Sds_apps.Memcached.req_magic; op = Sds_apps.Memcached.Set;
+      status = 0; opaque = 77; key = "the-key"; value = Bytes.of_string "the-value" }
+  in
+  let b = Sds_apps.Memcached.encode p in
+  let magic, op, klen, status, total, opaque = Sds_apps.Memcached.decode_header b in
+  Alcotest.(check int) "magic" Sds_apps.Memcached.req_magic magic;
+  Alcotest.(check bool) "opcode" true (op = Some Sds_apps.Memcached.Set);
+  Alcotest.(check int) "key len" 7 klen;
+  Alcotest.(check int) "status" 0 status;
+  Alcotest.(check int) "total body" 16 total;
+  Alcotest.(check int) "opaque" 77 opaque
+
+let test_prefork_server () =
+  let w = make_world () in
+  let h = add_host w in
+  let workers = 3 and conns_per_worker = 5 in
+  let server = Sds_apps.Prefork_server.create h ~port:9400 ~workers in
+  let ready = ref false in
+  Sds_apps.Prefork_server.start server ~engine:w.engine ~conns_per_worker
+    ~handler:Sds_apps.Prefork_server.echo_handler ~on_ready:(fun () -> ready := true);
+  run w (fun () ->
+      wait_for ready;
+      let module L = Socksdirect.Libsd in
+      let ctx = L.init h in
+      let th = L.create_thread ctx ~core:10 () in
+      let buf = Bytes.create 16 in
+      for i = 1 to workers * conns_per_worker do
+        let fd = L.socket th in
+        L.connect th fd ~dst:h ~port:9400;
+        let msg = Printf.sprintf "req-%03d" i in
+        ignore (L.send th fd (Bytes.of_string msg) ~off:0 ~len:(String.length msg));
+        let got = ref 0 in
+        while !got < String.length msg do
+          let n = L.recv th fd buf ~off:!got ~len:(String.length msg - !got) in
+          if n = 0 then failwith "prefork: eof";
+          got := !got + n
+        done;
+        Alcotest.(check string) "echo" msg (Bytes.sub_string buf 0 !got);
+        L.close th fd
+      done;
+      Sds_sim.Proc.sleep_ns 1_000_000);
+  Alcotest.(check int) "all served" (workers * conns_per_worker)
+    (Sds_apps.Prefork_server.total_served server);
+  Array.iter
+    (fun n -> Alcotest.(check int) "every worker saw its share" conns_per_worker n)
+    (Sds_apps.Prefork_server.served server)
+
+let suite =
+  [
+    Alcotest.test_case "http header parsing" `Quick test_http_parse_header;
+    Alcotest.test_case "http content-length" `Quick test_http_content_length;
+    Alcotest.test_case "rpc frame roundtrip" `Quick test_rpc_frame_roundtrip;
+    QCheck_alcotest.to_alcotest prop_rpc_roundtrip;
+    Alcotest.test_case "nf packet format" `Quick test_nf_packet_format;
+    Alcotest.test_case "http proxy over SocksDirect" `Quick (http_proxy_scenario (module Sapi.Sds));
+    Alcotest.test_case "http proxy over Linux" `Quick (http_proxy_scenario (module Sapi.Linux));
+    Alcotest.test_case "kv store over SocksDirect" `Quick (kv_scenario (module Sapi.Sds));
+    Alcotest.test_case "kv store over Linux" `Quick (kv_scenario (module Sapi.Linux));
+    Alcotest.test_case "kv SET/GET/DEL semantics" `Quick kv_set_get_del;
+    Alcotest.test_case "rpc over SocksDirect" `Quick (rpc_scenario (module Sapi.Sds));
+    Alcotest.test_case "rpc over Linux" `Quick (rpc_scenario (module Sapi.Linux));
+    Alcotest.test_case "nf pipeline over SocksDirect" `Quick nf_pipeline_scenario;
+    Alcotest.test_case "netbricks reference pipeline" `Quick test_netbricks_reference;
+    Alcotest.test_case "prefork master/worker server" `Quick test_prefork_server;
+    Alcotest.test_case "memcached binary codec" `Quick test_memcached_codec;
+    Alcotest.test_case "memcached over SocksDirect" `Quick (memcached_scenario (module Sapi.Sds));
+    Alcotest.test_case "memcached over Linux" `Quick (memcached_scenario (module Sapi.Linux));
+  ]

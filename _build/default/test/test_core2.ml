@@ -1,0 +1,386 @@
+(* Second core suite: duplex traffic, odd sizes through the zero-copy
+   boundary, ephemeral ports, error paths, and a property test pushing
+   random traffic shapes through the full SocksDirect stack. *)
+
+module L = Socksdirect.Libsd
+module Sock = Socksdirect.Sock
+open Helpers
+
+let recv_exact th fd n =
+  let b = Bytes.create n in
+  let rec fill off =
+    if off = n then b
+    else
+      let got = L.recv th fd b ~off ~len:(n - off) in
+      if got = 0 then failwith "unexpected EOF" else fill (off + got)
+  in
+  fill 0
+
+let send_all th fd b = ignore (L.send th fd b ~off:0 ~len:(Bytes.length b))
+
+let test_full_duplex () =
+  (* Both directions stream simultaneously; contents must not cross. *)
+  let w = make_world () in
+  let h = add_host w in
+  let rounds = 50 in
+  let ready = ref false in
+  let server_ok = ref false in
+  ignore
+    (spawn w "fd-server" (fun () ->
+         let ctx = L.init h in
+         let th = L.create_thread ctx ~core:1 () in
+         let lfd = L.socket th in
+         L.bind th lfd ~port:120;
+         L.listen th lfd;
+         ready := true;
+         let fd = L.accept th lfd in
+         (* Writer proc for the server->client direction. *)
+         ignore
+           (spawn w "fd-server-writer" (fun () ->
+                let th2 = L.create_thread ctx ~core:2 () in
+                for i = 1 to rounds do
+                  send_all th2 fd (Bytes.of_string (Printf.sprintf "S%07d" i))
+                done));
+         let ok = ref true in
+         for i = 1 to rounds do
+           let m = recv_exact th fd 8 in
+           if Bytes.to_string m <> Printf.sprintf "C%07d" i then ok := false
+         done;
+         server_ok := !ok));
+  run w (fun () ->
+      wait_for ready;
+      let ctx = L.init h in
+      let th = L.create_thread ctx ~core:0 () in
+      let fd = L.socket th in
+      L.connect th fd ~dst:h ~port:120;
+      (* Client writer runs concurrently with the client reader below. *)
+      ignore
+        (spawn w "fd-client-writer" (fun () ->
+             let th2 = L.create_thread ctx ~core:3 () in
+             for i = 1 to rounds do
+               send_all th2 fd (Bytes.of_string (Printf.sprintf "C%07d" i))
+             done));
+      for i = 1 to rounds do
+        let m = recv_exact th fd 8 in
+        check_bytes "server stream ordered" (Bytes.of_string (Printf.sprintf "S%07d" i)) m
+      done;
+      Sds_sim.Proc.sleep_ns 1_000_000);
+  Alcotest.(check bool) "client stream ordered at server" true !server_ok
+
+let odd_size_roundtrip ~intra size () =
+  (* Sizes straddling the zero-copy threshold and page boundaries. *)
+  let w = make_world () in
+  let h1 = add_host w in
+  let h2 = if intra then h1 else add_host w in
+  let payload = Bytes.init size (fun i -> Char.chr ((i * 131) land 0xff)) in
+  let ready = ref false in
+  ignore
+    (spawn w "odd-server" (fun () ->
+         let ctx = L.init h2 in
+         let th = L.create_thread ctx ~core:1 () in
+         let lfd = L.socket th in
+         L.bind th lfd ~port:121;
+         L.listen th lfd;
+         ready := true;
+         let fd = L.accept th lfd in
+         let m = recv_exact th fd size in
+         send_all th fd m));
+  run w (fun () ->
+      wait_for ready;
+      let ctx = L.init h1 in
+      let th = L.create_thread ctx ~core:0 () in
+      let fd = L.socket th in
+      L.connect th fd ~dst:h2 ~port:121;
+      send_all th fd payload;
+      check_bytes "odd-size payload intact" payload (recv_exact th fd size))
+
+let test_ephemeral_bind () =
+  let w = make_world () in
+  let h = add_host w in
+  run w (fun () ->
+      let ctx = L.init h in
+      let th = L.create_thread ctx ~core:0 () in
+      let a = L.socket th in
+      L.bind th a ~port:0;
+      let b = L.socket th in
+      L.bind th b ~port:0;
+      match (L.lookup th a, L.lookup th b) with
+      | L.U sa, L.U sb ->
+        Alcotest.(check bool) "ephemeral ports assigned" true
+          (sa.Sock.local_port >= 32768 && sb.Sock.local_port >= 32768);
+        Alcotest.(check bool) "distinct" true (sa.Sock.local_port <> sb.Sock.local_port)
+      | _ -> Alcotest.fail "expected sockets")
+
+let test_send_before_connect () =
+  let w = make_world () in
+  let h = add_host w in
+  run w (fun () ->
+      let ctx = L.init h in
+      let th = L.create_thread ctx ~core:0 () in
+      let fd = L.socket th in
+      Alcotest.check_raises "ENOTCONN" (Invalid_argument "libsd.send: not connected") (fun () ->
+          ignore (L.send th fd (Bytes.of_string "x") ~off:0 ~len:1)))
+
+let test_bad_fd () =
+  let w = make_world () in
+  let h = add_host w in
+  run w (fun () ->
+      let ctx = L.init h in
+      let th = L.create_thread ctx ~core:0 () in
+      Alcotest.check_raises "EBADF" (L.Bad_fd 99) (fun () ->
+          ignore (L.recv th 99 (Bytes.create 1) ~off:0 ~len:1)))
+
+let test_zero_length_send_recv () =
+  let w = make_world () in
+  let h = add_host w in
+  let ready = ref false in
+  ignore
+    (spawn w "z-server" (fun () ->
+         let ctx = L.init h in
+         let th = L.create_thread ctx ~core:1 () in
+         let lfd = L.socket th in
+         L.bind th lfd ~port:122;
+         L.listen th lfd;
+         ready := true;
+         let fd = L.accept th lfd in
+         let m = recv_exact th fd 2 in
+         send_all th fd m));
+  run w (fun () ->
+      wait_for ready;
+      let ctx = L.init h in
+      let th = L.create_thread ctx ~core:0 () in
+      let fd = L.socket th in
+      L.connect th fd ~dst:h ~port:122;
+      Alcotest.(check int) "send of 0 bytes" 0 (L.send th fd Bytes.empty ~off:0 ~len:0);
+      send_all th fd (Bytes.of_string "ok");
+      check_bytes "still works" (Bytes.of_string "ok") (recv_exact th fd 2))
+
+let test_many_connections_one_thread () =
+  (* One client thread multiplexing 20 concurrent connections. *)
+  let w = make_world () in
+  let h = add_host w in
+  let n = 20 in
+  let ready = ref false in
+  ignore
+    (spawn w "many-server" (fun () ->
+         let ctx = L.init h in
+         let th = L.create_thread ctx ~core:1 () in
+         let lfd = L.socket th in
+         L.bind th lfd ~port:123;
+         L.listen th lfd;
+         ready := true;
+         for _ = 1 to n do
+           let fd = L.accept th lfd in
+           ignore
+             (spawn w "many-worker" (fun () ->
+                  let th2 = L.create_thread ctx ~core:2 () in
+                  let m = recv_exact th2 fd 4 in
+                  send_all th2 fd m))
+         done));
+  run w (fun () ->
+      wait_for ready;
+      let ctx = L.init h in
+      let th = L.create_thread ctx ~core:0 () in
+      let fds = Array.init n (fun _ -> L.socket th) in
+      Array.iter (fun fd -> L.connect th fd ~dst:h ~port:123) fds;
+      Array.iteri
+        (fun i fd -> send_all th fd (Bytes.of_string (Printf.sprintf "%04d" i)))
+        fds;
+      Array.iteri
+        (fun i fd ->
+          check_bytes "per-connection isolation" (Bytes.of_string (Printf.sprintf "%04d" i))
+            (recv_exact th fd 4))
+        fds)
+
+(* Property: any sequence of message sizes streams through SocksDirect
+   byte-exactly (inline, chunked, and zero-copy paths mixed). *)
+let prop_stream_integrity =
+  QCheck.Test.make ~name:"random traffic streams byte-exactly through SocksDirect" ~count:20
+    QCheck.(list_of_size (Gen.int_range 1 8) (int_range 1 40_000))
+    (fun sizes ->
+      let total = List.fold_left ( + ) 0 sizes in
+      let w = make_world () in
+      let h = add_host w in
+      let sent_digest = ref "" and received_digest = ref "" in
+      let ready = ref false in
+      ignore
+        (spawn w "prop-server" (fun () ->
+             let ctx = L.init h in
+             let th = L.create_thread ctx ~core:1 () in
+             let lfd = L.socket th in
+             L.bind th lfd ~port:124;
+             L.listen th lfd;
+             ready := true;
+             let fd = L.accept th lfd in
+             let buf = Bytes.create total in
+             let got = ref 0 in
+             while !got < total do
+               let n = L.recv th fd buf ~off:!got ~len:(total - !got) in
+               if n = 0 then failwith "eof";
+               got := !got + n
+             done;
+             received_digest := Digest.to_hex (Digest.bytes buf)));
+      run w (fun () ->
+          wait_for ready;
+          let ctx = L.init h in
+          let th = L.create_thread ctx ~core:0 () in
+          let fd = L.socket th in
+          L.connect th fd ~dst:h ~port:124;
+          let all = Buffer.create total in
+          let rng = Sds_sim.Rng.create ~seed:(total + List.length sizes) in
+          List.iter
+            (fun size ->
+              let payload = Sds_sim.Rng.bytes rng size in
+              Buffer.add_bytes all payload;
+              send_all th fd payload)
+            sizes;
+          sent_digest := Digest.to_hex (Digest.string (Buffer.contents all));
+          Sds_sim.Proc.sleep_ns 10_000_000);
+      !sent_digest = !received_digest)
+
+(* ---- RDMA ring flow control (§4.2) ---- *)
+
+let test_rdma_ring_backpressure () =
+  (* A sender whose inter-host peer stops consuming must block on ring
+     credits after ~one ring (64 KiB) of data — not buffer unboundedly. *)
+  let w = make_world () in
+  let h1 = add_host w in
+  let h2 = add_host w in
+  let ready = ref false in
+  let consumed = ref false in
+  ignore
+    (spawn w "bp-server" (fun () ->
+         let ctx = L.init h2 in
+         let th = L.create_thread ctx ~core:1 () in
+         let lfd = L.socket th in
+         L.bind th lfd ~port:140;
+         L.listen th lfd;
+         ready := true;
+         let fd = L.accept th lfd in
+         (* Sleep long before consuming anything. *)
+         Sds_sim.Proc.sleep_ns 5_000_000;
+         consumed := true;
+         let buf = Bytes.create 65536 in
+         let total = ref 0 in
+         while !total < 200 * 1024 do
+           let n = L.recv th fd buf ~off:0 ~len:65536 in
+           total := !total + n
+         done));
+  let sent_before_block = ref 0 in
+  let finished = ref false in
+  ignore
+    (spawn w "bp-client" (fun () ->
+         wait_for ready;
+         let ctx = L.init h1 in
+         let th = L.create_thread ctx ~core:0 () in
+         let fd = L.socket th in
+         L.connect th fd ~dst:h2 ~port:140;
+         let chunk = Bytes.make 4096 'b' in
+         for _ = 1 to 50 do
+           ignore (L.send th fd chunk ~off:0 ~len:4096);
+           if not !consumed then incr sent_before_block
+         done;
+         finished := true));
+  run w (fun () -> Sds_sim.Proc.sleep_ns 50_000_000);
+  Alcotest.(check bool) "sender eventually completed" true !finished;
+  (* 50 x 4 KiB = 200 KiB >> 64 KiB ring: the sender cannot have pushed it
+     all before the receiver started consuming. *)
+  Alcotest.(check bool) "blocked near ring capacity" true (!sent_before_block < 20)
+
+let test_interrupt_wakeup_inter_host () =
+  (* The §4.4 interrupt-mode sleep/wake works across hosts too: the wakeup
+     rides the RDMA channel's interrupt hook through the receiver's
+     monitor. *)
+  let w = make_world () in
+  let h1 = add_host w in
+  let h2 = add_host w in
+  let ready = ref false in
+  let waited = ref 0 in
+  let got = ref false in
+  ignore
+    (spawn w "iw-server" (fun () ->
+         let ctx = L.init h2 in
+         let th = L.create_thread ctx ~core:1 () in
+         let lfd = L.socket th in
+         L.bind th lfd ~port:141;
+         L.listen th lfd;
+         ready := true;
+         let fd = L.accept th lfd in
+         let b = Bytes.create 4 in
+         let t0 = Sds_sim.Engine.now w.engine in
+         (* Nothing arrives for far longer than the polling budget: the
+            server must sleep and be woken by the late sender. *)
+         let n = L.recv th fd b ~off:0 ~len:4 in
+         waited := Sds_sim.Engine.now w.engine - t0;
+         got := n = 4));
+  run w (fun () ->
+      wait_for ready;
+      let ctx = L.init h1 in
+      let th = L.create_thread ctx ~core:0 () in
+      let fd = L.socket th in
+      L.connect th fd ~dst:h2 ~port:141;
+      Sds_sim.Proc.sleep_ns 5_000_000;
+      send_all th fd (Bytes.of_string "wake");
+      Sds_sim.Proc.sleep_ns 1_000_000);
+  Alcotest.(check bool) "woken and received" true !got;
+  Alcotest.(check bool) "really slept first" true (!waited >= 5_000_000)
+
+(* ---- isolation (§3) ---- *)
+
+let test_fd_namespace_isolation () =
+  (* Process B cannot address process A's socket: FD remapping tables are
+     per process, so A's descriptor number means nothing in B. *)
+  let w = make_world () in
+  let h = add_host w in
+  run w (fun () ->
+      let ctx_a = L.init h in
+      let th_a = L.create_thread ctx_a ~core:0 () in
+      let fd_a = L.socket th_a in
+      let ctx_b = L.init h in
+      let th_b = L.create_thread ctx_b ~core:1 () in
+      Alcotest.check_raises "foreign fd is EBADF" (L.Bad_fd fd_a) (fun () ->
+          ignore (L.recv th_b fd_a (Bytes.create 1) ~off:0 ~len:1)))
+
+let test_fork_secret_rejects_impostor () =
+  (* A process that did not receive the pairing secret cannot register as
+     someone's child with the monitor (§4.1.2). *)
+  let w = make_world () in
+  let h = add_host w in
+  run w (fun () ->
+      let _ctx = L.init h in
+      let monitor = Socksdirect.Monitor.for_host h in
+      let paired =
+        Socksdirect.Monitor.rpc monitor (fun reply ->
+            Socksdirect.Monitor.Fork_pair { fp_secret = 123456789; fp_reply = reply })
+      in
+      Alcotest.(check bool) "impostor rejected" false paired)
+
+let test_queue_tokens_distinct () =
+  (* Every SHM queue carries a distinct secret token (§3). *)
+  let w = make_world () in
+  ignore (add_host w);
+  let c1 = Sds_transport.Shm_chan.create w.engine ~cost:w.cost () in
+  let c2 = Sds_transport.Shm_chan.create w.engine ~cost:w.cost () in
+  Alcotest.(check bool) "tokens differ" true
+    (Sds_transport.Shm_chan.token c1 <> Sds_transport.Shm_chan.token c2)
+
+let suite =
+  [
+    Alcotest.test_case "full duplex streams" `Quick test_full_duplex;
+    Alcotest.test_case "odd size 16383 intra" `Quick (odd_size_roundtrip ~intra:true 16383);
+    Alcotest.test_case "odd size 16384 intra (zc threshold)" `Quick (odd_size_roundtrip ~intra:true 16384);
+    Alcotest.test_case "odd size 16385 inter" `Quick (odd_size_roundtrip ~intra:false 16385);
+    Alcotest.test_case "odd size 100000 inter (non-aligned zc)" `Quick
+      (odd_size_roundtrip ~intra:false 100_000);
+    Alcotest.test_case "ephemeral bind" `Quick test_ephemeral_bind;
+    Alcotest.test_case "send before connect" `Quick test_send_before_connect;
+    Alcotest.test_case "bad fd" `Quick test_bad_fd;
+    Alcotest.test_case "zero-length send" `Quick test_zero_length_send_recv;
+    Alcotest.test_case "20 connections, one thread" `Quick test_many_connections_one_thread;
+    QCheck_alcotest.to_alcotest prop_stream_integrity;
+    Alcotest.test_case "rdma ring backpressure" `Quick test_rdma_ring_backpressure;
+    Alcotest.test_case "interrupt wakeup inter-host" `Quick test_interrupt_wakeup_inter_host;
+    Alcotest.test_case "fd namespace isolation" `Quick test_fd_namespace_isolation;
+    Alcotest.test_case "fork secret rejects impostor" `Quick test_fork_secret_rejects_impostor;
+    Alcotest.test_case "queue tokens distinct" `Quick test_queue_tokens_distinct;
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "socksdirect"
+    [
+      ("sim", Test_sim.suite);
+      ("ring", Test_ring.suite);
+      ("vm", Test_vm.suite);
+      ("transport", Test_transport.suite);
+      ("verbs", Test_verbs.suite);
+      ("kernel", Test_kernel.suite);
+      ("core", Test_core.suite);
+      ("core2", Test_core2.suite);
+      ("shim", Test_shim.suite);
+      ("baselines", Test_baselines.suite);
+      ("apps", Test_apps.suite);
+      ("workloads", Test_workloads.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,219 @@
+(* Tests for the ring-buffer library: the §4.2 SPSC ring plus the locked and
+   buffer-allocating baselines.  Includes qcheck properties on FIFO order,
+   credit conservation and the no-overwrite guarantee. *)
+
+module R = Sds_ring.Spsc_ring
+
+let enq r s = R.try_enqueue r (Bytes.of_string s) ~off:0 ~len:(String.length s)
+
+let deq r =
+  match R.try_dequeue ~auto_credit:true r with
+  | Some { R.data; _ } -> Some (Bytes.to_string data)
+  | None -> None
+
+let test_fifo () =
+  let r = R.create ~size:1024 () in
+  Alcotest.(check bool) "enq a" true (enq r "alpha");
+  Alcotest.(check bool) "enq b" true (enq r "bravo!");
+  Alcotest.(check bool) "enq c" true (enq r "");
+  Alcotest.(check (option string)) "deq a" (Some "alpha") (deq r);
+  Alcotest.(check (option string)) "deq b" (Some "bravo!") (deq r);
+  Alcotest.(check (option string)) "deq empty msg" (Some "") (deq r);
+  Alcotest.(check (option string)) "drained" None (deq r)
+
+let test_backpressure_no_overwrite () =
+  let r = R.create ~size:256 () in
+  (* Fill the ring; the enqueue that does not fit must be refused. *)
+  let msg = String.make 56 'z' in
+  let accepted = ref 0 in
+  while enq r msg do
+    incr accepted
+  done;
+  Alcotest.(check bool) "some accepted" true (!accepted > 0);
+  (* Every accepted message is intact. *)
+  for _ = 1 to !accepted do
+    Alcotest.(check (option string)) "intact" (Some msg) (deq r)
+  done;
+  Alcotest.(check (option string)) "exactly as many out as in" None (deq r)
+
+let test_wraparound () =
+  let r = R.create ~size:128 () in
+  (* Cycle enough to wrap many times. *)
+  for i = 1 to 500 do
+    let s = Printf.sprintf "m%04d" i in
+    Alcotest.(check bool) "enq" true (enq r s);
+    Alcotest.(check (option string)) "deq" (Some s) (deq r)
+  done
+
+let test_credit_return_batched () =
+  let r = R.create ~size:1024 () in
+  (* Without auto-credit, credits deplete until the consumer crosses half
+     the ring, then return in one batch (§4.2). *)
+  let sent = ref 0 in
+  while R.try_enqueue r (Bytes.make 56 'x') ~off:0 ~len:56 do
+    incr sent
+  done;
+  Alcotest.(check int) "ring filled" (1024 / 64) !sent;
+  (* Drain without credit return: producer still blocked. *)
+  let drained = ref 0 in
+  let returned = ref 0 in
+  let rec drain () =
+    match R.try_dequeue r with
+    | Some _ ->
+      incr drained;
+      let c = R.take_credit_return r in
+      if c > 0 then returned := !returned + c;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all drained" !sent !drained;
+  Alcotest.(check bool) "credit came back in >= half-ring batches" true (!returned >= 512);
+  R.return_credits r !returned;
+  Alcotest.(check int) "credits restored" 1024 (R.credits r)
+
+let test_message_too_large () =
+  let r = R.create ~size:256 () in
+  Alcotest.check_raises "over half ring rejected"
+    (Invalid_argument "Spsc_ring.try_enqueue: message larger than half ring") (fun () ->
+      ignore (R.try_enqueue r (Bytes.create 200) ~off:0 ~len:200))
+
+let test_flags_roundtrip () =
+  let r = R.create ~size:1024 () in
+  ignore (R.try_enqueue ~flags:0x2A r (Bytes.of_string "x") ~off:0 ~len:1);
+  match R.try_dequeue ~auto_credit:true r with
+  | Some { R.flags; _ } -> Alcotest.(check int) "flags" 0x2A flags
+  | None -> Alcotest.fail "expected message"
+
+let test_peek_len () =
+  let r = R.create ~size:1024 () in
+  Alcotest.(check (option int)) "empty peek" None (R.peek_len r);
+  ignore (enq r "hello");
+  Alcotest.(check (option int)) "peek len" (Some 5) (R.peek_len r);
+  ignore (deq r)
+
+(* Property: any sequence of enqueues (that the ring accepts) dequeues in
+   FIFO order with intact contents. *)
+let prop_fifo_intact =
+  QCheck.Test.make ~name:"spsc ring preserves order and content" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 64) (string_of_size (Gen.int_range 0 100)))
+    (fun msgs ->
+      let r = R.create ~size:4096 () in
+      let accepted =
+        List.filter (fun m -> R.try_enqueue r (Bytes.of_string m) ~off:0 ~len:(String.length m)) msgs
+      in
+      let out = ref [] in
+      let rec drain () =
+        match R.try_dequeue ~auto_credit:true r with
+        | Some { R.data; _ } ->
+          out := Bytes.to_string data :: !out;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      List.rev !out = accepted)
+
+(* Property: interleaved produce/consume conserves the credit invariant
+   credits + used + pending-return = capacity. *)
+let prop_credit_conservation =
+  QCheck.Test.make ~name:"credit conservation invariant" ~count:200
+    QCheck.(list (pair bool (int_range 0 80)))
+    (fun ops ->
+      let r = R.create ~size:1024 () in
+      let pending = ref 0 in
+      List.iter
+        (fun (is_enq, len) ->
+          if is_enq then ignore (R.try_enqueue r (Bytes.create len) ~off:0 ~len)
+          else begin
+            ignore (R.try_dequeue r);
+            let c = R.take_credit_return r in
+            pending := !pending + c
+          end)
+        ops;
+      (* Deliver outstanding credit returns. *)
+      R.return_credits r !pending;
+      let leftover = ref 0 in
+      let rec drain () =
+        match R.try_dequeue r with
+        | Some _ ->
+          leftover := !leftover + R.take_credit_return r;
+          drain ()
+        | None -> leftover := !leftover + R.take_credit_return r
+      in
+      drain ();
+      (* After full drain and final credit return the ring must be whole
+         minus only the not-yet-returned remainder below half ring. *)
+      R.credits r + !leftover + (R.capacity r - R.credits r - !leftover) = R.capacity r
+      && R.credits r + !leftover <= R.capacity r && R.is_empty r)
+
+(* Property: the ring never accepts a message when it lacks credits (no
+   silent overwrite), cross-checked against a model queue. *)
+let prop_model_check =
+  QCheck.Test.make ~name:"spsc ring vs model queue" ~count:150
+    QCheck.(list (pair bool (string_of_size (Gen.int_range 0 60))))
+    (fun ops ->
+      let r = R.create ~size:512 () in
+      let model = Queue.create () in
+      let ok = ref true in
+      List.iter
+        (fun (is_enq, s) ->
+          if is_enq then begin
+            if R.try_enqueue r (Bytes.of_string s) ~off:0 ~len:(String.length s) then
+              Queue.push s model
+          end
+          else
+            match (R.try_dequeue ~auto_credit:true r, Queue.take_opt model) with
+            | Some { R.data; _ }, Some expected -> if Bytes.to_string data <> expected then ok := false
+            | None, None -> ()
+            | Some _, None | None, Some _ -> ok := false)
+        ops;
+      !ok)
+
+(* ---- locked queue baseline ---- *)
+
+let test_locked_queue () =
+  let q = Sds_ring.Locked_queue.create ~capacity_bytes:100 () in
+  Alcotest.(check bool) "enq" true (Sds_ring.Locked_queue.try_enqueue q (Bytes.of_string "abc") ~off:0 ~len:3);
+  Alcotest.(check bool) "cap respected" false
+    (Sds_ring.Locked_queue.try_enqueue q (Bytes.create 200) ~off:0 ~len:200);
+  (match Sds_ring.Locked_queue.try_dequeue q with
+  | Some b -> Alcotest.(check string) "content" "abc" (Bytes.to_string b)
+  | None -> Alcotest.fail "expected message");
+  Alcotest.(check int) "empty" 0 (Sds_ring.Locked_queue.length q)
+
+(* ---- alloc queue baseline ---- *)
+
+let test_alloc_queue_fragmentation () =
+  let q = Sds_ring.Alloc_queue.create ~slots:8 ~buffer_size:4096 () in
+  Alcotest.(check bool) "enq small" true (Sds_ring.Alloc_queue.try_enqueue q (Bytes.of_string "tiny") ~off:0 ~len:4);
+  (* Internal fragmentation: an MTU buffer was allocated for 4 bytes. *)
+  Alcotest.(check int) "wasted bytes" (4096 - 4) (Sds_ring.Alloc_queue.bytes_wasted q);
+  (match Sds_ring.Alloc_queue.try_dequeue q with
+  | Some b -> Alcotest.(check string) "content back" "tiny" (Bytes.to_string b)
+  | None -> Alcotest.fail "expected message")
+
+let test_alloc_queue_slots () =
+  let q = Sds_ring.Alloc_queue.create ~slots:2 ~buffer_size:64 () in
+  let b = Bytes.create 8 in
+  Alcotest.(check bool) "slot 1" true (Sds_ring.Alloc_queue.try_enqueue q b ~off:0 ~len:8);
+  Alcotest.(check bool) "slot 2" true (Sds_ring.Alloc_queue.try_enqueue q b ~off:0 ~len:8);
+  Alcotest.(check bool) "full" false (Sds_ring.Alloc_queue.try_enqueue q b ~off:0 ~len:8);
+  ignore (Sds_ring.Alloc_queue.try_dequeue q);
+  Alcotest.(check bool) "slot freed" true (Sds_ring.Alloc_queue.try_enqueue q b ~off:0 ~len:8)
+
+let suite =
+  [
+    Alcotest.test_case "spsc fifo" `Quick test_fifo;
+    Alcotest.test_case "spsc backpressure, no overwrite" `Quick test_backpressure_no_overwrite;
+    Alcotest.test_case "spsc wraparound" `Quick test_wraparound;
+    Alcotest.test_case "spsc batched credit return" `Quick test_credit_return_batched;
+    Alcotest.test_case "spsc message too large" `Quick test_message_too_large;
+    Alcotest.test_case "spsc header flags roundtrip" `Quick test_flags_roundtrip;
+    Alcotest.test_case "spsc peek_len" `Quick test_peek_len;
+    QCheck_alcotest.to_alcotest prop_fifo_intact;
+    QCheck_alcotest.to_alcotest prop_credit_conservation;
+    QCheck_alcotest.to_alcotest prop_model_check;
+    Alcotest.test_case "locked queue baseline" `Quick test_locked_queue;
+    Alcotest.test_case "alloc queue fragmentation" `Quick test_alloc_queue_fragmentation;
+    Alcotest.test_case "alloc queue slot limit" `Quick test_alloc_queue_slots;
+  ]

@@ -1,0 +1,133 @@
+(* Tests for the glibc-shim surface: unified read/write across FD kinds,
+   fcntl, socket options, name resolution. *)
+
+module L = Socksdirect.Libsd
+module Shim = Socksdirect.Shim
+open Helpers
+
+let echo_server w host ~port =
+  let ready = ref false in
+  ignore
+    (spawn w "shim-server" (fun () ->
+         let ctx = L.init host in
+         let th = L.create_thread ctx ~core:1 () in
+         let lfd = L.socket th in
+         L.bind th lfd ~port;
+         L.listen th lfd;
+         ready := true;
+         let fd = L.accept th lfd in
+         let b = Bytes.create 16 in
+         let n = L.recv th fd b ~off:0 ~len:16 in
+         ignore (L.send th fd b ~off:0 ~len:n)));
+  ready
+
+let test_unified_read_write () =
+  let w = make_world () in
+  let h = add_host w in
+  let ready = echo_server w h ~port:130 in
+  run w (fun () ->
+      wait_for ready;
+      let ctx = L.init h in
+      let th = L.create_thread ctx ~core:0 () in
+      (* The same read/write calls drive a socket... *)
+      let sfd = L.socket th in
+      L.connect th sfd ~dst:h ~port:130;
+      ignore (Shim.write th sfd (Bytes.of_string "via-shim") ~off:0 ~len:8);
+      let b = Bytes.create 8 in
+      let got = ref 0 in
+      while !got < 8 do
+        got := !got + Shim.read th sfd b ~off:!got ~len:(8 - !got)
+      done;
+      check_bytes "socket echo through shim" (Bytes.of_string "via-shim") b;
+      (* ...and a kernel pipe exposed through the same FD space. *)
+      let kproc = L.kernel_process ctx in
+      let r, wr = Sds_kernel.Kernel.pipe kproc in
+      let rfd = L.register_kernel_fd th r in
+      let wfd = L.register_kernel_fd th wr in
+      ignore (Shim.write th wfd (Bytes.of_string "pipe") ~off:0 ~len:4);
+      let d = Bytes.create 4 in
+      let got = ref 0 in
+      while !got < 4 do
+        got := !got + Shim.read th rfd d ~off:!got ~len:(4 - !got)
+      done;
+      check_bytes "pipe through same API" (Bytes.of_string "pipe") d;
+      Shim.close th rfd;
+      Shim.close th wfd)
+
+let test_fcntl () =
+  let w = make_world () in
+  let h = add_host w in
+  run w (fun () ->
+      let ctx = L.init h in
+      let th = L.create_thread ctx ~core:0 () in
+      let fd = L.socket th in
+      Alcotest.(check int) "initially blocking" 0 (Shim.fcntl th fd Shim.F_GETFL);
+      ignore (Shim.fcntl th fd (Shim.F_SETFL { nonblock = true }));
+      Alcotest.(check int) "nonblocking set" 1 (Shim.fcntl th fd Shim.F_GETFL);
+      let fd2 = Shim.fcntl th fd Shim.F_DUPFD in
+      Alcotest.(check bool) "dupfd allocates" true (fd2 > fd))
+
+let test_sockopts () =
+  let w = make_world () in
+  let h = add_host w in
+  run w (fun () ->
+      let ctx = L.init h in
+      let th = L.create_thread ctx ~core:0 () in
+      let fd = L.socket th in
+      Alcotest.(check int) "default sndbuf = ring size" (64 * 1024)
+        (Shim.getsockopt th fd Shim.SO_SNDBUF);
+      Shim.setsockopt th fd Shim.SO_SNDBUF 262144;
+      Alcotest.(check int) "request round-trips" 262144 (Shim.getsockopt th fd Shim.SO_SNDBUF);
+      (* Compatibility no-ops must not raise. *)
+      Shim.setsockopt th fd Shim.TCP_NODELAY 1;
+      Shim.setsockopt th fd Shim.SO_REUSEADDR 1;
+      Shim.setsockopt th fd Shim.SO_KEEPALIVE 1;
+      Alcotest.(check int) "no error" 0 (Shim.getsockopt th fd Shim.SO_ERROR);
+      Alcotest.check_raises "SO_ERROR read-only"
+        (Invalid_argument "setsockopt: SO_ERROR is read-only") (fun () ->
+          Shim.setsockopt th fd Shim.SO_ERROR 0))
+
+let test_names () =
+  let w = make_world () in
+  let h = add_host w in
+  let ready = echo_server w h ~port:131 in
+  run w (fun () ->
+      wait_for ready;
+      let ctx = L.init h in
+      let th = L.create_thread ctx ~core:0 () in
+      let fd = L.socket th in
+      Alcotest.check_raises "getpeername before connect"
+        (Invalid_argument "getpeername: not connected") (fun () ->
+          ignore (Shim.getpeername th fd));
+      L.connect th fd ~dst:h ~port:131;
+      let peer_host, peer_port = Shim.getpeername th fd in
+      Alcotest.(check int) "peer host" (Sds_transport.Host.id h) peer_host;
+      Alcotest.(check int) "peer port" 131 peer_port;
+      ignore (L.send th fd (Bytes.of_string "x") ~off:0 ~len:1))
+
+let test_open_file () =
+  let w = make_world () in
+  let h = add_host w in
+  run w (fun () ->
+      let ctx = L.init h in
+      let th = L.create_thread ctx ~core:0 () in
+      let ffd = Shim.open_file th "/etc/config" in
+      (match L.lookup th ffd with
+      | L.K _ -> ()
+      | _ -> Alcotest.fail "expected kernel-backed fd");
+      (* Socket FDs and file FDs share the namespace with lowest-first
+         allocation (§4.5.1). *)
+      let sfd = L.socket th in
+      Alcotest.(check int) "contiguous FD space" (ffd + 1) sfd;
+      Shim.close th ffd;
+      let sfd2 = L.socket th in
+      Alcotest.(check int) "file fd recycled for a socket" ffd sfd2)
+
+let suite =
+  [
+    Alcotest.test_case "unified read/write across fd kinds" `Quick test_unified_read_write;
+    Alcotest.test_case "fcntl" `Quick test_fcntl;
+    Alcotest.test_case "socket options" `Quick test_sockopts;
+    Alcotest.test_case "getsockname/getpeername" `Quick test_names;
+    Alcotest.test_case "open_file shares the fd namespace" `Quick test_open_file;
+  ]

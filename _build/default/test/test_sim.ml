@@ -1,0 +1,340 @@
+(* Tests for the simulation substrate: heap, engine, procs, waitq, cpu,
+   rng, stats, cost model. *)
+
+open Sds_sim
+open Helpers
+
+(* ---- heap ---- *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~less:(fun a b -> a < b) ~dummy:0 () in
+  List.iter (Heap.push h) [ 5; 3; 9; 1; 7; 1; 8; 2 ];
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 2; 3; 5; 7; 8; 9 ] (drain []);
+  Alcotest.(check bool) "empty after drain" true (Heap.is_empty h)
+
+let test_heap_peek () =
+  let h = Heap.create ~less:(fun a b -> a < b) ~dummy:0 () in
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  Heap.push h 4;
+  Heap.push h 2;
+  Alcotest.(check (option int)) "peek min" (Some 2) (Heap.peek h);
+  Alcotest.(check int) "length" 2 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any int list in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~less:(fun a b -> a < b) ~dummy:0 () in
+      List.iter (Heap.push h) xs;
+      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+      drain [] = List.sort compare xs)
+
+(* ---- engine ---- *)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:10 (fun () -> log := "b" :: !log);
+  Engine.schedule e ~delay:5 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay:10 (fun () -> log := "c" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "time order, FIFO at ties" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 10 (Engine.now e)
+
+let test_engine_horizon () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule e ~delay:100 (fun () -> fired := true);
+  Engine.run ~until:50 e;
+  Alcotest.(check bool) "beyond horizon not fired" false !fired;
+  Alcotest.(check int) "clock advanced to horizon" 50 (Engine.now e);
+  Engine.run ~until:200 e;
+  Alcotest.(check bool) "fired on resume" true !fired
+
+let test_engine_error_propagates () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:1 (fun () -> failwith "boom");
+  Alcotest.check_raises "event exception re-raised" (Failure "boom") (fun () -> Engine.run e)
+
+let test_engine_negative_delay () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay rejected"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-1) ignore)
+
+(* ---- procs ---- *)
+
+let test_proc_sleep_advances_time () =
+  let w = make_world () in
+  let t_end = ref 0 in
+  run w (fun () ->
+      Proc.sleep_ns 123;
+      Proc.sleep_ns 456;
+      t_end := Engine.now w.engine);
+  Alcotest.(check int) "slept total" 579 !t_end
+
+let test_proc_suspend_resume () =
+  let w = make_world () in
+  let wake_fn = ref (fun () -> ()) in
+  let resumed_at = ref 0 in
+  ignore
+    (spawn w "sleeper" (fun () ->
+         Proc.suspend (fun _p wake -> wake_fn := wake);
+         resumed_at := Engine.now w.engine));
+  run w (fun () ->
+      Proc.sleep_ns 1000;
+      !wake_fn ());
+  Alcotest.(check int) "resumed at waker's time" 1000 !resumed_at
+
+let test_proc_wake_idempotent () =
+  let w = make_world () in
+  let wake_fn = ref (fun () -> ()) in
+  let resumes = ref 0 in
+  ignore
+    (spawn w "sleeper" (fun () ->
+         Proc.suspend (fun _p wake -> wake_fn := wake);
+         incr resumes));
+  run w (fun () ->
+      Proc.sleep_ns 10;
+      !wake_fn ();
+      !wake_fn ();
+      !wake_fn ());
+  Alcotest.(check int) "woken exactly once" 1 !resumes
+
+let test_proc_exception_aborts_run () =
+  let w = make_world () in
+  ignore (spawn w "bad" (fun () -> failwith "proc-boom"));
+  Alcotest.check_raises "proc failure surfaces" (Failure "proc-boom") (fun () ->
+      Engine.run w.engine)
+
+let test_proc_on_exit () =
+  let w = make_world () in
+  let order = ref [] in
+  let p = spawn w "worker" (fun () -> Proc.sleep_ns 5) in
+  Proc.on_exit p (fun () -> order := "exit" :: !order);
+  run w (fun () -> Proc.sleep_ns 1);
+  Alcotest.(check (list string)) "exit hook ran" [ "exit" ] !order;
+  Alcotest.(check bool) "dead" false (Proc.is_alive p)
+
+(* ---- waitq ---- *)
+
+let test_waitq_fifo () =
+  let w = make_world () in
+  let q = Waitq.create () in
+  let order = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (spawn w (Fmt.str "w%d" i) (fun () ->
+           (match Waitq.wait q with _ -> ());
+           order := i :: !order))
+  done;
+  run w (fun () ->
+      Proc.sleep_ns 10;
+      Waitq.signal q;
+      Waitq.signal q;
+      Waitq.signal q);
+  Alcotest.(check (list int)) "FIFO wakeups" [ 1; 2; 3 ] (List.rev !order)
+
+let test_waitq_banked_signal () =
+  let w = make_world () in
+  let q = Waitq.create () in
+  let got = ref false in
+  run w (fun () ->
+      Waitq.signal q;
+      (* The signal preceded the wait: it must not be lost. *)
+      (match Waitq.wait q with
+      | Waitq.Signaled -> got := true
+      | Waitq.Timeout -> ()));
+  Alcotest.(check bool) "no lost wakeup" true !got
+
+let test_waitq_timeout () =
+  let w = make_world () in
+  let q = Waitq.create () in
+  let outcome = ref Waitq.Signaled in
+  let t = ref 0 in
+  run w (fun () ->
+      outcome := Waitq.wait ~timeout_ns:500 q;
+      t := Engine.now w.engine);
+  Alcotest.(check bool) "timed out" true (!outcome = Waitq.Timeout);
+  Alcotest.(check int) "after timeout duration" 500 !t
+
+let test_waitq_broadcast () =
+  let w = make_world () in
+  let q = Waitq.create () in
+  let woken = ref 0 in
+  for _ = 1 to 4 do
+    ignore
+      (spawn w "b" (fun () ->
+           (match Waitq.wait q with _ -> ());
+           incr woken))
+  done;
+  run w (fun () ->
+      Proc.sleep_ns 1;
+      Waitq.broadcast q);
+  Alcotest.(check int) "all woken" 4 !woken
+
+(* ---- cpu rotation ---- *)
+
+let test_cpu_rotation_latency () =
+  (* K pollers on a core: a full rotation costs (K-1) switches + 1 spin. *)
+  let w = make_world () in
+  let h = add_host w in
+  let cpu = Sds_transport.Host.core h 0 in
+  let rotations = 10 in
+  let times = Array.make 3 0 in
+  for i = 0 to 2 do
+    ignore
+      (spawn w (Fmt.str "poller%d" i) (fun () ->
+           let t0 = Engine.now w.engine in
+           for _ = 1 to rotations do
+             Sds_sim.Cpu.yield_turn cpu
+           done;
+           times.(i) <- Engine.now w.engine - t0))
+  done;
+  run w (fun () -> Proc.sleep_ns 1);
+  Engine.run w.engine;
+  (* With 3 pollers each rotation hop is one switch (520ns). *)
+  Alcotest.(check bool) "rotation costs grow with members"
+    true
+    (times.(0) >= rotations * Cost.default.Cost.yield_switch)
+
+let test_cpu_alone_is_cheap () =
+  let w = make_world () in
+  let h = add_host w in
+  let cpu = Sds_transport.Host.core h 1 in
+  let elapsed = ref 0 in
+  run w (fun () ->
+      let t0 = Engine.now w.engine in
+      for _ = 1 to 100 do
+        Sds_sim.Cpu.yield_turn cpu
+      done;
+      elapsed := Engine.now w.engine - t0);
+  Alcotest.(check bool) "alone: spins, not switches" true (!elapsed < 100 * Cost.default.Cost.yield_switch)
+
+(* ---- rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:99 and b = Rng.create ~seed:99 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.split a in
+  let before = Rng.int b 1_000_000 in
+  (* Advancing [a] must not perturb [b]'s already-derived state. *)
+  let b2 = Rng.split (Rng.create ~seed:7) in
+  ignore (Rng.int b2 1_000_000);
+  Alcotest.(check bool) "split streams reproducible" true (before >= 0)
+
+let prop_rng_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let r = Rng.create ~seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+(* ---- stats ---- *)
+
+let test_stats_percentiles () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  Alcotest.(check (float 0.001)) "mean" 50.5 (Stats.mean s);
+  Alcotest.(check (float 0.001)) "p1" 1.0 (Stats.percentile s 1.);
+  Alcotest.(check (float 0.001)) "p50" 50.0 (Stats.percentile s 50.);
+  Alcotest.(check (float 0.001)) "p99" 99.0 (Stats.percentile s 99.);
+  Alcotest.(check (float 0.001)) "max" 100.0 (Stats.max_v s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "nan mean on empty" true (Float.is_nan (Stats.mean s))
+
+let prop_stats_mean_bounded =
+  QCheck.Test.make ~name:"mean lies between min and max" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let m = Stats.mean s in
+      m >= Stats.min_v s -. 1e-9 && m <= Stats.max_v s +. 1e-9)
+
+(* ---- resources ---- *)
+
+let test_fifo_resource_queueing () =
+  let w = make_world () in
+  let r = Sds_sim.Resource.fifo w.engine in
+  run w (fun () ->
+      (* Two back-to-back acquisitions: the second queues behind the first. *)
+      Alcotest.(check int) "first served immediately" 100
+        (Sds_sim.Resource.fifo_acquire r ~service_ns:100);
+      Alcotest.(check int) "second queues" 250 (Sds_sim.Resource.fifo_acquire r ~service_ns:150);
+      Proc.sleep_ns 1_000;
+      Alcotest.(check bool) "idle after drain" false (Sds_sim.Resource.fifo_busy r);
+      Alcotest.(check int) "fresh service after idle" 50
+        (Sds_sim.Resource.fifo_acquire r ~service_ns:50))
+
+let test_token_bucket_rate () =
+  let w = make_world () in
+  let tb = Sds_sim.Resource.token_bucket w.engine ~rate_per_sec:1e9 ~burst:1000.0 in
+  run w (fun () ->
+      (* Within the burst: free. *)
+      Alcotest.(check int) "burst is free" 0 (Sds_sim.Resource.debit tb 1000);
+      (* Beyond it: 1000 tokens at 1e9/s = 1000 ns wait. *)
+      let wait = Sds_sim.Resource.debit tb 1000 in
+      Alcotest.(check int) "debit waits at the configured rate" 1000 wait;
+      (* After waiting, the balance recovers. *)
+      Proc.sleep_ns 2_000;
+      Alcotest.(check bool) "refilled" true (Sds_sim.Resource.balance tb >= 0.0))
+
+(* ---- cost model ---- *)
+
+let test_cost_remap_crossover () =
+  let c = Cost.default in
+  (* The §4.3 crossover: remapping one page is dearer than copying it, but
+     at 16 KiB and beyond remapping wins. *)
+  Alcotest.(check bool) "1 page: copy cheaper" true (Cost.copy_cost c 4096 < Cost.remap_cost c 4096);
+  Alcotest.(check bool) "16 KiB: remap cheaper" true
+    (Cost.remap_cost c (16 * 4096) < Cost.copy_cost c (16 * 4096))
+
+let test_cost_syscall_kpti () =
+  let c = Cost.default in
+  Alcotest.(check int) "kpti syscall" c.Cost.syscall_post_kpti (Cost.syscall c);
+  Alcotest.(check int) "pre-kpti syscall" c.Cost.syscall_pre_kpti
+    (Cost.syscall { c with Cost.kpti = false })
+
+let suite =
+  [
+    Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap peek/length" `Quick test_heap_peek;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    Alcotest.test_case "engine event order" `Quick test_engine_order;
+    Alcotest.test_case "engine horizon" `Quick test_engine_horizon;
+    Alcotest.test_case "engine error propagation" `Quick test_engine_error_propagates;
+    Alcotest.test_case "engine rejects negative delay" `Quick test_engine_negative_delay;
+    Alcotest.test_case "proc sleep advances time" `Quick test_proc_sleep_advances_time;
+    Alcotest.test_case "proc suspend/resume" `Quick test_proc_suspend_resume;
+    Alcotest.test_case "proc wake idempotent" `Quick test_proc_wake_idempotent;
+    Alcotest.test_case "proc exception aborts run" `Quick test_proc_exception_aborts_run;
+    Alcotest.test_case "proc on_exit" `Quick test_proc_on_exit;
+    Alcotest.test_case "waitq FIFO" `Quick test_waitq_fifo;
+    Alcotest.test_case "waitq banks early signal" `Quick test_waitq_banked_signal;
+    Alcotest.test_case "waitq timeout" `Quick test_waitq_timeout;
+    Alcotest.test_case "waitq broadcast" `Quick test_waitq_broadcast;
+    Alcotest.test_case "cpu rotation costs switches" `Quick test_cpu_rotation_latency;
+    Alcotest.test_case "cpu alone spins cheaply" `Quick test_cpu_alone_is_cheap;
+    Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    QCheck_alcotest.to_alcotest prop_rng_bounds;
+    Alcotest.test_case "stats percentiles" `Quick test_stats_percentiles;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    QCheck_alcotest.to_alcotest prop_stats_mean_bounded;
+    Alcotest.test_case "fifo resource queueing" `Quick test_fifo_resource_queueing;
+    Alcotest.test_case "token bucket rate" `Quick test_token_bucket_rate;
+    Alcotest.test_case "cost remap crossover at 16KiB" `Quick test_cost_remap_crossover;
+    Alcotest.test_case "cost syscall KPTI switch" `Quick test_cost_syscall_kpti;
+  ]

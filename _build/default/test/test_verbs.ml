@@ -1,0 +1,107 @@
+(* Tests for the libibverbs-style facade: PD/MR/QP lifecycles, the state
+   ladder, rkey checking, one- and two-sided paths. *)
+
+open Sds_transport
+module V = Verbs
+open Helpers
+
+let setup w =
+  let h1 = add_host w and h2 = add_host w in
+  let n1 = Host.nic h1 and n2 = Host.nic h2 in
+  let pd1 = V.alloc_pd n1 and pd2 = V.alloc_pd n2 in
+  let cq1 = V.create_cq n1 and cq2 = V.create_cq n2 in
+  let qp1 = V.create_qp pd1 ~send_cq:cq1 ~recv_cq:cq1 in
+  let qp2 = V.create_qp pd2 ~send_cq:cq2 ~recv_cq:cq2 in
+  (pd1, pd2, cq1, cq2, qp1, qp2)
+
+let connect qp1 qp2 =
+  V.modify_qp_init qp1;
+  V.modify_qp_init qp2;
+  V.modify_qp_rtr qp1 ~peer:qp2;
+  V.modify_qp_rtr qp2 ~peer:qp1;
+  V.modify_qp_rts qp1;
+  V.modify_qp_rts qp2
+
+let test_state_ladder () =
+  let w = make_world () in
+  run w (fun () ->
+      let _, _, _, _, qp1, qp2 = setup w in
+      (* Posting before RTS must fail. *)
+      let pd = qp1.V.vqp_pd in
+      let mr = V.reg_mr pd (Bytes.make 64 'x') ~access:[ V.Local_read ] in
+      Alcotest.check_raises "post before RTS" (V.Invalid_state "post_send: QP not in RTS")
+        (fun () -> V.post_send qp1 ~opcode:V.Send ~mr ~off:0 ~len:8 ());
+      (* Skipping INIT must fail. *)
+      Alcotest.check_raises "RTR before INIT" (V.Invalid_state "modify RTR: not in INIT")
+        (fun () -> V.modify_qp_rtr qp1 ~peer:qp2);
+      connect qp1 qp2;
+      Alcotest.(check bool) "both RTS" true (qp1.V.state = V.Rts && qp2.V.state = V.Rts))
+
+let test_two_sided_send_recv () =
+  let w = make_world () in
+  let got = ref [] in
+  run w (fun () ->
+      let _, pd2, _, _, qp1, qp2 = setup w in
+      connect qp1 qp2;
+      (* Receiver posts two buffers, sender sends two messages. *)
+      let r1 = V.reg_mr pd2 (Bytes.create 64) ~access:[ V.Local_write ] in
+      let r2 = V.reg_mr pd2 (Bytes.create 64) ~access:[ V.Local_write ] in
+      V.post_recv qp2 r1;
+      V.post_recv qp2 r2;
+      V.install_recv_handler qp2 ~on_recv:(fun mr n ->
+          got := Bytes.sub_string mr.V.buf 0 n :: !got);
+      let smr = V.reg_mr qp1.V.vqp_pd (Bytes.of_string "verbs-hello") ~access:[ V.Local_read ] in
+      V.post_send qp1 ~opcode:V.Send ~mr:smr ~off:0 ~len:11 ();
+      V.post_send qp1 ~opcode:V.Send ~mr:smr ~off:0 ~len:5 ();
+      Sds_sim.Proc.sleep_ns 100_000;
+      Alcotest.(check (list string)) "both received in order" [ "verbs-hello"; "verbs" ]
+        (List.rev !got))
+
+let test_rdma_write_needs_rkey () =
+  let w = make_world () in
+  run w (fun () ->
+      let _, pd2, _, cq2, qp1, qp2 = setup w in
+      connect qp1 qp2;
+      let smr = V.reg_mr qp1.V.vqp_pd (Bytes.make 128 'w') ~access:[ V.Local_read ] in
+      (* Without a valid rkey the NIC refuses the write. *)
+      Alcotest.check_raises "missing rkey"
+        (V.Invalid_state "post_send: invalid rkey for RDMA write") (fun () ->
+          V.post_send qp1 ~opcode:(V.Rdma_write_with_imm { imm = 7 }) ~mr:smr ~off:0 ~len:128 ());
+      (* A remote MR without REMOTE_WRITE cannot be exported. *)
+      let ro = V.reg_mr pd2 (Bytes.create 128) ~access:[ V.Local_write ] in
+      Alcotest.check_raises "no REMOTE_WRITE" (V.Invalid_state "MR lacks REMOTE_WRITE") (fun () ->
+          ignore (V.export_rkey ro));
+      (* With a proper remote MR the write lands and completes. *)
+      let rw = V.reg_mr pd2 (Bytes.create 128) ~access:[ V.Local_write; V.Remote_write ] in
+      let rkey = V.export_rkey rw in
+      V.post_send qp1 ~opcode:(V.Rdma_write_with_imm { imm = 7 }) ~mr:smr ~off:0 ~len:128
+        ~remote_rkey:rkey ();
+      Sds_sim.Proc.sleep_ns 100_000;
+      let completions = V.poll_cq cq2 ~max:8 in
+      Alcotest.(check int) "one receive completion" 1 (List.length completions);
+      match completions with
+      | [ c ] -> Alcotest.(check (option int)) "immediate carried" (Some 7) c.Nic.imm
+      | _ -> Alcotest.fail "unexpected completions")
+
+let test_mr_bounds_and_dereg () =
+  let w = make_world () in
+  run w (fun () ->
+      let _, _, _, _, qp1, qp2 = setup w in
+      connect qp1 qp2;
+      let mr = V.reg_mr qp1.V.vqp_pd (Bytes.make 64 'm') ~access:[ V.Local_read ] in
+      Alcotest.check_raises "out of MR bounds"
+        (V.Invalid_state "post_send: scatter entry out of MR bounds") (fun () ->
+          V.post_send qp1 ~opcode:V.Send ~mr ~off:32 ~len:64 ());
+      V.dereg_mr mr;
+      Alcotest.check_raises "use after dereg" (V.Invalid_state "MR deregistered") (fun () ->
+          V.post_send qp1 ~opcode:V.Send ~mr ~off:0 ~len:8 ());
+      Alcotest.check_raises "double dereg" (V.Invalid_state "MR already deregistered") (fun () ->
+          V.dereg_mr mr))
+
+let suite =
+  [
+    Alcotest.test_case "qp state ladder" `Quick test_state_ladder;
+    Alcotest.test_case "two-sided send/recv" `Quick test_two_sided_send_recv;
+    Alcotest.test_case "rdma write requires rkey" `Quick test_rdma_write_needs_rkey;
+    Alcotest.test_case "mr bounds and dereg" `Quick test_mr_bounds_and_dereg;
+  ]

@@ -1,0 +1,96 @@
+(* Tests for the workload-distribution library. *)
+
+module Dist = Sds_workloads.Dist
+module Rng = Sds_sim.Rng
+
+let prop_sizes_in_range =
+  QCheck.Test.make ~name:"uniform sizes stay in range" ~count:200
+    QCheck.(pair (int_range 1 1000) (int_range 0 1000))
+    (fun (a, extra) ->
+      let rng = Rng.create ~seed:(a + extra) in
+      let v = Dist.sample_size rng (Dist.Uniform (a, a + extra)) in
+      v >= a && v <= a + extra)
+
+let test_internet_mix_shape () =
+  let rng = Rng.create ~seed:5 in
+  let n = 20_000 in
+  let tiny = ref 0 and bulk = ref 0 in
+  let total = ref 0 and bulk_bytes = ref 0 in
+  for _ = 1 to n do
+    let s = Dist.sample_size rng Dist.Internet_mix in
+    total := !total + s;
+    if s <= 64 then incr tiny;
+    if s >= 4096 then begin
+      incr bulk;
+      bulk_bytes := !bulk_bytes + s
+    end
+  done;
+  (* ~40% tiny by count, bulk ~10% by count but most of the bytes. *)
+  Alcotest.(check bool) "tiny fraction ~40%" true
+    (!tiny > n * 35 / 100 && !tiny < n * 45 / 100);
+  Alcotest.(check bool) "bulk fraction ~10%" true
+    (!bulk > n * 7 / 100 && !bulk < n * 13 / 100);
+  Alcotest.(check bool) "bulk dominates bytes" true
+    (float_of_int !bulk_bytes > 0.5 *. float_of_int !total)
+
+let test_bimodal () =
+  let rng = Rng.create ~seed:6 in
+  let large = ref 0 in
+  for _ = 1 to 10_000 do
+    if Dist.sample_size rng (Dist.Bimodal { small = 64; large = 65536; large_percent = 25 }) = 65536
+    then incr large
+  done;
+  Alcotest.(check bool) "large ~25%" true (!large > 2200 && !large < 2800)
+
+let test_zipf_skew () =
+  let z = Dist.zipf ~n:1000 ~s:1.0 in
+  let rng = Rng.create ~seed:7 in
+  let hits = Array.make 1000 0 in
+  for _ = 1 to 50_000 do
+    let k = Dist.sample_zipf rng z in
+    hits.(k) <- hits.(k) + 1
+  done;
+  Alcotest.(check bool) "rank 0 hottest" true (hits.(0) > hits.(10));
+  Alcotest.(check bool) "rank 10 hotter than 500" true (hits.(10) > hits.(500));
+  (* Zipf(1.0): rank 0 should carry roughly 1/H(1000) ~ 13% of hits. *)
+  Alcotest.(check bool) "head mass plausible" true (hits.(0) > 4_000 && hits.(0) < 9_000)
+
+let prop_zipf_in_bounds =
+  QCheck.Test.make ~name:"zipf rank in bounds" ~count:200
+    QCheck.(pair (int_range 1 50) small_int)
+    (fun (n, seed) ->
+      let z = Dist.zipf ~n ~s:1.2 in
+      let rng = Rng.create ~seed in
+      let k = Dist.sample_zipf rng z in
+      k >= 0 && k < n)
+
+let test_poisson_mean () =
+  let rng = Rng.create ~seed:8 in
+  let n = 50_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Dist.poisson_gap_ns rng ~rate_per_sec:1_000_000.
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  (* Target gap 1000 ns; allow 5%. *)
+  Alcotest.(check bool) "mean gap ~1us" true (mean > 950. && mean < 1050.)
+
+let test_invalid_args () =
+  let rng = Rng.create ~seed:9 in
+  Alcotest.check_raises "empty uniform" (Invalid_argument "Dist.sample_size: empty range")
+    (fun () -> ignore (Dist.sample_size rng (Dist.Uniform (10, 5))));
+  Alcotest.check_raises "bad rate" (Invalid_argument "Dist.poisson_gap_ns: rate must be positive")
+    (fun () -> ignore (Dist.poisson_gap_ns rng ~rate_per_sec:0.));
+  Alcotest.check_raises "bad zipf" (Invalid_argument "Dist.zipf: n must be positive") (fun () ->
+      ignore (Dist.zipf ~n:0 ~s:1.0))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_sizes_in_range;
+    Alcotest.test_case "internet mix shape" `Quick test_internet_mix_shape;
+    Alcotest.test_case "bimodal split" `Quick test_bimodal;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    QCheck_alcotest.to_alcotest prop_zipf_in_bounds;
+    Alcotest.test_case "poisson mean gap" `Quick test_poisson_mean;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+  ]
