@@ -1,0 +1,1 @@
+bench/ring_bench.ml: Array Atomic Bytes Condition Domain Fmt Int32 Int64 List Mutex Printf Sds_ring String Unix

@@ -4,9 +4,11 @@
    (the §4.2 ring vs the locked / buffer-allocating baselines, FD tables,
    protocol codecs).
 
-   Usage: main.exe [experiment ...]
+   Usage: main.exe [--json] [experiment ...]
    with experiments from: table1 table2 table3 table4 fig7 fig8 fig9 fig10
-   fig11 fig12 redis rpc connscale ablation micro.  No arguments = all. *)
+   fig11 fig12 redis rpc connscale ablation micro ring2core.  No arguments
+   = all.  With [--json], the micro and ring2core results are also written
+   to BENCH_ring.json for the perf trajectory. *)
 
 open Sds_experiments
 
@@ -16,20 +18,43 @@ let bechamel_tests () =
   let open Bechamel in
   let payload = Bytes.make 64 'x' in
   let big = Bytes.make 4096 'y' in
-  (* §4.2 per-socket ring: no allocation, no lock. *)
+  (* §4.2 per-socket ring: no allocation, no lock.  The dequeue side uses
+     [try_dequeue_packed] — the zero-allocation hot path the transport layer
+     runs — so minor words/op on this row should read ~0. *)
   let ring = Sds_ring.Spsc_ring.create ~size:(1 lsl 16) () in
+  let dst = Bytes.create 8192 in
   let t_ring =
     Test.make ~name:"spsc_ring enq+deq 64B"
       (Staged.stage (fun () ->
            ignore (Sds_ring.Spsc_ring.try_enqueue ring payload ~off:0 ~len:64);
-           ignore (Sds_ring.Spsc_ring.try_dequeue ~auto_credit:true ring)))
+           ignore (Sds_ring.Spsc_ring.try_dequeue_packed ~auto_credit:true ring ~dst ~dst_off:0)))
   in
   let ring4k = Sds_ring.Spsc_ring.create ~size:(1 lsl 16) () in
   let t_ring4k =
     Test.make ~name:"spsc_ring enq+deq 4KiB"
       (Staged.stage (fun () ->
            ignore (Sds_ring.Spsc_ring.try_enqueue ring4k big ~off:0 ~len:4096);
-           ignore (Sds_ring.Spsc_ring.try_dequeue ~auto_credit:true ring4k)))
+           ignore (Sds_ring.Spsc_ring.try_dequeue_packed ~auto_credit:true ring4k ~dst ~dst_off:0)))
+  in
+  (* The old allocating dequeue, kept as its own row so the allocation win
+     stays visible in the output. *)
+  let ring_alloc = Sds_ring.Spsc_ring.create ~size:(1 lsl 16) () in
+  let t_ring_alloc =
+    Test.make ~name:"spsc_ring enq+deq 64B alloc"
+      (Staged.stage (fun () ->
+           ignore (Sds_ring.Spsc_ring.try_enqueue ring_alloc payload ~off:0 ~len:64);
+           ignore (Sds_ring.Spsc_ring.try_dequeue ~auto_credit:true ring_alloc)))
+  in
+  (* Vectored enqueue: 32 messages per tail publication (§4.2 batching). *)
+  let ring_batch = Sds_ring.Spsc_ring.create ~size:(1 lsl 16) () in
+  let batch_srcs = Array.make 32 (payload, 0, 64) in
+  let t_ring_batch =
+    Test.make ~name:"spsc_ring batch32 64B/msg"
+      (Staged.stage (fun () ->
+           ignore (Sds_ring.Spsc_ring.enqueue_batch ring_batch batch_srcs);
+           for _ = 1 to 32 do
+             ignore (Sds_ring.Spsc_ring.try_dequeue_packed ~auto_credit:true ring_batch ~dst ~dst_off:0)
+           done))
   in
   (* Baseline: per-FD mutex on every operation (§2.1.1). *)
   let locked = Sds_ring.Locked_queue.create ~capacity_bytes:(1 lsl 16) () in
@@ -81,34 +106,56 @@ let bechamel_tests () =
            let b = Sds_apps.Rpc.frame ~call_id:42 ~meth:"echo" ~payload:rpc_payload in
            ignore (Sds_apps.Rpc.parse b)))
   in
-  [ t_ring; t_ring4k; t_locked; t_alloc; t_fd; t_heap; t_http; t_rpc ]
+  [ t_ring; t_ring4k; t_ring_alloc; t_ring_batch; t_locked; t_alloc; t_fd; t_heap; t_http; t_rpc ]
 
+(* Runs the Bechamel suite measuring both wall clock and minor-heap words
+   per op; returns [(name, ns_per_op, minor_words_per_op)] rows. *)
 let run_bechamel () =
   let open Bechamel in
   Fmt.pr "@.== Bechamel: real wall-clock cost of the implemented data structures ==@.";
-  Fmt.pr "%-28s %12s@." "benchmark" "ns/op";
+  Fmt.pr "%-30s %12s %16s@." "benchmark" "ns/op" "minor words/op";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
-  let instance = Toolkit.Instance.monotonic_clock in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let minor = Toolkit.Instance.minor_allocated in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
-  List.iter
+  (* Each grouped run holds exactly one test; grab its single estimate
+     whatever key Analyze filed it under. *)
+  let estimate results _name =
+    Hashtbl.fold
+      (fun _ v acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> ( match Analyze.OLS.estimates v with Some [ est ] -> Some est | _ -> None))
+      results None
+  in
+  List.filter_map
     (fun test ->
-      let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
-      let results = Analyze.all ols instance raw in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Fmt.pr "%-28s %12.1f@." name est
-          | _ -> Fmt.pr "%-28s %12s@." name "n/a")
-        results)
+      let name = Test.name test in
+      let raw = Benchmark.all cfg [ clock; minor ] (Test.make_grouped ~name:"g" [ test ]) in
+      let ns = estimate (Analyze.all ols clock raw) name in
+      let words = estimate (Analyze.all ols minor raw) name in
+      match (ns, words) with
+      | Some ns, Some words ->
+        Fmt.pr "%-30s %12.1f %16.3f@." name ns words;
+        Some (name, ns, words)
+      | _ ->
+        Fmt.pr "%-30s %12s %16s@." name "n/a" "n/a";
+        None)
     (bechamel_tests ())
 
 (* ---- experiment registry ---- *)
+
+(* JSON sink: "micro" and "ring2core" deposit their rows here; when --json
+   was given, main writes them to BENCH_ring.json at exit. *)
+let json_micro : (string * float * float) list ref = ref []
+let json_ring : Ring_bench.result list ref = ref []
 
 let experiments : (string * (unit -> unit)) list =
   [
     (* micro runs first: Bechamel's wall-clock measurements are cleanest
        before the simulation experiments grow the heap. *)
-    ("micro", run_bechamel);
+    ("micro", fun () -> json_micro := run_bechamel ());
+    ("ring2core", fun () -> json_ring := Ring_bench.run_all ());
     ("table1", fun () -> Tables.run_table1 ());
     ("table2", fun () -> Tables.run_table2 ());
     ("table3", fun () -> Tables.run_table3 ());
@@ -132,10 +179,12 @@ let experiments : (string * (unit -> unit)) list =
   ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match List.filter (fun a -> a <> "--json") args with
+    | _ :: _ as names -> names
+    | [] -> List.map fst experiments
   in
   List.iter
     (fun name ->
@@ -148,4 +197,10 @@ let () =
         Fmt.epr "unknown experiment %S; available: %s@." name
           (String.concat " " (List.map fst experiments));
         exit 1)
-    requested
+    requested;
+  if json then begin
+    (* micro --json implies the ring2core rows too: the file is the ring
+       perf trajectory, so always carry the cross-domain numbers. *)
+    if !json_ring = [] && List.mem "micro" requested then json_ring := Ring_bench.run_all ();
+    Ring_bench.write_json ~path:"BENCH_ring.json" ~micro:!json_micro !json_ring
+  end

@@ -1,0 +1,304 @@
+(* Two-domain benchmarks of the §4.2 SPSC ring: one producer Domain, one
+   consumer Domain, real Atomics, real payload bytes.
+
+   The ring itself is lock-free; what this harness adds is a parking layer
+   for the ring-full / ring-empty edges so the benchmark behaves sensibly
+   on any core count: each side spins briefly (the paper's polling mode),
+   then parks on a condition variable and is woken by the peer (the
+   interrupt-mode analogue).  On a multi-core box the spin phase wins and
+   the mutex is never touched on the hot path; on a single core the park
+   hands the timeslice over instead of burning it.
+
+   Payload bytes are stamped with the message sequence number so the
+   consumer can fold a checksum and detect torn reads; the expected value
+   is recomputed arithmetically at the end. *)
+
+module R = Sds_ring.Spsc_ring
+
+type result = {
+  name : string;
+  payload : int;  (** bytes per message *)
+  msgs : int;
+  ns_per_msg : float;
+  msgs_per_sec : float;
+  mb_per_sec : float;
+  ok : bool;  (** checksums matched, nothing torn *)
+}
+
+let pp_result r =
+  Fmt.pr "%-24s %6dB %9d msgs %9.1f ns/msg %10.2f Mmsg/s %9.1f MB/s %s@." r.name r.payload
+    r.msgs r.ns_per_msg (r.msgs_per_sec /. 1e6) r.mb_per_sec
+    (if r.ok then "ok" else "CHECKSUM MISMATCH")
+
+(* ---- parking layer ---- *)
+
+type park = {
+  m : Mutex.t;
+  c : Condition.t;
+  waiting : bool Atomic.t;
+}
+
+let park_create () = { m = Mutex.create (); c = Condition.create (); waiting = Atomic.make false }
+
+let spin_budget = 512
+
+(* Park until [ready ()]; the peer calls [unpark] after making progress. *)
+let park_wait p ready =
+  let rec spin k = if ready () then true else if k = 0 then false else (Domain.cpu_relax (); spin (k - 1)) in
+  if not (spin spin_budget) then begin
+    Mutex.lock p.m;
+    Atomic.set p.waiting true;
+    while not (ready ()) do
+      Condition.wait p.c p.m
+    done;
+    Atomic.set p.waiting false;
+    Mutex.unlock p.m
+  end
+
+let unpark p =
+  if Atomic.get p.waiting then begin
+    Mutex.lock p.m;
+    Condition.broadcast p.c;
+    Mutex.unlock p.m
+  end
+
+(* ---- checksum folding ----
+
+   Fold the sequence stamp back out of the first 8 payload bytes (or fewer
+   for tiny payloads); any torn or reordered read breaks the running sum. *)
+
+let stamp buf seq payload =
+  if payload >= 8 then Bytes.set_int64_le buf 0 (Int64.of_int seq)
+  else if payload >= 4 then Bytes.set_int32_le buf 0 (Int32.of_int seq)
+  else if payload >= 1 then Bytes.set_uint8 buf 0 (seq land 0xFF)
+
+let unstamp buf off payload =
+  if payload >= 8 then Int64.to_int (Bytes.get_int64_le buf off)
+  else if payload >= 4 then Int32.to_int (Bytes.get_int32_le buf off) land 0xFFFFFFFF
+  else if payload >= 1 then Bytes.get_uint8 buf off
+  else 0
+
+let expected_sum msgs payload =
+  let b = Bytes.create (max payload 1) in
+  let acc = ref 0 in
+  for seq = 0 to msgs - 1 do
+    stamp b seq payload;
+    acc := !acc + unstamp b 0 payload
+  done;
+  !acc
+
+(* ---- cross-domain throughput ---- *)
+
+(* Producer streams [msgs] messages of [payload] bytes through the ring to
+   a consumer on another domain.  The producer uses the vectored enqueue —
+   one tail publication and one credit spend per [batch] messages, the
+   paper's adaptive batching — and the consumer returns credits in
+   half-ring batches, as the transport does. *)
+let cross_domain_throughput ?(ring_size = 1 lsl 20) ?(batch = 64) ~payload ~msgs () =
+  let r = R.create ~size:ring_size () in
+  let need = R.record_bytes payload in
+  let tx_park = park_create () (* producer parks when out of credits *)
+  and rx_park = park_create () (* consumer parks when ring empty *) in
+  let consumer_sum = ref 0 in
+  let consumer_ok = ref true in
+  let t0 = Unix.gettimeofday () in
+  let consumer =
+    Domain.spawn (fun () ->
+        let dst = Bytes.create (max payload 1) in
+        let got = ref 0 in
+        while !got < msgs do
+          let p = R.try_dequeue_packed r ~dst ~dst_off:0 in
+          if p <> R.no_msg then begin
+            if R.packed_len p <> payload then consumer_ok := false;
+            consumer_sum := !consumer_sum + unstamp dst 0 payload;
+            incr got;
+            let c = R.take_credit_return r in
+            if c > 0 then begin
+              R.return_credits r c;
+              unpark tx_park
+            end
+          end
+          else park_wait rx_park (fun () -> not (R.is_empty r))
+        done)
+  in
+  let bufs = Array.init batch (fun _ -> Bytes.create (max payload 1)) in
+  let full_srcs = Array.init batch (fun i -> (bufs.(i), 0, payload)) in
+  let sent = ref 0 in
+  while !sent < msgs do
+    let n = min batch (msgs - !sent) in
+    for i = 0 to n - 1 do
+      stamp bufs.(i) (!sent + i) payload
+    done;
+    let off = ref 0 in
+    while !off < n do
+      let srcs =
+        if !off = 0 && n = batch then full_srcs
+        else Array.init (n - !off) (fun i -> (bufs.(!off + i), 0, payload))
+      in
+      let accepted = R.enqueue_batch r srcs in
+      if accepted = 0 then park_wait tx_park (fun () -> R.credits r >= need)
+      else begin
+        off := !off + accepted;
+        unpark rx_park
+      end
+    done;
+    sent := !sent + n
+  done;
+  Domain.join consumer;
+  let dt = Unix.gettimeofday () -. t0 in
+  let ok = !consumer_ok && !consumer_sum = expected_sum msgs payload && R.is_empty r in
+  {
+    name = "ring2core stream";
+    payload;
+    msgs;
+    ns_per_msg = dt *. 1e9 /. float_of_int msgs;
+    msgs_per_sec = float_of_int msgs /. dt;
+    mb_per_sec = float_of_int msgs *. float_of_int payload /. dt /. 1e6;
+    ok;
+  }
+
+(* ---- cross-domain ping-pong ----
+
+   One message bounces between two rings; measures the full cross-domain
+   round trip (on a single-core box this is dominated by the context
+   switch, which is itself worth recording). *)
+let cross_domain_pingpong ?(ring_size = 1 lsl 16) ~payload ~rounds () =
+  let a2b = R.create ~size:ring_size () in
+  let b2a = R.create ~size:ring_size () in
+  let a_park = park_create () and b_park = park_create () in
+  let buf_b = Bytes.create (max payload 1) in
+  let responder =
+    Domain.spawn (fun () ->
+        for _ = 1 to rounds do
+          park_wait b_park (fun () -> not (R.is_empty a2b));
+          (match R.try_dequeue_into ~auto_credit:true a2b ~dst:buf_b ~dst_off:0 with
+          | Some _ -> ()
+          | None -> assert false);
+          ignore (R.try_enqueue b2a buf_b ~off:0 ~len:payload);
+          unpark a_park
+        done)
+  in
+  let buf_a = Bytes.create (max payload 1) in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to rounds do
+    ignore (R.try_enqueue a2b buf_a ~off:0 ~len:payload);
+    unpark b_park;
+    park_wait a_park (fun () -> not (R.is_empty b2a));
+    match R.try_dequeue_into ~auto_credit:true b2a ~dst:buf_a ~dst_off:0 with
+    | Some _ -> ()
+    | None -> assert false
+  done;
+  Domain.join responder;
+  let dt = Unix.gettimeofday () -. t0 in
+  {
+    name = "ring2core pingpong";
+    payload;
+    msgs = rounds;
+    ns_per_msg = dt *. 1e9 /. float_of_int rounds;
+    msgs_per_sec = float_of_int rounds /. dt;
+    mb_per_sec = float_of_int rounds *. float_of_int payload /. dt /. 1e6;
+    ok = true;
+  }
+
+(* ---- single-domain loopback (enq+deq on one core) ---- *)
+
+let single_domain_throughput ?(ring_size = 1 lsl 20) ~payload ~msgs () =
+  let r = R.create ~size:ring_size () in
+  let src = Bytes.create (max payload 1) in
+  let dst = Bytes.create (max payload 1) in
+  let t0 = Unix.gettimeofday () in
+  for seq = 0 to msgs - 1 do
+    stamp src seq payload;
+    ignore (R.try_enqueue r src ~off:0 ~len:payload);
+    ignore (R.try_dequeue_packed ~auto_credit:true r ~dst ~dst_off:0)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  {
+    name = "ring1core enq+deq";
+    payload;
+    msgs;
+    ns_per_msg = dt *. 1e9 /. float_of_int msgs;
+    msgs_per_sec = float_of_int msgs /. dt;
+    mb_per_sec = float_of_int msgs *. float_of_int payload /. dt /. 1e6;
+    ok = R.is_empty r;
+  }
+
+(* Batched flavour: vectored enqueue of [batch] messages, then a batched
+   drain — the shape of the paper's adaptive batching fast path. *)
+let single_domain_batched ?(ring_size = 1 lsl 20) ~payload ~msgs ~batch () =
+  let r = R.create ~size:ring_size () in
+  let srcs = Array.init batch (fun _ -> (Bytes.create (max payload 1), 0, payload)) in
+  let dst = Bytes.create (max payload 1) in
+  let iters = msgs / batch in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    let n = R.enqueue_batch r srcs in
+    for _ = 1 to n do
+      ignore (R.try_dequeue_packed ~auto_credit:true r ~dst ~dst_off:0)
+    done
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let total = iters * batch in
+  {
+    name = Printf.sprintf "ring1core batch=%d" batch;
+    payload;
+    msgs = total;
+    ns_per_msg = dt *. 1e9 /. float_of_int total;
+    msgs_per_sec = float_of_int total /. dt;
+    mb_per_sec = float_of_int total *. float_of_int payload /. dt /. 1e6;
+    ok = R.is_empty r;
+  }
+
+(* ---- suites ---- *)
+
+let payload_sizes = [ 8; 64; 512; 4096; 8192 ]
+
+(* Scale the message count down as payloads grow so each point runs for a
+   comparable wall-clock slice. *)
+let msgs_for payload = max 100_000 (8_000_000 / max 1 (payload / 8))
+
+let run_cross_domain () =
+  List.map (fun payload -> cross_domain_throughput ~payload ~msgs:(msgs_for payload) ()) payload_sizes
+
+let run_single_domain () =
+  List.map (fun payload -> single_domain_throughput ~payload ~msgs:(msgs_for payload) ()) payload_sizes
+
+let run_all () =
+  Fmt.pr "@.== ring2core: two-domain SPSC ring data path (real Atomics, real copies) ==@.";
+  let cross = run_cross_domain () in
+  List.iter pp_result cross;
+  let pp = cross_domain_pingpong ~payload:64 ~rounds:100_000 () in
+  pp_result pp;
+  Fmt.pr "-- single-domain loopback for comparison --@.";
+  let single = run_single_domain () in
+  List.iter pp_result single;
+  let batched = single_domain_batched ~payload:64 ~msgs:4_000_000 ~batch:32 () in
+  pp_result batched;
+  let all = cross @ [ pp ] @ single @ [ batched ] in
+  if List.for_all (fun r -> r.ok) all then Fmt.pr "all checksums ok@."
+  else Fmt.pr "CHECKSUM FAILURES PRESENT@.";
+  all
+
+(* ---- JSON emission (BENCH_ring.json) ---- *)
+
+let json_of_result r =
+  Printf.sprintf
+    {|    {"name": %S, "payload_bytes": %d, "msgs": %d, "ns_per_msg": %.2f, "msgs_per_sec": %.0f, "mb_per_sec": %.2f, "ok": %b}|}
+    r.name r.payload r.msgs r.ns_per_msg r.msgs_per_sec r.mb_per_sec r.ok
+
+let write_json ~path ~micro results =
+  let oc = open_out path in
+  let micro_json =
+    List.map
+      (fun (name, ns, words) ->
+        Printf.sprintf {|    {"name": %S, "ns_per_op": %.2f, "minor_words_per_op": %.3f}|} name ns
+          words)
+      micro
+  in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"socksdirect-ring-bench/1\",\n  \"unix_time\": %.0f,\n  \"micro\": [\n%s\n  ],\n  \"ring\": [\n%s\n  ]\n}\n"
+    (Unix.time ())
+    (String.concat ",\n" micro_json)
+    (String.concat ",\n" (List.map json_of_result results));
+  close_out oc;
+  Fmt.pr "wrote %s@." path

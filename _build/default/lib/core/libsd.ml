@@ -168,25 +168,30 @@ let listen th fd =
 
 (* ---- data path helpers ---- *)
 
+(* Per-via preamble before touching a channel transport: forked children
+   re-establish QPs before first use (§4.1.2), and unbatched configurations
+   pay one doorbell MMIO per message. *)
+let tx_prework th (tx : Sock.chan_tx) =
+  match Shm_chan.via tx.Sock.chan with
+  | Shm_chan.Shm -> ()
+  | Shm_chan.Rdma qp ->
+    if tx.Sock.needs_reinit then begin
+      Proc.sleep_ns th.ctx.cost.Cost.rdma_qp_create;
+      tx.Sock.needs_reinit <- false
+    end;
+    if not th.ctx.config.batching then begin
+      (* Unbatched: one doorbell MMIO per message on the CPU, one WQE per
+         message on the NIC. *)
+      Nic.set_batching qp false;
+      Proc.sleep_ns 100
+    end
+
 (* Send one message over the socket's tx transport, blocking on the ring's
    credit flow control.  The per-message CPU cost lives in the channel. *)
 let rec send_msg th (s : Sock.t) msg =
   match Sock.tx_exn s with
   | Sock.Tx_chan tx -> (
-    (match Shm_chan.via tx.Sock.chan with
-    | Shm_chan.Shm -> ()
-    | Shm_chan.Rdma qp ->
-      (* A forked child must re-establish QPs before first use (§4.1.2). *)
-      if tx.Sock.needs_reinit then begin
-        Proc.sleep_ns th.ctx.cost.Cost.rdma_qp_create;
-        tx.Sock.needs_reinit <- false
-      end;
-      if not th.ctx.config.batching then begin
-        (* Unbatched: one doorbell MMIO per message on the CPU, one WQE per
-           message on the NIC. *)
-        Nic.set_batching qp false;
-        Proc.sleep_ns 100
-      end);
+    tx_prework th tx;
     match Shm_chan.try_send tx.Sock.chan msg with
     | Shm_chan.Sent -> ()
     | Shm_chan.Full ->
@@ -195,6 +200,24 @@ let rec send_msg th (s : Sock.t) msg =
   | Sock.Tx_kernel (kproc, kfd) ->
     let b = Msg.to_bytes msg in
     ignore (Kernel.send kproc kfd b ~off:0 ~len:(Bytes.length b))
+
+(* Send a run of messages, using the channel's vectored enqueue so a
+   multi-chunk send publishes the ring tail once per batch instead of once
+   per message; blocks on credit flow control between batches. *)
+let rec send_msgs th (s : Sock.t) msgs =
+  match msgs with
+  | [] -> ()
+  | _ -> (
+    match Sock.tx_exn s with
+    | Sock.Tx_chan tx ->
+      tx_prework th tx;
+      let n = Shm_chan.try_send_batch tx.Sock.chan msgs in
+      let rest = List.filteri (fun i _ -> i >= n) msgs in
+      if rest <> [] then begin
+        (match Waitq.wait (Shm_chan.tx_waitq tx.Sock.chan) with _ -> ());
+        send_msgs th s rest
+      end
+    | Sock.Tx_kernel _ -> List.iter (fun m -> send_msg th s m) msgs)
 
 (* Blocking wait for the next inbound message: poll, yield-rotate on the
    core, then drop to interrupt mode (§4.4).  On exit the core baton is
@@ -374,12 +397,20 @@ let accept th fd =
 
 let max_inline_chunk = 8 * 1024
 
-let rec send_chunks th s buf ~off ~len =
+let send_chunks th s buf ~off ~len =
   if len = 0 then ()
+  else if len <= max_inline_chunk then send_msg th s (Msg.data (Bytes.sub buf off len))
   else begin
-    let chunk = min len max_inline_chunk in
-    send_msg th s (Msg.data (Bytes.sub buf off chunk));
-    send_chunks th s buf ~off:(off + chunk) ~len:(len - chunk)
+    (* Large sends split into inline chunks travel as one vectored batch
+       through the ring (§4.2 adaptive batching). *)
+    let rec chunks off len =
+      if len = 0 then []
+      else begin
+        let chunk = min len max_inline_chunk in
+        Msg.data (Bytes.sub buf off chunk) :: chunks (off + chunk) (len - chunk)
+      end
+    in
+    send_msgs th s (chunks off len)
   end
 
 let send th fd buf ~off ~len =

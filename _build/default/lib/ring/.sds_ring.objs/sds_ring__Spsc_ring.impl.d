@@ -1,1 +1,1 @@
-lib/ring/spsc_ring.ml: Bytes Int32
+lib/ring/spsc_ring.ml: Array Atomic Bytes Char Int32 List

@@ -1,10 +1,37 @@
-(* The per-socket allocation-free ring buffer of §4.2.
+(* The per-socket allocation-free ring buffer of §4.2 — the real thing.
 
    Messages are stored back-to-back in one contiguous byte ring: an 8-byte
    header (4-byte length, 2-byte flags, 2-byte checksum of the header) is
    followed immediately by the payload, padded to 8-byte alignment so header
    reads are aligned.  There is no per-packet buffer allocation and no
-   metadata ring: enqueue is a bounds check plus two blits.
+   metadata ring: enqueue is a bounds check plus two stores and a blit.
+
+   Cross-core operation (OCaml 5 domains).  The ring is safe for one
+   producer domain and one consumer domain running concurrently:
+
+   - [tail] is an [Atomic.t].  The producer writes payload bytes first, then
+     the header, then publishes with [Atomic.set tail] — an SC store, so by
+     the OCaml memory model every plain [Bytes] write the producer made
+     happens-before any consumer read that observes the new tail.  The
+     consumer polls [Atomic.get tail]; it can never see a half-written
+     payload (§4.2's payload-then-header publication argument, with the
+     atomic tail store standing in for x86 total store order).
+   - [credits] is an [Atomic.t] counter of free bytes.  Only the producer
+     subtracts (spend on enqueue) and only the consumer adds (credit
+     return), so a check-then-fetch_and_add on the producer side is safe:
+     credits can only grow between the check and the subtraction.  The
+     credit return also carries the happens-before edge that makes it safe
+     for the producer to overwrite the freed region.
+   - [head] and the consumer-side counters are consumer-private; the
+     producer never reads them (flow control is purely credit-based).
+     Producer-private and consumer-private mutable state live in separate
+     heap blocks padded to a cache line so the two domains do not false-share.
+
+   The header checksum guards against torn or corrupt headers (e.g. a
+   misbehaving peer scribbling on shared memory): it folds all 32 bits of
+   the length, the flags, and a non-zero constant — so an all-zero header
+   never validates — and a failed check makes the message invisible rather
+   than decoding garbage.
 
    Flow control is credit-based exactly as in the paper: the sender spends
    [credits] bytes per enqueue; the receiver counts consumed bytes and posts
@@ -20,16 +47,48 @@
 let header_bytes = 8
 let align = 8
 
+(* Unaligned fixed-width access into [Bytes.t] without bounds checks; every
+   use is behind an explicit in-range test. *)
+external unsafe_get_int32 : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+external unsafe_set_int32 : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32u"
+
+(* Producer-private mutable state, padded with dummy fields so the block
+   spans a cache line of its own. *)
+type prod = {
+  mutable enqueued : int;
+  mutable p0 : int;
+  mutable p1 : int;
+  mutable p2 : int;
+  mutable p3 : int;
+  mutable p4 : int;
+  mutable p5 : int;
+  mutable p6 : int;
+}
+
+(* Consumer-private mutable state, same padding trick. *)
+type cons = {
+  mutable head : int;  (** consumer position (absolute, monotonically grows) *)
+  mutable pending_return : int;  (** consumed bytes not yet returned *)
+  mutable dequeued : int;
+  mutable c0 : int;
+  mutable c1 : int;
+  mutable c2 : int;
+  mutable c3 : int;
+  mutable c4 : int;
+}
+
 type t = {
   buf : Bytes.t;
   size : int;  (** power of two *)
   mask : int;
-  mutable head : int;  (** consumer position (absolute, monotonically grows) *)
-  mutable tail : int;  (** producer position (absolute) *)
-  mutable credits : int;  (** producer-side view of free bytes *)
-  mutable pending_return : int;  (** consumer-side bytes not yet returned *)
-  mutable enqueued : int;
-  mutable dequeued : int;
+  tail : int Atomic.t;  (** producer position (absolute); the publication point *)
+  credits : int Atomic.t;  (** free bytes: producer subtracts, consumer adds *)
+  prod : prod;
+  cons : cons;
+  (* Spacer blocks allocated between the two atomics at [create] time, kept
+     live here so the atomics stay on distinct cache lines. *)
+  _pad0 : int array;
+  _pad1 : int array;
 }
 
 let default_size = 64 * 1024
@@ -39,24 +98,29 @@ let is_power_of_two n = n > 0 && n land (n - 1) = 0
 let create ?(size = default_size) () =
   if not (is_power_of_two size) then invalid_arg "Spsc_ring.create: size must be a power of two";
   if size < 64 then invalid_arg "Spsc_ring.create: size too small";
+  let tail = Atomic.make 0 in
+  let pad0 = Array.make 8 0 in
+  let credits = Atomic.make size in
+  let pad1 = Array.make 8 0 in
   {
     buf = Bytes.create size;
     size;
     mask = size - 1;
-    head = 0;
-    tail = 0;
-    credits = size;
-    pending_return = 0;
-    enqueued = 0;
-    dequeued = 0;
+    tail;
+    credits;
+    prod = { enqueued = 0; p0 = 0; p1 = 0; p2 = 0; p3 = 0; p4 = 0; p5 = 0; p6 = 0 };
+    cons = { head = 0; pending_return = 0; dequeued = 0; c0 = 0; c1 = 0; c2 = 0; c3 = 0; c4 = 0 };
+    _pad0 = pad0;
+    _pad1 = pad1;
   }
 
 let capacity t = t.size
-let credits t = t.credits
-let used t = t.tail - t.head
-let is_empty t = t.head = t.tail
-let enqueued t = t.enqueued
-let dequeued t = t.dequeued
+let credits t = Atomic.get t.credits
+let used t = Atomic.get t.tail - t.cons.head
+let is_empty t = t.cons.head = Atomic.get t.tail
+let enqueued t = t.prod.enqueued
+let dequeued t = t.cons.dequeued
+let pending_return t = t.cons.pending_return
 
 let record_bytes len = (header_bytes + len + align - 1) land lnot (align - 1)
 
@@ -74,22 +138,68 @@ let blit_out t pos dst dst_off len =
   Bytes.blit t.buf off dst dst_off first;
   if first < len then Bytes.blit t.buf 0 dst (dst_off + first) (len - first)
 
-let header_checksum len flags = (len lxor (len lsr 13) lxor flags) land 0xFFFF
+(* Fold all 32 bits of [len] and all 16 of [flags] into 16 bits.  The
+   non-zero constant keeps an all-zero header (fresh or zeroed shared
+   memory) from validating as an empty message. *)
+let header_checksum len flags =
+  let x = len lxor (len lsr 16) in
+  let x = x lxor (x lsl 5) lxor flags lxor 0x9E37 in
+  x land 0xFFFF
 
+(* Positions only ever advance by [record_bytes] (a multiple of 8) from 0,
+   so the 8-byte header is always contiguous and the fast path below always
+   hits; the byte-wise slow path is kept for generality should alignment
+   rules ever change. *)
 let write_header t pos len flags =
-  let hdr = Bytes.create header_bytes in
-  Bytes.set_int32_le hdr 0 (Int32.of_int len);
-  Bytes.set_uint16_le hdr 4 flags;
-  Bytes.set_uint16_le hdr 6 (header_checksum len flags);
-  blit_in t hdr 0 pos header_bytes
+  let off = pos land t.mask in
+  if off + header_bytes <= t.size then begin
+    unsafe_set_int32 t.buf off (Int32.of_int len);
+    unsafe_set_int32 t.buf (off + 4)
+      (Int32.of_int (flags lor (header_checksum len flags lsl 16)))
+  end
+  else begin
+    let sum = header_checksum len flags in
+    let byte i =
+      if i < 4 then (len lsr (8 * i)) land 0xFF
+      else if i < 6 then (flags lsr (8 * (i - 4))) land 0xFF
+      else (sum lsr (8 * (i - 6))) land 0xFF
+    in
+    for i = 0 to header_bytes - 1 do
+      Bytes.unsafe_set t.buf ((pos + i) land t.mask) (Char.unsafe_chr (byte i))
+    done
+  end
+
+(* Headers decode to a packed immediate — [len lor (flags lsl 32)], or
+   [-1] when the checksum rejects — so the hot path allocates nothing. *)
+let no_msg = -1
+
+let decode_header t pos =
+  let off = pos land t.mask in
+  if off + header_bytes <= t.size then begin
+    let len = Int32.to_int (unsafe_get_int32 t.buf off) in
+    let hi = Int32.to_int (unsafe_get_int32 t.buf (off + 4)) land 0xFFFFFFFF in
+    let flags = hi land 0xFFFF in
+    let sum = (hi lsr 16) land 0xFFFF in
+    if sum <> header_checksum len flags || len < 0 || record_bytes len > t.size / 2 then no_msg
+    else len lor (flags lsl 32)
+  end
+  else begin
+    let byte i = Char.code (Bytes.unsafe_get t.buf ((pos + i) land t.mask)) in
+    let word i n =
+      let rec go k acc = if k = n then acc else go (k + 1) (acc lor (byte (i + k) lsl (8 * k))) in
+      go 0 0
+    in
+    let len = word 0 4 and flags = word 4 2 and sum = word 6 2 in
+    if sum <> header_checksum len flags || len < 0 || record_bytes len > t.size / 2 then no_msg
+    else len lor (flags lsl 32)
+  end
+
+let[@inline] packed_len p = p land 0xFFFFFFFF
+let[@inline] packed_flags p = (p lsr 32) land 0xFFFF
 
 let read_header t pos =
-  let hdr = Bytes.create header_bytes in
-  blit_out t pos hdr 0 header_bytes;
-  let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
-  let flags = Bytes.get_uint16_le hdr 4 in
-  let sum = Bytes.get_uint16_le hdr 6 in
-  if sum <> header_checksum len flags then None else Some (len, flags)
+  let p = decode_header t pos in
+  if p = no_msg then None else Some (packed_len p, packed_flags p)
 
 (* Attempt to enqueue [len] bytes of [src] (with [flags] in the header).
    Returns [false] when the sender lacks credits — never overwrites. *)
@@ -97,18 +207,52 @@ let try_enqueue ?(flags = 0) t src ~off ~len =
   if len < 0 || off < 0 || off + len > Bytes.length src then invalid_arg "Spsc_ring.try_enqueue";
   let need = record_bytes len in
   if need > t.size / 2 then invalid_arg "Spsc_ring.try_enqueue: message larger than half ring";
-  if need > t.credits then false
+  if need > Atomic.get t.credits then false
   else begin
-    (* Payload first, then the header: the consumer polls the header, so
-       total-store-order (or the RDMA completion) guarantees it never reads
-       a half-written payload (§4.2 consistency argument). *)
-    blit_in t src (off + 0) (t.tail + header_bytes) len;
-    write_header t t.tail len flags;
-    t.tail <- t.tail + need;
-    t.credits <- t.credits - need;
-    t.enqueued <- t.enqueued + 1;
+    (* Payload first, then the header, then the atomic tail store: the
+       consumer acquires through [tail], so it never reads a half-written
+       record (§4.2 consistency argument). *)
+    let tail = Atomic.get t.tail in
+    blit_in t src off (tail + header_bytes) len;
+    write_header t tail len flags;
+    Atomic.set t.tail (tail + need);
+    ignore (Atomic.fetch_and_add t.credits (-need));
+    t.prod.enqueued <- t.prod.enqueued + 1;
     true
   end
+
+(* Vectored enqueue: writes as many of [srcs] as credits allow, publishing
+   the tail once and spending credits once for the whole batch — the
+   amortization behind the paper's adaptive batching (§4.2).  Returns how
+   many messages of the prefix were enqueued. *)
+let enqueue_batch ?(flags = 0) t srcs =
+  let budget = ref (Atomic.get t.credits) in
+  let tail0 = Atomic.get t.tail in
+  let tail = ref tail0 in
+  let n = Array.length srcs in
+  let i = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !i < n do
+    let src, off, len = srcs.(!i) in
+    if len < 0 || off < 0 || off + len > Bytes.length src then
+      invalid_arg "Spsc_ring.enqueue_batch";
+    let need = record_bytes len in
+    if need > t.size / 2 then invalid_arg "Spsc_ring.enqueue_batch: message larger than half ring";
+    if need > !budget then stop := true
+    else begin
+      blit_in t src off (!tail + header_bytes) len;
+      write_header t !tail len flags;
+      tail := !tail + need;
+      budget := !budget - need;
+      incr i
+    end
+  done;
+  if !i > 0 then begin
+    Atomic.set t.tail !tail;
+    ignore (Atomic.fetch_and_add t.credits (tail0 - !tail));
+    t.prod.enqueued <- t.prod.enqueued + !i
+  end;
+  !i
 
 type dequeued = { data : Bytes.t; flags : int }
 
@@ -116,40 +260,88 @@ type dequeued = { data : Bytes.t; flags : int }
    calling [return_credits].  Returns 0 until half the ring has been
    consumed, matching the paper's batched credit-return flag. *)
 let take_credit_return t =
-  if t.pending_return >= t.size / 2 then begin
-    let r = t.pending_return in
-    t.pending_return <- 0;
+  if t.cons.pending_return >= t.size / 2 then begin
+    let r = t.cons.pending_return in
+    t.cons.pending_return <- 0;
     r
   end
   else 0
 
 let return_credits t n =
-  if n < 0 || t.credits + n > t.size then invalid_arg "Spsc_ring.return_credits";
-  t.credits <- t.credits + n
+  if n < 0 || Atomic.get t.credits + n > t.size then invalid_arg "Spsc_ring.return_credits";
+  ignore (Atomic.fetch_and_add t.credits n)
+
+(* Consumer-side bookkeeping after a message of ring footprint [consumed]
+   has been copied out. *)
+let[@inline] consume t consumed auto_credit =
+  t.cons.head <- t.cons.head + consumed;
+  t.cons.pending_return <- t.cons.pending_return + consumed;
+  t.cons.dequeued <- t.cons.dequeued + 1;
+  if auto_credit then begin
+    let r = t.cons.pending_return in
+    t.cons.pending_return <- 0;
+    ignore (Atomic.fetch_and_add t.credits r)
+  end
 
 let try_dequeue ?(auto_credit = false) t =
-  if t.head = t.tail then None
+  if is_empty t then None
   else
-    match read_header t t.head with
+    match read_header t t.cons.head with
     | None -> None
     | Some (len, flags) ->
       let data = Bytes.create len in
-      blit_out t (t.head + header_bytes) data 0 len;
-      let consumed = record_bytes len in
-      t.head <- t.head + consumed;
-      t.pending_return <- t.pending_return + consumed;
-      t.dequeued <- t.dequeued + 1;
-      if auto_credit then begin
-        let r = t.pending_return in
-        t.pending_return <- 0;
-        t.credits <- t.credits + r
-      end;
+      blit_out t (t.cons.head + header_bytes) data 0 len;
+      consume t (record_bytes len) auto_credit;
       Some { data; flags }
 
-(* Peek the length of the next message without consuming it. *)
+(* The zero-allocation dequeue primitive: copies the next payload straight
+   into [dst] and returns the packed [len lor (flags lsl 32)] immediate, or
+   [no_msg] (-1) when the ring is empty or the header invalid.  Raises when
+   [dst] cannot hold the message (use [peek_packed] to size it). *)
+let try_dequeue_packed ?(auto_credit = false) t ~dst ~dst_off =
+  if is_empty t then no_msg
+  else begin
+    let p = decode_header t t.cons.head in
+    if p = no_msg then no_msg
+    else begin
+      let len = packed_len p in
+      if dst_off < 0 || dst_off + len > Bytes.length dst then
+        invalid_arg "Spsc_ring.try_dequeue_into: buffer too small";
+      blit_out t (t.cons.head + header_bytes) dst dst_off len;
+      consume t (record_bytes len) auto_credit;
+      p
+    end
+  end
+
+(* Option-typed convenience over [try_dequeue_packed] (the [Some] box is
+   the only allocation). *)
+let try_dequeue_into ?auto_credit t ~dst ~dst_off =
+  let p = try_dequeue_packed ?auto_credit t ~dst ~dst_off in
+  if p = no_msg then None else Some (packed_len p, packed_flags p)
+
+(* Batched dequeue: up to [max] messages in arrival order.  Stops early on
+   an empty ring or an invalid header. *)
+let dequeue_batch ?(auto_credit = false) t ~max =
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else
+      match try_dequeue ~auto_credit t with
+      | None -> List.rev acc
+      | Some d -> go (d :: acc) (k - 1)
+  in
+  go [] max
+
+(* Peek the next message without consuming it: packed immediate, [no_msg]
+   when empty or invalid. *)
+let peek_packed t = if is_empty t then no_msg else decode_header t t.cons.head
+
 let peek_len t =
-  if t.head = t.tail then None
-  else
-    match read_header t t.head with
-    | None -> None
-    | Some (len, _) -> Some len
+  let p = peek_packed t in
+  if p = no_msg then None else Some (packed_len p)
+
+(* Test-only access to the underlying storage, for corruption-injection
+   tests of the header checksum. *)
+module For_testing = struct
+  let buf t = t.buf
+  let head_offset t = t.cons.head land t.mask
+end

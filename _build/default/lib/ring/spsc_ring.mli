@@ -3,9 +3,18 @@
     Single-producer / single-consumer; messages stored back-to-back with an
     8-byte header; credit-based flow control with batched credit return.
 
-    Invariant: [credits + pending-return + used = capacity], and a message
-    occupies at most half the ring, so a blocked sender always becomes
-    unblocked once the consumer drains the ring (no credit deadlock). *)
+    Safe for one producer domain and one consumer domain concurrently: the
+    tail is an atomic whose store publishes the payload-then-header writes
+    (release/acquire through the OCaml memory model's SC atomics), and the
+    credit counter is an atomic that only the producer decrements and only
+    the consumer increments.  The non-wrapping fast path performs no
+    allocation in either direction ([try_enqueue] / [try_dequeue_into]).
+
+    Invariant: [credits + pending-return + used = capacity] (counting any
+    credit return currently in flight between [take_credit_return] and
+    [return_credits] as pending), and a message occupies at most half the
+    ring, so a blocked sender always becomes unblocked once the consumer
+    drains the ring (no credit deadlock). *)
 
 type t
 
@@ -23,19 +32,59 @@ val is_empty : t -> bool
 val enqueued : t -> int
 val dequeued : t -> int
 
+val pending_return : t -> int
+(** Consumer-side bytes consumed but not yet returned as credits. *)
+
 val record_bytes : int -> int
 (** Ring bytes occupied by a message of the given payload length. *)
+
+val header_checksum : int -> int -> int
+(** [header_checksum len flags] — the 16-bit header guard.  Folds all 32
+    bits of [len]; an all-zero header never validates.  Exposed for
+    corruption-detection tests. *)
 
 val try_enqueue : ?flags:int -> t -> Bytes.t -> off:int -> len:int -> bool
 (** [false] when the sender lacks credits.  Raises [Invalid_argument] when
     the message alone exceeds half the ring (the zero-copy path must be used
-    for those). *)
+    for those).  Allocation-free. *)
+
+val enqueue_batch : ?flags:int -> t -> (Bytes.t * int * int) array -> int
+(** Vectored enqueue of [(src, off, len)] messages: writes the longest
+    prefix that fits in the available credits, publishing the tail and
+    spending credits once for the whole batch (§4.2 adaptive batching).
+    Returns the number of messages enqueued. *)
 
 type dequeued = { data : Bytes.t; flags : int }
 
 val try_dequeue : ?auto_credit:bool -> t -> dequeued option
 (** [auto_credit] returns credits synchronously (bare in-process queue); the
-    default leaves them pending for the transport to deliver. *)
+    default leaves them pending for the transport to deliver.  Allocates the
+    returned payload; the hot path should prefer [try_dequeue_into]. *)
+
+val try_dequeue_into : ?auto_credit:bool -> t -> dst:Bytes.t -> dst_off:int -> (int * int) option
+(** Dequeue straight into the caller's buffer; returns [Some (len, flags)].
+    Raises [Invalid_argument] when [dst] cannot hold the next message (use
+    [peek_len] to size it).  The [Some] box is the only allocation; the
+    fully allocation-free primitive underneath is [try_dequeue_packed]. *)
+
+val no_msg : int
+(** The [-1] sentinel returned by the packed dequeue/peek primitives. *)
+
+val try_dequeue_packed : ?auto_credit:bool -> t -> dst:Bytes.t -> dst_off:int -> int
+(** Zero-allocation dequeue primitive: copies the next payload into [dst]
+    and returns the packed immediate [len lor (flags lsl 32)], or [no_msg]
+    when the ring is empty / the header fails its checksum.  Decompose with
+    [packed_len] / [packed_flags]. *)
+
+val packed_len : int -> int
+val packed_flags : int -> int
+
+val peek_packed : t -> int
+(** Packed peek of the next message without consuming it; [no_msg] when
+    empty or invalid. *)
+
+val dequeue_batch : ?auto_credit:bool -> t -> max:int -> dequeued list
+(** Up to [max] messages in arrival order. *)
 
 val take_credit_return : t -> int
 (** Credits the consumer owes; non-zero only once half the ring has been
@@ -45,3 +94,13 @@ val return_credits : t -> int -> unit
 (** Deliver a credit return to the producer side. *)
 
 val peek_len : t -> int option
+
+(**/**)
+
+module For_testing : sig
+  val buf : t -> Bytes.t
+  (** The raw ring storage — for corruption-injection tests only. *)
+
+  val head_offset : t -> int
+  (** Byte offset of the next header within [buf]. *)
+end

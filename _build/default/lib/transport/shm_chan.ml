@@ -44,6 +44,7 @@ type t = {
   mutable deliver_hooks : (unit -> unit) list;  (** fired on every delivery (epoll) *)
   mutable sent : int;
   mutable received : int;
+  mutable scratch : Bytes.t;  (** reused dequeue target — no per-recv allocation *)
   (* Secret token guarding the queue: only holders may attach (§3). *)
   token : int;
 }
@@ -66,6 +67,7 @@ let make engine ~cost ~via ~ring_size =
     deliver_hooks = [];
     sent = 0;
     received = 0;
+    scratch = Bytes.create 256;
     token = !token_counter;
   }
 
@@ -106,42 +108,64 @@ let pending t = t.visible
 
 type send_result = Sent | Full
 
+(* The bytes a message contributes in-band: the inline payload itself, or
+   the serialized obfuscated page addresses for zero-copy messages. *)
+let ring_payload msg =
+  match msg.Msg.payload with
+  | Msg.Inline b -> b
+  | Msg.Pages (pages, _) ->
+    let b = Bytes.create (8 * Array.length pages) in
+    Array.iteri
+      (fun i p -> Bytes.set_int64_le b (i * 8) (Int64.of_int (Sds_vm.Page.obfuscated_address p)))
+      pages;
+    b
+
+(* Per-message bookkeeping once the enqueue has succeeded: timestamping,
+   sender-side CPU time, and synchronization to the receiver's copy. *)
+let after_enqueue t msg =
+  msg.Msg.sent_at <- Engine.now t.engine;
+  t.sent <- t.sent + 1;
+  (* Sender-side CPU: ring bookkeeping + inline copy into the ring. *)
+  let copy =
+    match msg.Msg.payload with
+    | Msg.Inline b -> Cost.copy_cost t.cost (Bytes.length b)
+    | Msg.Pages _ -> 0
+  in
+  Proc.sleep_ns (t.cost.Cost.shm_msg_overhead + copy);
+  match t.via with
+  | Shm ->
+    (* Visibility after one cache-line migration. *)
+    Engine.schedule t.engine ~delay:t.cost.Cost.cache_migration (fun () -> commit t msg)
+  | Rdma qp ->
+    (* One-sided write with immediate syncs the ring delta; the NIC sink
+       commits it at the receiver in order. *)
+    Nic.write_imm qp msg ~imm:t.token
+
 (* Non-blocking send.  Charges sender-side time, spends ring credits, and
    synchronizes the enqueue to the receiver's copy. *)
 let try_send t msg =
   let inline_len = Msg.ring_len msg in
-  let payload =
-    match msg.Msg.payload with
-    | Msg.Inline b -> b
-    | Msg.Pages (pages, _) ->
-      (* Serialize obfuscated page addresses in-band. *)
-      let b = Bytes.create (8 * Array.length pages) in
-      Array.iteri
-        (fun i p -> Bytes.set_int64_le b (i * 8) (Int64.of_int (Sds_vm.Page.obfuscated_address p)))
-        pages;
-      b
-  in
+  let payload = ring_payload msg in
   if not (Sds_ring.Spsc_ring.try_enqueue t.ring payload ~off:0 ~len:inline_len) then Full
   else begin
-    msg.Msg.sent_at <- Engine.now t.engine;
-    t.sent <- t.sent + 1;
-    (* Sender-side CPU: ring bookkeeping + inline copy into the ring. *)
-    let copy =
-      match msg.Msg.payload with
-      | Msg.Inline b -> Cost.copy_cost t.cost (Bytes.length b)
-      | Msg.Pages _ -> 0
-    in
-    Proc.sleep_ns (t.cost.Cost.shm_msg_overhead + copy);
-    (match t.via with
-    | Shm ->
-      (* Visibility after one cache-line migration. *)
-      Engine.schedule t.engine ~delay:t.cost.Cost.cache_migration (fun () -> commit t msg)
-    | Rdma qp ->
-      (* One-sided write with immediate syncs the ring delta; the NIC sink
-         commits it at the receiver in order. *)
-      Nic.write_imm qp msg ~imm:t.token);
+    after_enqueue t msg;
     Sent
   end
+
+(* Vectored send: enqueues the longest prefix of [msgs] the ring credits
+   accept through a single batched ring operation (one tail publication, one
+   credit spend — §4.2 adaptive batching), then performs the per-message
+   bookkeeping for the accepted prefix.  Returns how many were sent. *)
+let try_send_batch t msgs =
+  match msgs with
+  | [] -> 0
+  | _ ->
+    let srcs =
+      Array.of_list (List.map (fun m -> (ring_payload m, 0, Msg.ring_len m)) msgs)
+    in
+    let n = Sds_ring.Spsc_ring.enqueue_batch t.ring srcs in
+    List.iteri (fun i m -> if i < n then after_enqueue t m) msgs;
+    n
 
 (* Non-blocking receive.  Charges receiver-side time; posts batched credit
    returns back to the sender over the same transport. *)
@@ -150,9 +174,16 @@ let try_recv t =
   else begin
     let msg = Queue.pop t.descs in
     t.visible <- t.visible - 1;
-    (match Sds_ring.Spsc_ring.try_dequeue t.ring with
-    | None -> assert false (* desc and ring move in lock step *)
-    | Some { data; _ } -> assert (Bytes.length data = Msg.ring_len msg));
+    (* Drain the ring record straight into the reusable scratch buffer: one
+       ring-to-app copy, no per-recv allocation (the scratch only grows, to
+       the largest in-band record seen on this channel). *)
+    let peeked = Sds_ring.Spsc_ring.peek_packed t.ring in
+    assert (peeked <> Sds_ring.Spsc_ring.no_msg) (* desc and ring move in lock step *);
+    let len = Sds_ring.Spsc_ring.packed_len peeked in
+    if Bytes.length t.scratch < len then
+      t.scratch <- Bytes.create (max len (2 * Bytes.length t.scratch));
+    let got = Sds_ring.Spsc_ring.try_dequeue_packed t.ring ~dst:t.scratch ~dst_off:0 in
+    assert (Sds_ring.Spsc_ring.packed_len got = Msg.ring_len msg);
     t.received <- t.received + 1;
     let copy =
       match msg.Msg.payload with

@@ -58,5 +58,10 @@ type send_result = Sent | Full
 val try_send : t -> Msg.t -> send_result
 (** Non-blocking; [Full] when the sender lacks ring credits. *)
 
+val try_send_batch : t -> Msg.t list -> int
+(** Vectored send: enqueues the longest prefix the ring credits accept in
+    one batched ring operation (single tail publication / credit spend);
+    returns how many messages were sent. *)
+
 val try_recv : t -> Msg.t option
 (** Non-blocking; posts batched credit returns to the sender. *)

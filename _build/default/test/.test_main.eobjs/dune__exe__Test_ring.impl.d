@@ -1,1 +1,1 @@
-test/test_ring.ml: Alcotest Bytes Gen List Printf QCheck QCheck_alcotest Queue Sds_ring String
+test/test_ring.ml: Alcotest Array Bytes Char Gen List Printf QCheck QCheck_alcotest Queue Random Sds_ring String

@@ -1,0 +1,1 @@
+test/test_ring_domains.ml: Alcotest Array Bytes Char Domain Sds_ring Unix

@@ -1,0 +1,22 @@
+(* Standalone allocation probe: counts minor words per ring op directly via
+   [Gc.minor_words], independent of Bechamel's OLS fit. *)
+let () =
+  let module R = Sds_ring.Spsc_ring in
+  let r = R.create ~size:(1 lsl 16) () in
+  let payload = Bytes.make 64 'x' in
+  let dst = Bytes.create 8192 in
+  let iters = 100_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    ignore (R.try_enqueue r payload ~off:0 ~len:64);
+    ignore (R.try_dequeue_packed ~auto_credit:true r ~dst ~dst_off:0)
+  done;
+  let w1 = Gc.minor_words () in
+  for _ = 1 to iters do
+    ignore (R.try_enqueue r payload ~off:0 ~len:64);
+    ignore (R.try_dequeue ~auto_credit:true r)
+  done;
+  let w2 = Gc.minor_words () in
+  Printf.printf "try_dequeue_into: %.4f minor words/op\ntry_dequeue (alloc): %.4f minor words/op\n"
+    ((w1 -. w0) /. float_of_int iters)
+    ((w2 -. w1) /. float_of_int iters)

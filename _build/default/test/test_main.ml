@@ -3,6 +3,7 @@ let () =
     [
       ("sim", Test_sim.suite);
       ("ring", Test_ring.suite);
+      ("ring-domains", Test_ring_domains.suite);
       ("vm", Test_vm.suite);
       ("transport", Test_transport.suite);
       ("verbs", Test_verbs.suite);

@@ -92,6 +92,164 @@ let test_peek_len () =
   Alcotest.(check (option int)) "peek len" (Some 5) (R.peek_len r);
   ignore (deq r)
 
+(* ---- zero-allocation / batched APIs ---- *)
+
+let test_dequeue_into () =
+  let r = R.create ~size:1024 () in
+  ignore (enq r "hello");
+  ignore (R.try_enqueue ~flags:7 r (Bytes.of_string "world!") ~off:0 ~len:6);
+  let dst = Bytes.make 16 '.' in
+  (match R.try_dequeue_into ~auto_credit:true r ~dst ~dst_off:2 with
+  | Some (len, flags) ->
+    Alcotest.(check int) "len" 5 len;
+    Alcotest.(check int) "flags" 0 flags;
+    Alcotest.(check string) "copied at offset" "..hello" (Bytes.sub_string dst 0 7)
+  | None -> Alcotest.fail "expected message");
+  (match R.try_dequeue_into ~auto_credit:true r ~dst ~dst_off:0 with
+  | Some (len, flags) ->
+    Alcotest.(check int) "len 2" 6 len;
+    Alcotest.(check int) "flags 2" 7 flags;
+    Alcotest.(check string) "content 2" "world!" (Bytes.sub_string dst 0 6)
+  | None -> Alcotest.fail "expected second message");
+  Alcotest.(check bool) "drained" true (R.try_dequeue_into r ~dst ~dst_off:0 = None)
+
+let test_dequeue_into_too_small () =
+  let r = R.create ~size:1024 () in
+  ignore (enq r "a long-ish message");
+  let dst = Bytes.create 4 in
+  Alcotest.check_raises "small buffer rejected"
+    (Invalid_argument "Spsc_ring.try_dequeue_into: buffer too small") (fun () ->
+      ignore (R.try_dequeue_into r ~dst ~dst_off:0));
+  (* The message is still there, undamaged. *)
+  Alcotest.(check (option string)) "intact after reject" (Some "a long-ish message") (deq r)
+
+let test_enqueue_batch_prefix () =
+  let r = R.create ~size:256 () in
+  (* Each 56B message occupies 64 ring bytes; only 4 fit in a 256B ring. *)
+  let m = Bytes.make 56 'q' in
+  let srcs = Array.make 6 (m, 0, 56) in
+  Alcotest.(check int) "prefix enqueued" 4 (R.enqueue_batch r srcs);
+  Alcotest.(check int) "no credits left" 0 (R.credits r);
+  Alcotest.(check int) "batch counted" 4 (R.enqueued r);
+  let out = R.dequeue_batch ~auto_credit:true r ~max:10 in
+  Alcotest.(check int) "all out" 4 (List.length out);
+  List.iter (fun { R.data; _ } -> Alcotest.(check bytes) "content" m data) out
+
+let test_dequeue_batch_max () =
+  let r = R.create ~size:1024 () in
+  List.iter (fun s -> ignore (enq r s)) [ "a"; "bb"; "ccc"; "dddd" ];
+  let first = R.dequeue_batch ~auto_credit:true r ~max:3 in
+  Alcotest.(check (list string)) "first three"
+    [ "a"; "bb"; "ccc" ]
+    (List.map (fun { R.data; _ } -> Bytes.to_string data) first);
+  let rest = R.dequeue_batch ~auto_credit:true r ~max:3 in
+  Alcotest.(check (list string)) "remainder" [ "dddd" ]
+    (List.map (fun { R.data; _ } -> Bytes.to_string data) rest)
+
+(* ---- header checksum hardening ---- *)
+
+let test_checksum_mixes_high_bits () =
+  (* Lengths differing only in bits 16..31 must checksum differently: a torn
+     or scribbled high half can not alias a valid header. *)
+  for bit = 16 to 30 do
+    let len = 5 lor (1 lsl bit) in
+    Alcotest.(check bool)
+      (Printf.sprintf "bit %d folds into checksum" bit)
+      false
+      (R.header_checksum len 0 = R.header_checksum 5 0)
+  done
+
+let test_zero_header_invalid () =
+  (* An all-zero header (zeroed shared memory) must not validate. *)
+  Alcotest.(check bool) "zero header rejected" false (R.header_checksum 0 0 = 0)
+
+let test_corrupt_header_not_decoded () =
+  (* Flip each byte of a live header in place: the message must become
+     invisible (checksum failure), never decode as garbage. *)
+  for i = 0 to R.header_bytes - 1 do
+    let r = R.create ~size:1024 () in
+    ignore (R.try_enqueue ~flags:3 r (Bytes.of_string "payload") ~off:0 ~len:7);
+    let buf = R.For_testing.buf r in
+    let off = R.For_testing.head_offset r + i in
+    Bytes.set buf off (Char.chr (Char.code (Bytes.get buf off) lxor 0xFF));
+    Alcotest.(check bool)
+      (Printf.sprintf "corrupt byte %d hides message" i)
+      true
+      (R.try_dequeue ~auto_credit:true r = None)
+  done
+
+(* ---- randomized model-based test with the credit invariant ---- *)
+
+(* Drive the ring with a random enqueue / dequeue / credit-return schedule,
+   mirror it against a reference [Queue], and assert the documented
+   invariant [credits + pending_return + in_flight + used = capacity] after
+   every single step (credit returns taken by the consumer ride "in flight"
+   until the scheduled delivery). *)
+let test_model_invariant () =
+  let rng = Random.State.make [| 0xC0FFEE |] in
+  let r = R.create ~size:256 () in
+  let model : string Queue.t = Queue.create () in
+  let in_flight = ref 0 in
+  let dst = Bytes.create 256 in
+  let check_invariant step =
+    let sum = R.credits r + R.pending_return r + !in_flight + R.used r in
+    if sum <> R.capacity r then
+      Alcotest.failf "step %d: credits %d + pending %d + in-flight %d + used %d <> capacity %d" step
+        (R.credits r) (R.pending_return r) !in_flight (R.used r) (R.capacity r)
+  in
+  for step = 1 to 20_000 do
+    (match Random.State.int rng 100 with
+    | n when n < 45 ->
+      (* Enqueue a random-length message (may be refused on no credits). *)
+      let len = Random.State.int rng 90 in
+      let s = String.init len (fun i -> Char.chr ((step + i) land 0xFF)) in
+      if R.try_enqueue r (Bytes.of_string s) ~off:0 ~len then Queue.push s model
+    | n when n < 90 ->
+      (* Dequeue, alternating between the allocating and the into-buffer
+         flavours; contents must match the model exactly. *)
+      if Random.State.bool rng then (
+        match (R.try_dequeue r, Queue.take_opt model) with
+        | Some { R.data; _ }, Some expected ->
+          Alcotest.(check string) "dequeue matches model" expected (Bytes.to_string data)
+        | None, None -> ()
+        | Some _, None -> Alcotest.fail "ring had message, model empty"
+        | None, Some _ -> Alcotest.fail "model had message, ring empty")
+      else (
+        match (R.try_dequeue_into r ~dst ~dst_off:0, Queue.take_opt model) with
+        | Some (len, _), Some expected ->
+          Alcotest.(check string) "dequeue_into matches model" expected (Bytes.sub_string dst 0 len)
+        | None, None -> ()
+        | Some _, None -> Alcotest.fail "ring had message, model empty"
+        | None, Some _ -> Alcotest.fail "model had message, ring empty")
+    | _ ->
+      (* Transport tick: pick up a batched credit return and/or deliver. *)
+      let c = R.take_credit_return r in
+      in_flight := !in_flight + c;
+      if Random.State.bool rng && !in_flight > 0 then begin
+        R.return_credits r !in_flight;
+        in_flight := 0
+      end);
+    check_invariant step
+  done;
+  (* Drain everything and deliver all credits: the ring must end whole. *)
+  let rec drain () =
+    match R.try_dequeue r with
+    | Some { R.data; _ } ->
+      (match Queue.take_opt model with
+      | Some expected -> Alcotest.(check string) "tail drain matches" expected (Bytes.to_string data)
+      | None -> Alcotest.fail "extra message at drain");
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "model drained too" 0 (Queue.length model);
+  let tail_credit = R.take_credit_return r in
+  R.return_credits r (!in_flight + tail_credit);
+  Alcotest.(check bool) "empty" true (R.is_empty r);
+  (* Whatever is still pending below the half-ring threshold accounts for
+     the remainder: credits + pending = capacity. *)
+  Alcotest.(check int) "ring whole" (R.capacity r) (R.credits r + R.pending_return r)
+
 (* Property: any sequence of enqueues (that the ring accepts) dequeues in
    FIFO order with intact contents. *)
 let prop_fifo_intact =
@@ -210,6 +368,14 @@ let suite =
     Alcotest.test_case "spsc message too large" `Quick test_message_too_large;
     Alcotest.test_case "spsc header flags roundtrip" `Quick test_flags_roundtrip;
     Alcotest.test_case "spsc peek_len" `Quick test_peek_len;
+    Alcotest.test_case "spsc dequeue_into" `Quick test_dequeue_into;
+    Alcotest.test_case "spsc dequeue_into too-small buffer" `Quick test_dequeue_into_too_small;
+    Alcotest.test_case "spsc enqueue_batch prefix" `Quick test_enqueue_batch_prefix;
+    Alcotest.test_case "spsc dequeue_batch max" `Quick test_dequeue_batch_max;
+    Alcotest.test_case "spsc checksum mixes high bits" `Quick test_checksum_mixes_high_bits;
+    Alcotest.test_case "spsc zero header invalid" `Quick test_zero_header_invalid;
+    Alcotest.test_case "spsc corrupt header not decoded" `Quick test_corrupt_header_not_decoded;
+    Alcotest.test_case "spsc randomized model + credit invariant" `Quick test_model_invariant;
     QCheck_alcotest.to_alcotest prop_fifo_intact;
     QCheck_alcotest.to_alcotest prop_credit_conservation;
     QCheck_alcotest.to_alcotest prop_model_check;
