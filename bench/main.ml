@@ -4,11 +4,13 @@
    (the §4.2 ring vs the locked / buffer-allocating baselines, FD tables,
    protocol codecs).
 
-   Usage: main.exe [--json] [experiment ...]
+   Usage: main.exe [--json] [--metrics-out FILE] [experiment ...]
    with experiments from: table1 table2 table3 table4 fig7 fig8 fig9 fig10
    fig11 fig12 redis rpc connscale ablation micro ring2core.  No arguments
    = all.  With [--json], the micro and ring2core results are also written
-   to BENCH_ring.json for the perf trajectory. *)
+   to BENCH_ring.json for the perf trajectory.  With [--metrics-out FILE],
+   the process-wide Obs metrics snapshot is written there as JSON after the
+   runs, next to BENCH_*.json. *)
 
 open Sds_experiments
 
@@ -181,6 +183,16 @@ let experiments : (string * (unit -> unit)) list =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
+  (* --metrics-out FILE: consume the flag and its argument. *)
+  let rec extract_metrics_out acc = function
+    | "--metrics-out" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | "--metrics-out" :: [] ->
+      Fmt.epr "--metrics-out requires a file argument@.";
+      exit 1
+    | a :: rest -> extract_metrics_out (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let metrics_out, args = extract_metrics_out [] args in
   let requested =
     match List.filter (fun a -> a <> "--json") args with
     | _ :: _ as names -> names
@@ -203,4 +215,9 @@ let () =
        perf trajectory, so always carry the cross-domain numbers. *)
     if !json_ring = [] && List.mem "micro" requested then json_ring := Ring_bench.run_all ();
     Ring_bench.write_json ~path:"BENCH_ring.json" ~micro:!json_micro !json_ring
-  end
+  end;
+  match metrics_out with
+  | Some path ->
+    Out_channel.with_open_text path (fun oc -> output_string oc (Sds_obs.Obs.Metrics.to_json ()));
+    Fmt.pr "metrics snapshot written to %s@." path
+  | None -> ()

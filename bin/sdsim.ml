@@ -2,9 +2,12 @@
 
      sdsim list                 show available experiments
      sdsim run fig7 fig8 ...    run selected experiments
-     sdsim run --all            run everything *)
+     sdsim run --all            run everything
+     sdsim stats [--json]       exercise the data path, dump the metrics *)
 
 open Cmdliner
+module Obs = Sds_obs.Obs
+module Common = Sds_experiments.Common
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -50,7 +53,61 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ all $ names)
 
+(* A short representative workload that lights up every instrumented layer:
+   an intra-host ping-pong (SHM rings, monitor dispatch, token fast path)
+   and an inter-host large-message ping-pong (RDMA QPs, NIC wire bytes,
+   zero-copy page remapping). *)
+let stats_workload () =
+  let w = Common.make_world () in
+  Sds_sim.Engine.install_trace_clock w.Common.engine;
+  let h = Common.add_host w in
+  ignore
+    (Common.pingpong
+       (module Sds_apps.Sock_api.Sds)
+       w ~client_host:h ~server_host:h ~size:64 ~rounds:512 ~warmup:32);
+  let w2 = Common.make_world () in
+  Sds_sim.Engine.install_trace_clock w2.Common.engine;
+  let a = Common.add_host w2 in
+  let b = Common.add_host w2 in
+  ignore
+    (Common.pingpong
+       (module Sds_apps.Sock_api.Sds)
+       w2 ~client_host:a ~server_host:b ~size:32768 ~rounds:64 ~warmup:8)
+
+let stats_cmd =
+  let doc = "Run a representative workload and print the metrics snapshot." in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the snapshot as JSON.") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write the snapshot as JSON to $(docv).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the event trace as Chrome trace-event JSON to $(docv).")
+  in
+  let run json out trace_out =
+    Obs.Metrics.reset ();
+    Obs.Trace.clear ();
+    stats_workload ();
+    let js = Obs.Metrics.to_json () in
+    if json then print_string js else print_string (Obs.Metrics.to_text ());
+    (match out with
+    | Some f -> Out_channel.with_open_text f (fun oc -> output_string oc js)
+    | None -> ());
+    match trace_out with
+    | Some f ->
+      let events = Obs.Trace.drain () in
+      Out_channel.with_open_text f (fun oc -> output_string oc (Obs.Trace.to_chrome_json events))
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ json $ out $ trace_out)
+
 let () =
   let doc = "SocksDirect (SIGCOMM'19) reproduction experiment driver" in
   let info = Cmd.info "sdsim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; stats_cmd ]))

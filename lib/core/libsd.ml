@@ -17,6 +17,22 @@ module Fd_table = Sds_kernel.Fd_table
 let log = Logs.Src.create "sds.libsd" ~doc:"SocksDirect user-space library"
 
 module Log = (val Logs.src_log log : Logs.LOG)
+module Obs = Sds_obs.Obs
+
+(* Socket-API metrics: the application's view of the stack. *)
+let m_sockets = Obs.Metrics.counter "libsd.sockets"
+let m_connects = Obs.Metrics.counter "libsd.connects"
+let m_fallbacks = Obs.Metrics.counter "libsd.fallbacks"
+let m_accepts = Obs.Metrics.counter "libsd.accepts"
+let m_sends = Obs.Metrics.counter "libsd.sends"
+let m_send_bytes = Obs.Metrics.counter "libsd.send_bytes"
+let m_recvs = Obs.Metrics.counter "libsd.recvs"
+let m_recv_bytes = Obs.Metrics.counter "libsd.recv_bytes"
+let m_zerocopy_sends = Obs.Metrics.counter "libsd.zerocopy_sends"
+let m_zerocopy_recvs = Obs.Metrics.counter "libsd.zerocopy_recvs"
+let m_forks = Obs.Metrics.counter "libsd.forks"
+let m_epoll_waits = Obs.Metrics.counter "libsd.epoll_waits"
+let h_send_size = Obs.Metrics.histogram "libsd.send_size"
 
 exception Connection_refused
 exception Broken_pipe
@@ -132,6 +148,7 @@ let sock_exn th fd =
 (* socket(): pure user-space — no kernel FD, no inode (§4.5.1). *)
 let socket th =
   Proc.sleep_ns th.ctx.cost.Cost.c_shim;
+  Obs.Metrics.incr m_sockets;
   Fd_table.alloc th.ctx.fds (U (Sock.create th.ctx.host ~cost:th.ctx.cost ~tid:th.tid))
 
 let bind th fd ~port =
@@ -328,9 +345,12 @@ let attach_client th fd (s : Sock.t) reply =
           await ())
     in
     await ();
+    Obs.Metrics.incr m_connects;
     s.Sock.state <- Sock.Established
   | Monitor.Fallback (kproc, kfd) ->
     (* Regular TCP peer: the kernel connection replaces the user socket. *)
+    Obs.Metrics.incr m_fallbacks;
+    Obs.Trace.emit Obs.Trace.Fallback;
     Fd_table.bind th.ctx.fds fd (K (kproc, kfd));
     s.Sock.state <- Sock.Established
   | Monitor.Refused _ -> raise Connection_refused
@@ -364,6 +384,7 @@ let accept_entry th (entry : Monitor.syn_entry) ~port =
   (* ACK completes the handshake; data may follow immediately (§4.5.2). *)
   send_msg th s (Msg.control "ACK");
   s.Sock.state <- Sock.Established;
+  Obs.Metrics.incr m_accepts;
   Fd_table.alloc th.ctx.fds (U s)
 
 let accept th fd =
@@ -423,11 +444,15 @@ let send th fd buf ~off ~len =
     (match s.Sock.state with
     | Sock.Established -> ()
     | _ -> invalid_arg "libsd.send: not connected");
+    Obs.Metrics.incr m_sends;
+    Obs.Metrics.add m_send_bytes len;
+    Obs.Metrics.observe h_send_size len;
     Token.with_held s.Sock.send_token ~tid:th.tid (fun () ->
         let kernel_tx = match s.Sock.tx with Some (Sock.Tx_kernel _) -> true | _ -> false in
         if th.ctx.config.zerocopy && len >= Zerocopy.threshold && not kernel_tx then begin
           let msg = Zerocopy.send_pages ~cost:th.ctx.cost ~space:th.ctx.space ~src:buf ~off ~len in
           s.Sock.zerocopy_sends <- s.Sock.zerocopy_sends + 1;
+          Obs.Metrics.incr m_zerocopy_sends;
           send_msg th s msg
         end
         else send_chunks th s buf ~off ~len;
@@ -441,6 +466,8 @@ let consume th (s : Sock.t) msg ~dst ~off ~len =
   | Msg.Pages (pages, plen) when len >= plen ->
     (* Whole zero-copy message fits: remap instead of copying. *)
     s.Sock.zerocopy_recvs <- s.Sock.zerocopy_recvs + 1;
+    Obs.Metrics.incr m_zerocopy_recvs;
+    Obs.Trace.emit_n Obs.Trace.Zerocopy_remap plen;
     Zerocopy.recv_pages ~cost:th.ctx.cost ~space:th.ctx.space ~engine:th.ctx.engine pages ~len:plen
       ~dst ~dst_off:off;
     plen
@@ -471,6 +498,8 @@ let rec recv th fd buf ~off ~len =
           Bytes.blit b consumed buf off take;
           s.Sock.partial <- (if take = avail then None else Some (b, consumed + take));
           s.Sock.bytes_received <- s.Sock.bytes_received + take;
+          Obs.Metrics.incr m_recvs;
+          Obs.Metrics.add m_recv_bytes take;
           take
         | None -> (
           match next_msg th s with
@@ -480,6 +509,8 @@ let rec recv th fd buf ~off ~len =
             else begin
               let n = consume th s msg ~dst:buf ~off ~len in
               s.Sock.bytes_received <- s.Sock.bytes_received + n;
+              Obs.Metrics.incr m_recvs;
+              Obs.Metrics.add m_recv_bytes n;
               n
             end))
 
@@ -495,6 +526,8 @@ and recv_again th fd buf ~off ~len (s : Sock.t) =
       else begin
         let n = consume th s msg ~dst:buf ~off ~len in
         s.Sock.bytes_received <- s.Sock.bytes_received + n;
+        Obs.Metrics.incr m_recvs;
+        Obs.Metrics.add m_recv_bytes n;
         n
       end
 
@@ -587,6 +620,8 @@ let fork th =
   (* Child announces itself to the monitor with the secret. *)
   let paired = Monitor.rpc ctx.monitor (fun reply -> Monitor.Fork_pair { fp_secret = secret; fp_reply = reply }) in
   assert paired;
+  Obs.Metrics.incr m_forks;
+  Obs.Trace.emit_n Obs.Trace.Fork child.uid;
   Log.info (fun m -> m "process %d forked child %d" ctx.uid child.uid);
   child
 
@@ -712,6 +747,7 @@ let fd_readable th fd =
 (* Level-triggered epoll_wait over mixed user/kernel FDs. *)
 let epoll_wait th epfd ?timeout_ns () =
   let e = epoll_exn th epfd in
+  Obs.Metrics.incr m_epoll_waits;
   Proc.sleep_ns th.ctx.cost.Cost.c_shim;
   let scan () =
     Hashtbl.fold

@@ -10,6 +10,16 @@
 
 open Sds_sim
 open Sds_transport
+module Obs = Sds_obs.Obs
+
+(* Control-plane metrics: the monitor is off the data path, so plain sharded
+   counters are free here. *)
+let m_requests = Obs.Metrics.counter "monitor.requests"
+let m_binds = Obs.Metrics.counter "monitor.binds"
+let m_listens = Obs.Metrics.counter "monitor.listens"
+let m_accepts = Obs.Metrics.counter "monitor.accepts"
+let m_steals = Obs.Metrics.counter "monitor.steals"
+let m_wakes = Obs.Metrics.counter "monitor.wakes"
 
 (* Both endpoint sockets of a connection, filled in as each side attaches;
    used to pair peers for container live migration. *)
@@ -92,6 +102,7 @@ let rec main_loop t () =
     main_loop t ()
   | Some req ->
     Proc.sleep_ns t.cost.Cost.monitor_processing;
+    Obs.Metrics.incr m_requests;
     handle t req;
     t.handled <- t.handled + 1;
     main_loop t ()
@@ -103,6 +114,7 @@ and handle t req =
     if Hashtbl.mem t.bound_ports port then b_reply (Error "address in use")
     else begin
       Hashtbl.replace t.bound_ports port b_pid;
+      Obs.Metrics.incr m_binds;
       b_reply (Ok port)
     end
   | Listen { l_port; l_thread; l_reply } ->
@@ -124,6 +136,7 @@ and handle t req =
           m "h%d: listener thread %d on port %d (%d listeners)" (Host.id t.host) l_thread.lt_uid
             l_port (List.length group.threads))
     end;
+    Obs.Metrics.incr m_listens;
     l_reply (Ok ())
   | Syn { syn_dst; syn_port; syn_src_pid; syn_reply } ->
     Log.debug (fun m ->
@@ -149,6 +162,8 @@ and handle t req =
       | None -> st_reply None
       | Some lt ->
         t.stolen <- t.stolen + 1;
+        Obs.Metrics.incr m_steals;
+        Obs.Trace.emit_n Obs.Trace.Steal st_for;
         Log.debug (fun m -> m "h%d: thread %d steals from thread %d" (Host.id t.host) st_for lt.lt_uid);
         st_reply (Queue.take_opt lt.lt_backlog)))
   | Fork_pair { fp_secret; fp_reply } ->
@@ -157,7 +172,10 @@ and handle t req =
       fp_reply true
     end
     else fp_reply false
-  | Wake { w_fn } -> w_fn ()
+  | Wake { w_fn } ->
+    Obs.Metrics.incr m_wakes;
+    Obs.Trace.emit Obs.Trace.Wake;
+    w_fn ()
 
 (* Dispatch a SYN to a listener thread round-robin (§4.5.2). *)
 and dispatch t group entry =
@@ -177,6 +195,8 @@ and dispatch t group entry =
       group.rr <- (i + 1) mod n;
       Queue.push entry lt.lt_backlog;
       t.dispatched <- t.dispatched + 1;
+      Obs.Metrics.incr m_accepts;
+      Obs.Trace.emit_n Obs.Trace.Accept group.port;
       Waitq.signal lt.lt_wq;
       Ok ())
 

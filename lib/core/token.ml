@@ -8,6 +8,9 @@
    monitor) and starvation-free (FIFO, each thread queued at most once). *)
 
 open Sds_sim
+module Obs = Sds_obs.Obs
+
+let m_takeovers = Obs.Metrics.counter "token.takeovers"
 
 type t = {
   mutable holder : int option;  (** thread uid *)
@@ -32,6 +35,8 @@ let rec acquire t ~tid =
     (* Take-over through the monitor: one message to the monitor, monitor
        notifies the holder, holder returns the token, monitor grants. *)
     t.takeovers <- t.takeovers + 1;
+    Obs.Metrics.incr m_takeovers;
+    Obs.Trace.emit_n Obs.Trace.Token_takeover tid;
     Proc.sleep_ns t.takeover_cost;
     if t.busy then begin
       (* Holder mid-operation: queue on the waiting list; the release path

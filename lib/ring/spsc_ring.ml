@@ -53,16 +53,19 @@ external unsafe_get_int32 : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
 external unsafe_set_int32 : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32u"
 
 (* Producer-private mutable state, padded with dummy fields so the block
-   spans a cache line of its own. *)
+   spans a cache line of its own.  The stats fields double as this ring's
+   observability cells: they are single-writer plain ints, so recording
+   costs one add with no sharing — the process-global registry reads them
+   through probes (see the Obs integration at the bottom of this file). *)
 type prod = {
   mutable enqueued : int;
+  mutable enq_bytes : int;  (** payload bytes accepted *)
+  mutable batches : int;  (** enqueue_batch calls that published *)
+  mutable full_events : int;  (** enqueue attempts rejected for credits *)
+  mutable was_full : int;  (** 1 after a rejected attempt, for edge-triggered tracing *)
   mutable p0 : int;
   mutable p1 : int;
   mutable p2 : int;
-  mutable p3 : int;
-  mutable p4 : int;
-  mutable p5 : int;
-  mutable p6 : int;
 }
 
 (* Consumer-private mutable state, same padding trick. *)
@@ -70,11 +73,11 @@ type cons = {
   mutable head : int;  (** consumer position (absolute, monotonically grows) *)
   mutable pending_return : int;  (** consumed bytes not yet returned *)
   mutable dequeued : int;
+  mutable deq_bytes : int;  (** payload bytes copied out *)
+  mutable credit_returns : int;  (** batched credit-return flags posted *)
   mutable c0 : int;
   mutable c1 : int;
   mutable c2 : int;
-  mutable c3 : int;
-  mutable c4 : int;
 }
 
 type t = {
@@ -91,11 +94,107 @@ type t = {
   _pad1 : int array;
 }
 
+(* ---- observability integration ----
+
+   The enqueue/dequeue fast paths are too hot for even a sharded registry
+   add (the whole budget is a few nanoseconds), so rings keep their stats in
+   their own single-writer padded fields and the registry reads them through
+   probes at snapshot time.  Live rings are tracked through a weak array (so
+   observability never extends a ring's lifetime); a finalizer folds a dying
+   ring's totals into the [retired] accumulator, keeping every probe value
+   monotone across GC. *)
+
+module Obs = Sds_obs.Obs
+
+type retired_totals = {
+  mutable r_created : int;
+  mutable r_enqueued : int;
+  mutable r_enq_bytes : int;
+  mutable r_batches : int;
+  mutable r_full : int;
+  mutable r_dequeued : int;
+  mutable r_deq_bytes : int;
+  mutable r_credit_returns : int;
+}
+
+let retired =
+  { r_created = 0; r_enqueued = 0; r_enq_bytes = 0; r_batches = 0; r_full = 0; r_dequeued = 0;
+    r_deq_bytes = 0; r_credit_returns = 0 }
+
+let live_mu = Mutex.create ()
+let live : t Weak.t ref = ref (Weak.create 64)
+
+let obs_retire t =
+  Mutex.lock live_mu;
+  retired.r_enqueued <- retired.r_enqueued + t.prod.enqueued;
+  retired.r_enq_bytes <- retired.r_enq_bytes + t.prod.enq_bytes;
+  retired.r_batches <- retired.r_batches + t.prod.batches;
+  retired.r_full <- retired.r_full + t.prod.full_events;
+  retired.r_dequeued <- retired.r_dequeued + t.cons.dequeued;
+  retired.r_deq_bytes <- retired.r_deq_bytes + t.cons.deq_bytes;
+  retired.r_credit_returns <- retired.r_credit_returns + t.cons.credit_returns;
+  Mutex.unlock live_mu
+
+let obs_register t =
+  Mutex.lock live_mu;
+  retired.r_created <- retired.r_created + 1;
+  let w = !live in
+  let n = Weak.length w in
+  let rec free_slot i = if i >= n then -1 else if Weak.check w i then free_slot (i + 1) else i in
+  (match free_slot 0 with
+  | slot when slot >= 0 -> Weak.set w slot (Some t)
+  | _ ->
+    let bigger = Weak.create (2 * n) in
+    for i = 0 to n - 1 do
+      Weak.set bigger i (Weak.get w i)
+    done;
+    Weak.set bigger n (Some t);
+    live := bigger);
+  Mutex.unlock live_mu;
+  Gc.finalise obs_retire t
+
+let fold_live f base =
+  Mutex.lock live_mu;
+  let acc = ref base in
+  let w = !live in
+  for i = 0 to Weak.length w - 1 do
+    match Weak.get w i with
+    | Some t -> acc := !acc + f t
+    | None -> ()
+  done;
+  Mutex.unlock live_mu;
+  !acc
+
+(* Global histogram of vectored-enqueue batch sizes: one observe per
+   [enqueue_batch] call, amortized over the whole batch. *)
+let h_batch_size = Obs.Metrics.histogram "ring.batch_size"
+
+let () =
+  Obs.Metrics.probe "ring.created" (fun () -> retired.r_created);
+  Obs.Metrics.probe "ring.enqueues" (fun () -> fold_live (fun t -> t.prod.enqueued) retired.r_enqueued);
+  Obs.Metrics.probe "ring.enqueue_bytes" (fun () -> fold_live (fun t -> t.prod.enq_bytes) retired.r_enq_bytes);
+  Obs.Metrics.probe "ring.batches" (fun () -> fold_live (fun t -> t.prod.batches) retired.r_batches);
+  Obs.Metrics.probe "ring.full_events" (fun () -> fold_live (fun t -> t.prod.full_events) retired.r_full);
+  Obs.Metrics.probe "ring.dequeues" (fun () -> fold_live (fun t -> t.cons.dequeued) retired.r_dequeued);
+  Obs.Metrics.probe "ring.dequeue_bytes" (fun () -> fold_live (fun t -> t.cons.deq_bytes) retired.r_deq_bytes);
+  Obs.Metrics.probe "ring.credit_returns" (fun () ->
+      fold_live (fun t -> t.cons.credit_returns) retired.r_credit_returns)
+
+(* Edge-triggered full/stall bookkeeping: counts every rejected attempt but
+   emits one trace event per full episode, so a spinning producer cannot
+   flood the trace ring. *)
+let[@inline] note_reject (t : t) tag =
+  t.prod.full_events <- t.prod.full_events + 1;
+  if t.prod.was_full = 0 then begin
+    t.prod.was_full <- 1;
+    Obs.Trace.emit tag
+  end
+
 let default_size = 64 * 1024
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
-let create ?(size = default_size) () =
+let create_unregistered ?(size = default_size) () =
   if not (is_power_of_two size) then invalid_arg "Spsc_ring.create: size must be a power of two";
   if size < 64 then invalid_arg "Spsc_ring.create: size too small";
   let tail = Atomic.make 0 in
@@ -108,11 +207,16 @@ let create ?(size = default_size) () =
     mask = size - 1;
     tail;
     credits;
-    prod = { enqueued = 0; p0 = 0; p1 = 0; p2 = 0; p3 = 0; p4 = 0; p5 = 0; p6 = 0 };
-    cons = { head = 0; pending_return = 0; dequeued = 0; c0 = 0; c1 = 0; c2 = 0; c3 = 0; c4 = 0 };
+    prod = { enqueued = 0; enq_bytes = 0; batches = 0; full_events = 0; was_full = 0; p0 = 0; p1 = 0; p2 = 0 };
+    cons = { head = 0; pending_return = 0; dequeued = 0; deq_bytes = 0; credit_returns = 0; c0 = 0; c1 = 0; c2 = 0 };
     _pad0 = pad0;
     _pad1 = pad1;
   }
+
+let create ?size () =
+  let t = create_unregistered ?size () in
+  obs_register t;
+  t
 
 let capacity t = t.size
 let credits t = Atomic.get t.credits
@@ -207,7 +311,10 @@ let try_enqueue ?(flags = 0) t src ~off ~len =
   if len < 0 || off < 0 || off + len > Bytes.length src then invalid_arg "Spsc_ring.try_enqueue";
   let need = record_bytes len in
   if need > t.size / 2 then invalid_arg "Spsc_ring.try_enqueue: message larger than half ring";
-  if need > Atomic.get t.credits then false
+  if need > Atomic.get t.credits then begin
+    note_reject t Obs.Trace.Ring_full;
+    false
+  end
   else begin
     (* Payload first, then the header, then the atomic tail store: the
        consumer acquires through [tail], so it never reads a half-written
@@ -218,6 +325,8 @@ let try_enqueue ?(flags = 0) t src ~off ~len =
     Atomic.set t.tail (tail + need);
     ignore (Atomic.fetch_and_add t.credits (-need));
     t.prod.enqueued <- t.prod.enqueued + 1;
+    t.prod.enq_bytes <- t.prod.enq_bytes + len;
+    t.prod.was_full <- 0;
     true
   end
 
@@ -231,6 +340,7 @@ let enqueue_batch ?(flags = 0) t srcs =
   let tail = ref tail0 in
   let n = Array.length srcs in
   let i = ref 0 in
+  let bytes = ref 0 in
   let stop = ref false in
   while (not !stop) && !i < n do
     let src, off, len = srcs.(!i) in
@@ -244,14 +354,21 @@ let enqueue_batch ?(flags = 0) t srcs =
       write_header t !tail len flags;
       tail := !tail + need;
       budget := !budget - need;
+      bytes := !bytes + len;
       incr i
     end
   done;
   if !i > 0 then begin
     Atomic.set t.tail !tail;
     ignore (Atomic.fetch_and_add t.credits (tail0 - !tail));
-    t.prod.enqueued <- t.prod.enqueued + !i
+    t.prod.enqueued <- t.prod.enqueued + !i;
+    t.prod.enq_bytes <- t.prod.enq_bytes + !bytes;
+    t.prod.batches <- t.prod.batches + 1;
+    t.prod.was_full <- 0;
+    Obs.Metrics.observe h_batch_size !i;
+    Obs.Trace.emit_n Obs.Trace.Batch !i
   end;
+  if !stop then note_reject t Obs.Trace.Credit_stall;
   !i
 
 type dequeued = { data : Bytes.t; flags : int }
@@ -263,6 +380,7 @@ let take_credit_return t =
   if t.cons.pending_return >= t.size / 2 then begin
     let r = t.cons.pending_return in
     t.cons.pending_return <- 0;
+    t.cons.credit_returns <- t.cons.credit_returns + 1;
     r
   end
   else 0
@@ -272,14 +390,16 @@ let return_credits t n =
   ignore (Atomic.fetch_and_add t.credits n)
 
 (* Consumer-side bookkeeping after a message of ring footprint [consumed]
-   has been copied out. *)
-let[@inline] consume t consumed auto_credit =
+   (payload [len]) has been copied out. *)
+let[@inline] consume t consumed len auto_credit =
   t.cons.head <- t.cons.head + consumed;
   t.cons.pending_return <- t.cons.pending_return + consumed;
   t.cons.dequeued <- t.cons.dequeued + 1;
+  t.cons.deq_bytes <- t.cons.deq_bytes + len;
   if auto_credit then begin
     let r = t.cons.pending_return in
     t.cons.pending_return <- 0;
+    t.cons.credit_returns <- t.cons.credit_returns + 1;
     ignore (Atomic.fetch_and_add t.credits r)
   end
 
@@ -291,7 +411,7 @@ let try_dequeue ?(auto_credit = false) t =
     | Some (len, flags) ->
       let data = Bytes.create len in
       blit_out t (t.cons.head + header_bytes) data 0 len;
-      consume t (record_bytes len) auto_credit;
+      consume t (record_bytes len) len auto_credit;
       Some { data; flags }
 
 (* The zero-allocation dequeue primitive: copies the next payload straight
@@ -308,7 +428,7 @@ let try_dequeue_packed ?(auto_credit = false) t ~dst ~dst_off =
       if dst_off < 0 || dst_off + len > Bytes.length dst then
         invalid_arg "Spsc_ring.try_dequeue_into: buffer too small";
       blit_out t (t.cons.head + header_bytes) dst dst_off len;
-      consume t (record_bytes len) auto_credit;
+      consume t (record_bytes len) len auto_credit;
       p
     end
   end

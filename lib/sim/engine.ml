@@ -17,6 +17,13 @@ type t = {
 
 exception Stopped
 
+module Obs = Sds_obs.Obs
+
+(* Event-loop occupancy: total events executed, plus a queue-depth histogram
+   sampled every 256 events so a long run costs ~nothing. *)
+let m_events = Obs.Metrics.counter "engine.events"
+let h_queue_depth = Obs.Metrics.histogram "engine.queue_depth"
+
 let dummy_event = { time = max_int; seq = max_int; fn = ignore }
 
 let event_less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
@@ -69,6 +76,8 @@ let run ?until ?max_events t =
           ignore (Heap.pop t.events);
           t.now <- e.time;
           t.executed <- t.executed + 1;
+          Obs.Metrics.incr m_events;
+          if t.executed land 255 = 0 then Obs.Metrics.observe h_queue_depth (Heap.length t.events);
           (try e.fn () with
           | Stopped -> ()
           | exn -> record_error t exn)
@@ -82,6 +91,9 @@ let run ?until ?max_events t =
   | None -> ()
 
 let stop t = t.running <- false
+
+(* Timestamp trace events with this engine's simulated clock. *)
+let install_trace_clock t = Obs.Trace.set_clock (fun () -> t.now)
 
 let clear t =
   Heap.clear t.events;

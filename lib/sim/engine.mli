@@ -37,5 +37,9 @@ val run : ?until:int -> ?max_events:int -> t -> unit
 val stop : t -> unit
 (** Stop a run in progress after the current event completes. *)
 
+val install_trace_clock : t -> unit
+(** Make [Obs.Trace] timestamp events with this engine's simulated clock
+    (nanoseconds) instead of the default tick counter. *)
+
 val clear : t -> unit
 (** Drop all pending events and any recorded error. *)

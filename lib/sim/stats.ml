@@ -45,17 +45,25 @@ let mean t =
     !sum /. float_of_int t.len
   end
 
-(* Nearest-rank percentile, [p] in [0, 100]. *)
+(* Nearest-rank percentile, [p] in [0, 100].  The rank is clamped to at
+   least 1 so [p = 0.] is defined and exact: it returns the minimum.  When
+   [p/100 * n] is an integer up to float rounding noise (e.g. 99.9% of 1000
+   samples), that integer is the rank — a bare [ceil] would overshoot. *)
 let percentile t p =
   if t.len = 0 then nan
   else begin
     ensure_sorted t;
-    let rank = int_of_float (ceil (p /. 100. *. float_of_int t.len)) in
-    let idx = max 0 (min (t.len - 1) (rank - 1)) in
+    let r = p /. 100. *. float_of_int t.len in
+    let nearest = Float.round r in
+    let rank =
+      if Float.abs (r -. nearest) < 1e-9 *. float_of_int t.len then int_of_float nearest
+      else int_of_float (ceil r)
+    in
+    let idx = min (t.len - 1) (max 1 rank - 1) in
     t.samples.(idx)
   end
 
-let min_v t = percentile t 0.
+let min_v t = if t.len = 0 then nan else (ensure_sorted t; t.samples.(0))
 let max_v t = if t.len = 0 then nan else (ensure_sorted t; t.samples.(t.len - 1))
 
 let stddev t =
@@ -76,6 +84,7 @@ type summary = {
   p1 : float;
   p50 : float;
   p99 : float;
+  p999 : float;
   min_s : float;
   max_s : float;
 }
@@ -87,9 +96,11 @@ let summarize t =
     p1 = percentile t 1.;
     p50 = percentile t 50.;
     p99 = percentile t 99.;
+    p999 = percentile t 99.9;
     min_s = min_v t;
     max_s = max_v t;
   }
 
 let pp_summary ppf s =
-  Fmt.pf ppf "n=%d mean=%.2f p1=%.2f p50=%.2f p99=%.2f" s.n s.mean_v s.p1 s.p50 s.p99
+  Fmt.pf ppf "n=%d mean=%.2f p1=%.2f p50=%.2f p99=%.2f p999=%.2f" s.n s.mean_v s.p1 s.p50 s.p99
+    s.p999

@@ -9,7 +9,8 @@ val count : t -> int
 val mean : t -> float
 
 val percentile : t -> float -> float
-(** Nearest-rank percentile; argument in [\[0, 100\]]. *)
+(** Nearest-rank percentile; argument in [\[0, 100\]].  [percentile t 0.] is
+    defined on non-empty series and returns the exact minimum. *)
 
 val min_v : t -> float
 val max_v : t -> float
@@ -21,6 +22,7 @@ type summary = {
   p1 : float;
   p50 : float;
   p99 : float;
+  p999 : float;
   min_s : float;
   max_s : float;
 }

@@ -9,6 +9,18 @@
    two-sided verbs an extra receive-side DMA. *)
 
 open Sds_sim
+module Obs = Sds_obs.Obs
+
+(* NIC-layer metrics; wire bytes are simulated payload bytes per tx op. *)
+let m_tx_ops = Obs.Metrics.counter "nic.tx_ops"
+let m_tx_msgs = Obs.Metrics.counter "nic.tx_msgs"
+let m_tx_bytes = Obs.Metrics.counter "nic.tx_bytes"
+let m_cache_misses = Obs.Metrics.counter "nic.cache_misses"
+let m_retransmits = Obs.Metrics.counter "nic.retransmits"
+let m_completions = Obs.Metrics.counter "nic.completions"
+let m_qps_created = Obs.Metrics.counter "nic.qps_created"
+let m_hairpins = Obs.Metrics.counter "nic.hairpins"
+let m_batched_flushes = Obs.Metrics.counter "nic.batched_flushes"
 
 type completion = {
   qp_id : int;
@@ -98,6 +110,7 @@ let cq_pending cq = Queue.length cq.events
 let cq_poll cq = Queue.take_opt cq.events
 
 let post_completion cq c =
+  Obs.Metrics.incr m_completions;
   Queue.push c cq.events;
   Waitq.signal cq.cq_waitq
 
@@ -108,6 +121,7 @@ let cache_penalty (nic : nic) =
   if nic.live_qps <= entries then 0
   else begin
     nic.cache_misses <- nic.cache_misses + 1;
+    Obs.Metrics.incr m_cache_misses;
     nic.cost.Cost.nic_qp_cache_miss * (nic.live_qps - entries) / nic.live_qps
   end
 
@@ -148,6 +162,7 @@ let connect_qps ?(charge_setup = true) nic_a nic_b ~scq_a ~rcq_a ~scq_b ~rcq_b =
   in
   a.peer <- Some b;
   b.peer <- Some a;
+  Obs.Metrics.add m_qps_created 2;
   nic_a.live_qps <- nic_a.live_qps + 1;
   nic_b.live_qps <- nic_b.live_qps + 1;
   if charge_setup then Proc.sleep_ns nic_a.cost.Cost.rdma_qp_create;
@@ -233,6 +248,7 @@ let fabric_drops (nic : nic) =
 let rec fire_write qp ~msgs ~bytes =
   let nic = qp.nic in
   nic.tx_msgs <- nic.tx_msgs + List.length msgs;
+  Obs.Metrics.add m_tx_msgs (List.length msgs);
   qp.inflight <- qp.inflight + 1;
   let seq = qp.tx_seq in
   qp.tx_seq <- qp.tx_seq + 1;
@@ -245,6 +261,8 @@ and transmit qp ~seq ~msgs ~bytes =
   let nic = qp.nic in
   nic.tx_ops <- nic.tx_ops + 1;
   nic.tx_bytes <- nic.tx_bytes + bytes;
+  Obs.Metrics.incr m_tx_ops;
+  Obs.Metrics.add m_tx_bytes bytes;
   let dma = qp.cost.Cost.doorbell_dma_sd + cache_penalty nic in
   let qp_free = ref qp.tx_free_at in
   let ser = egress_delay nic ~qp_free_at:qp_free ~bytes in
@@ -252,6 +270,7 @@ and transmit qp ~seq ~msgs ~bytes =
   let one_way = shape_delay qp ~bytes + dma + ser + qp.cost.Cost.nic_wire in
   if fabric_drops nic then begin
     nic.retransmits <- nic.retransmits + 1;
+    Obs.Metrics.incr m_retransmits;
     (* Go-back-N stalls the pipeline for the replay of everything after the
        hole; model that as an extra per-in-flight-WQE delay. *)
     let penalty =
@@ -292,6 +311,7 @@ and transmit qp ~seq ~msgs ~bytes =
                     let batch = List.of_seq (Queue.to_seq qp.pending) in
                     Queue.clear qp.pending;
                     qp.batched_flushes <- qp.batched_flushes + 1;
+                    Obs.Metrics.incr m_batched_flushes;
                     let total = List.fold_left (fun acc (m, _) -> acc + Msg.payload_len m) 0 batch in
                     fire_write qp ~msgs:batch ~bytes:total
                   end
@@ -316,6 +336,9 @@ let send_2sided qp msg =
   nic.tx_msgs <- nic.tx_msgs + 1;
   let bytes = Msg.payload_len msg in
   nic.tx_bytes <- nic.tx_bytes + bytes;
+  Obs.Metrics.incr m_tx_ops;
+  Obs.Metrics.incr m_tx_msgs;
+  Obs.Metrics.add m_tx_bytes bytes;
   let dma = qp.cost.Cost.doorbell_dma_2sided + cache_penalty nic + shape_delay qp ~bytes in
   let qp_free = ref qp.tx_free_at in
   let ser = egress_delay nic ~qp_free_at:qp_free ~bytes in
@@ -330,6 +353,7 @@ let send_2sided qp msg =
 (* NIC hairpin: LibVMA and RSocket forward intra-host traffic through the
    NIC; this is their PCIe round trip (§2.2 / Table 2). *)
 let hairpin (nic : nic) msg ~deliver =
+  Obs.Metrics.incr m_hairpins;
   let bytes = Msg.payload_len msg in
   (* Table 2's 0.95 us hairpin figure is a round trip; one way is half. *)
   let delay = (nic.cost.Cost.nic_hairpin / 2) + Cost.wire_cost nic.cost bytes in

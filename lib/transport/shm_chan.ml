@@ -23,6 +23,16 @@
    ring-to-app copy on dequeue. *)
 
 open Sds_sim
+module Obs = Sds_obs.Obs
+
+(* Channel-layer metrics: counters are sharded adds, the delivery histogram
+   records sim-clock nanoseconds from enqueue to receiver dequeue. *)
+let m_sends = Obs.Metrics.counter "shm.sends"
+let m_send_bytes = Obs.Metrics.counter "shm.send_bytes"
+let m_recvs = Obs.Metrics.counter "shm.recvs"
+let m_recv_bytes = Obs.Metrics.counter "shm.recv_bytes"
+let m_scratch_grows = Obs.Metrics.counter "shm.scratch_grows"
+let h_delivery = Obs.Metrics.histogram "shm.delivery_ns"
 
 type mode = Polling | Interrupt
 
@@ -125,6 +135,9 @@ let ring_payload msg =
 let after_enqueue t msg =
   msg.Msg.sent_at <- Engine.now t.engine;
   t.sent <- t.sent + 1;
+  Obs.Metrics.incr m_sends;
+  Obs.Metrics.add m_send_bytes (Msg.payload_len msg);
+  Obs.Trace.emit_n Obs.Trace.Send (Msg.payload_len msg);
   (* Sender-side CPU: ring bookkeeping + inline copy into the ring. *)
   let copy =
     match msg.Msg.payload with
@@ -180,11 +193,18 @@ let try_recv t =
     let peeked = Sds_ring.Spsc_ring.peek_packed t.ring in
     assert (peeked <> Sds_ring.Spsc_ring.no_msg) (* desc and ring move in lock step *);
     let len = Sds_ring.Spsc_ring.packed_len peeked in
-    if Bytes.length t.scratch < len then
+    if Bytes.length t.scratch < len then begin
       t.scratch <- Bytes.create (max len (2 * Bytes.length t.scratch));
+      Obs.Metrics.incr m_scratch_grows;
+      Obs.Trace.emit_n Obs.Trace.Scratch_grow (Bytes.length t.scratch)
+    end;
     let got = Sds_ring.Spsc_ring.try_dequeue_packed t.ring ~dst:t.scratch ~dst_off:0 in
     assert (Sds_ring.Spsc_ring.packed_len got = Msg.ring_len msg);
     t.received <- t.received + 1;
+    Obs.Metrics.incr m_recvs;
+    Obs.Metrics.add m_recv_bytes (Msg.payload_len msg);
+    Obs.Metrics.observe h_delivery (Engine.now t.engine - msg.Msg.sent_at);
+    Obs.Trace.emit_n Obs.Trace.Recv (Msg.payload_len msg);
     let copy =
       match msg.Msg.payload with
       | Msg.Inline b -> Cost.copy_cost t.cost (Bytes.length b)

@@ -9,6 +9,15 @@
    read-only MR fails) that the bespoke [Nic] API does not. *)
 
 open Sds_sim
+module Obs = Sds_obs.Obs
+
+(* Verbs-facade metrics: the API-call view of the NIC (ops as an RDMA
+   application issues them, before NIC batching). *)
+let m_mr_regs = Obs.Metrics.counter "verbs.mr_regs"
+let m_post_sends = Obs.Metrics.counter "verbs.post_sends"
+let m_post_recvs = Obs.Metrics.counter "verbs.post_recvs"
+let m_cq_polls = Obs.Metrics.counter "verbs.cq_polls"
+let m_cq_completions = Obs.Metrics.counter "verbs.cq_completions"
 
 type access = Local_read | Local_write | Remote_read | Remote_write
 
@@ -49,6 +58,7 @@ let alloc_pd nic =
    the slow path (kernel crossing + pinning), as in the real stack. *)
 let reg_mr pd buf ~access =
   Proc.sleep_ns (Cost.syscall (Nic.nic_cost pd.pd_nic) + (Bytes.length buf / 4096 * 100));
+  Obs.Metrics.incr m_mr_regs;
   incr mr_counter;
   pd.mrs <- pd.mrs + 1;
   { mr_pd = pd; mr_id = !mr_counter; buf; lkey = !mr_counter * 2; rkey = (!mr_counter * 2) + 1;
@@ -106,6 +116,7 @@ let check_mr_read mr =
 let post_recv qp mr =
   if not mr.registered then raise (Invalid_state "MR deregistered");
   if not (List.mem Local_write mr.access) then raise (Invalid_state "recv MR lacks LOCAL_WRITE");
+  Obs.Metrics.incr m_post_recvs;
   qp.posted_recvs <- qp.posted_recvs @ [ mr ]
 
 type send_opcode =
@@ -130,6 +141,7 @@ let post_send qp ~opcode ~mr ~off ~len ?remote_rkey () =
     raise (Invalid_state "post_send: scatter entry out of MR bounds");
   let raw = raw_exn qp in
   Nic.wait_send_capacity raw;
+  Obs.Metrics.incr m_post_sends;
   let payload = Msg.data (Bytes.sub mr.buf off len) in
   match opcode with
   | Rdma_write_with_imm { imm } ->
@@ -141,11 +153,14 @@ let post_send qp ~opcode ~mr ~off ~len ?remote_rkey () =
 
 (* ibv_poll_cq: up to [max] completions. *)
 let poll_cq cq ~max =
+  Obs.Metrics.incr m_cq_polls;
   let rec take n acc =
     if n = 0 then List.rev acc
     else
       match Nic.cq_poll cq with
-      | Some c -> take (n - 1) (c :: acc)
+      | Some c ->
+        Obs.Metrics.incr m_cq_completions;
+        take (n - 1) (c :: acc)
       | None -> List.rev acc
   in
   take max []

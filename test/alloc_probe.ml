@@ -1,22 +1,43 @@
 (* Standalone allocation probe: counts minor words per ring op directly via
-   [Gc.minor_words], independent of Bechamel's OLS fit. *)
+   [Gc.minor_words], independent of Bechamel's OLS fit.
+
+   Also proves the observability hooks are allocation-free: the instrumented
+   [try_dequeue_packed] path must read 0 minor words/op with metrics and
+   tracing enabled, and the raw Obs primitives (counter add, histogram
+   observe, trace emit) must each read 0 as well. *)
+
+let measure name iters f =
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let w1 = Gc.minor_words () in
+  Printf.printf "%-44s %8.4f minor words/op\n" name ((w1 -. w0) /. float_of_int iters)
+
 let () =
   let module R = Sds_ring.Spsc_ring in
+  let module Obs = Sds_obs.Obs in
   let r = R.create ~size:(1 lsl 16) () in
   let payload = Bytes.make 64 'x' in
   let dst = Bytes.create 8192 in
   let iters = 100_000 in
-  let w0 = Gc.minor_words () in
-  for _ = 1 to iters do
-    ignore (R.try_enqueue r payload ~off:0 ~len:64);
-    ignore (R.try_dequeue_packed ~auto_credit:true r ~dst ~dst_off:0)
-  done;
-  let w1 = Gc.minor_words () in
-  for _ = 1 to iters do
-    ignore (R.try_enqueue r payload ~off:0 ~len:64);
-    ignore (R.try_dequeue ~auto_credit:true r)
-  done;
-  let w2 = Gc.minor_words () in
-  Printf.printf "try_dequeue_into: %.4f minor words/op\ntry_dequeue (alloc): %.4f minor words/op\n"
-    ((w1 -. w0) /. float_of_int iters)
-    ((w2 -. w1) /. float_of_int iters)
+  Obs.Metrics.set_enabled true;
+  Obs.Trace.set_enabled true;
+  measure "enq + try_dequeue_packed (obs on)" iters (fun () ->
+      ignore (R.try_enqueue r payload ~off:0 ~len:64);
+      ignore (R.try_dequeue_packed ~auto_credit:true r ~dst ~dst_off:0));
+  Obs.Metrics.set_enabled false;
+  Obs.Trace.set_enabled false;
+  measure "enq + try_dequeue_packed (obs off)" iters (fun () ->
+      ignore (R.try_enqueue r payload ~off:0 ~len:64);
+      ignore (R.try_dequeue_packed ~auto_credit:true r ~dst ~dst_off:0));
+  Obs.Metrics.set_enabled true;
+  Obs.Trace.set_enabled true;
+  measure "enq + try_dequeue (alloc)" iters (fun () ->
+      ignore (R.try_enqueue r payload ~off:0 ~len:64);
+      ignore (R.try_dequeue ~auto_credit:true r));
+  let c = Obs.Metrics.counter "probe.counter" in
+  measure "Obs.Metrics.add" iters (fun () -> Obs.Metrics.add c 3);
+  let h = Obs.Metrics.histogram "probe.hist" in
+  measure "Obs.Metrics.observe" iters (fun () -> Obs.Metrics.observe h 1234);
+  measure "Obs.Trace.emit_n" iters (fun () -> Obs.Trace.emit_n Obs.Trace.Batch 7)

@@ -15,4 +15,5 @@ let () =
       ("apps", Test_apps.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
+      ("obs", Test_obs.suite);
     ]
