@@ -14,7 +14,11 @@
 
 open Sds_experiments
 
-(* ---- Bechamel micro-benchmarks on the real data structures ---- *)
+(* ---- Bechamel micro-benchmarks on the real data structures ----
+
+   Each test carries the number of per-message operations one staged run
+   performs, so every row reports ns (and minor words) per *message* —
+   batched rows included — and rows stay comparable. *)
 
 let bechamel_tests () =
   let open Bechamel in
@@ -101,14 +105,38 @@ let bechamel_tests () =
            | [ m; p; v ] -> ignore (m, p, v)
            | _ -> assert false))
   in
+  (* Allocation-free RPC codec: frame into a reused buffer, parse through
+     the in-place field accessors (no method string, no payload copy). *)
   let rpc_payload = Bytes.make 1024 'r' in
+  let rpc_buf = Bytes.create 2048 in
+  let rpc_sink = ref 0 in
   let t_rpc =
     Test.make ~name:"rpc frame+parse 1KiB"
       (Staged.stage (fun () ->
-           let b = Sds_apps.Rpc.frame ~call_id:42 ~meth:"echo" ~payload:rpc_payload in
-           ignore (Sds_apps.Rpc.parse b)))
+           let total =
+             Sds_apps.Rpc.frame_into ~buf:rpc_buf ~call_id:42 ~meth:"echo" ~payload:rpc_payload
+           in
+           rpc_sink :=
+             !rpc_sink + total + Sds_apps.Rpc.frame_call_id rpc_buf
+             + Sds_apps.Rpc.frame_payload_len rpc_buf))
   in
-  [ t_ring; t_ring4k; t_ring_alloc; t_ring_batch; t_locked; t_alloc; t_fd; t_heap; t_http; t_rpc ]
+  (* §4.4 notification primitives: the hot-path sender cost (notify with no
+     one parked) and the waiter's spin-phase arm/disarm. *)
+  let w = Sds_notify.Waiter.create () in
+  let t_notify =
+    Test.make ~name:"notify unparked"
+      (Staged.stage (fun () -> Sds_notify.Waiter.notify w))
+  in
+  let t_prepare =
+    Test.make ~name:"waiter prepare+cancel"
+      (Staged.stage (fun () ->
+           ignore (Sds_notify.Waiter.prepare_wait w);
+           Sds_notify.Waiter.cancel w))
+  in
+  [
+    (t_ring, 1); (t_ring4k, 1); (t_ring_alloc, 1); (t_ring_batch, 32); (t_locked, 1);
+    (t_alloc, 1); (t_fd, 1); (t_heap, 1); (t_http, 1); (t_rpc, 1); (t_notify, 1); (t_prepare, 1);
+  ]
 
 (* Runs the Bechamel suite measuring both wall clock and minor-heap words
    per op; returns [(name, ns_per_op, minor_words_per_op)] rows. *)
@@ -131,13 +159,16 @@ let run_bechamel () =
       results None
   in
   List.filter_map
-    (fun test ->
+    (fun (test, units) ->
       let name = Test.name test in
       let raw = Benchmark.all cfg [ clock; minor ] (Test.make_grouped ~name:"g" [ test ]) in
       let ns = estimate (Analyze.all ols clock raw) name in
       let words = estimate (Analyze.all ols minor raw) name in
       match (ns, words) with
       | Some ns, Some words ->
+        (* Per-message normalization: a staged run of a batched test covers
+           [units] messages. *)
+        let ns = ns /. float_of_int units and words = words /. float_of_int units in
         Fmt.pr "%-30s %12.1f %16.3f@." name ns words;
         Some (name, ns, words)
       | _ ->

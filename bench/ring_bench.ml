@@ -1,13 +1,16 @@
 (* Two-domain benchmarks of the §4.2 SPSC ring: one producer Domain, one
    consumer Domain, real Atomics, real payload bytes.
 
-   The ring itself is lock-free; what this harness adds is a parking layer
-   for the ring-full / ring-empty edges so the benchmark behaves sensibly
-   on any core count: each side spins briefly (the paper's polling mode),
-   then parks on a condition variable and is woken by the peer (the
+   Waiting on the ring-full / ring-empty edges goes through the ring's own
+   §4.4 event-notification endpoints ([Spsc_ring.wait_rx]/[wait_tx] over
+   [Sds_notify.Waiter]): adaptive spin (the paper's polling mode), then an
+   eventcount park woken by the peer's enqueue or credit return (the
    interrupt-mode analogue).  On a multi-core box the spin phase wins and
-   the mutex is never touched on the hot path; on a single core the park
-   hands the timeslice over instead of burning it.
+   the mutex is never touched; on a single time-shared core the adaptive
+   budget collapses within a few waits and each side parks almost
+   immediately, handing the timeslice over instead of burning it — which is
+   what took the ping-pong row from ~32 µs/msg (fixed 512-spin + racy
+   flag/condvar layer) to context-switch-bound low µs.
 
    Payload bytes are stamped with the message sequence number so the
    consumer can fold a checksum and detect torn reads; the expected value
@@ -29,38 +32,6 @@ let pp_result r =
   Fmt.pr "%-24s %6dB %9d msgs %9.1f ns/msg %10.2f Mmsg/s %9.1f MB/s %s@." r.name r.payload
     r.msgs r.ns_per_msg (r.msgs_per_sec /. 1e6) r.mb_per_sec
     (if r.ok then "ok" else "CHECKSUM MISMATCH")
-
-(* ---- parking layer ---- *)
-
-type park = {
-  m : Mutex.t;
-  c : Condition.t;
-  waiting : bool Atomic.t;
-}
-
-let park_create () = { m = Mutex.create (); c = Condition.create (); waiting = Atomic.make false }
-
-let spin_budget = 512
-
-(* Park until [ready ()]; the peer calls [unpark] after making progress. *)
-let park_wait p ready =
-  let rec spin k = if ready () then true else if k = 0 then false else (Domain.cpu_relax (); spin (k - 1)) in
-  if not (spin spin_budget) then begin
-    Mutex.lock p.m;
-    Atomic.set p.waiting true;
-    while not (ready ()) do
-      Condition.wait p.c p.m
-    done;
-    Atomic.set p.waiting false;
-    Mutex.unlock p.m
-  end
-
-let unpark p =
-  if Atomic.get p.waiting then begin
-    Mutex.lock p.m;
-    Condition.broadcast p.c;
-    Mutex.unlock p.m
-  end
 
 (* ---- checksum folding ----
 
@@ -96,9 +67,6 @@ let expected_sum msgs payload =
    half-ring batches, as the transport does. *)
 let cross_domain_throughput ?(ring_size = 1 lsl 20) ?(batch = 64) ~payload ~msgs () =
   let r = R.create ~size:ring_size () in
-  let need = R.record_bytes payload in
-  let tx_park = park_create () (* producer parks when out of credits *)
-  and rx_park = park_create () (* consumer parks when ring empty *) in
   let consumer_sum = ref 0 in
   let consumer_ok = ref true in
   let t0 = Unix.gettimeofday () in
@@ -113,12 +81,10 @@ let cross_domain_throughput ?(ring_size = 1 lsl 20) ?(batch = 64) ~payload ~msgs
             consumer_sum := !consumer_sum + unstamp dst 0 payload;
             incr got;
             let c = R.take_credit_return r in
-            if c > 0 then begin
-              R.return_credits r c;
-              unpark tx_park
-            end
+            (* [return_credits] notifies the ring's tx waiter itself. *)
+            if c > 0 then R.return_credits r c
           end
-          else park_wait rx_park (fun () -> not (R.is_empty r))
+          else R.wait_rx r
         done)
   in
   let bufs = Array.init batch (fun _ -> Bytes.create (max payload 1)) in
@@ -135,12 +101,9 @@ let cross_domain_throughput ?(ring_size = 1 lsl 20) ?(batch = 64) ~payload ~msgs
         if !off = 0 && n = batch then full_srcs
         else Array.init (n - !off) (fun i -> (bufs.(!off + i), 0, payload))
       in
+      (* The batched enqueue notifies the rx waiter on publication. *)
       let accepted = R.enqueue_batch r srcs in
-      if accepted = 0 then park_wait tx_park (fun () -> R.credits r >= need)
-      else begin
-        off := !off + accepted;
-        unpark rx_park
-      end
+      if accepted = 0 then R.wait_tx r ~len:payload else off := !off + accepted
     done;
     sent := !sent + n
   done;
@@ -165,28 +128,19 @@ let cross_domain_throughput ?(ring_size = 1 lsl 20) ?(batch = 64) ~payload ~msgs
 let cross_domain_pingpong ?(ring_size = 1 lsl 16) ~payload ~rounds () =
   let a2b = R.create ~size:ring_size () in
   let b2a = R.create ~size:ring_size () in
-  let a_park = park_create () and b_park = park_create () in
   let buf_b = Bytes.create (max payload 1) in
   let responder =
     Domain.spawn (fun () ->
         for _ = 1 to rounds do
-          park_wait b_park (fun () -> not (R.is_empty a2b));
-          (match R.try_dequeue_into ~auto_credit:true a2b ~dst:buf_b ~dst_off:0 with
-          | Some _ -> ()
-          | None -> assert false);
-          ignore (R.try_enqueue b2a buf_b ~off:0 ~len:payload);
-          unpark a_park
+          ignore (R.dequeue_packed_blocking ~auto_credit:true a2b ~dst:buf_b ~dst_off:0);
+          ignore (R.try_enqueue b2a buf_b ~off:0 ~len:payload)
         done)
   in
   let buf_a = Bytes.create (max payload 1) in
   let t0 = Unix.gettimeofday () in
   for _ = 1 to rounds do
     ignore (R.try_enqueue a2b buf_a ~off:0 ~len:payload);
-    unpark b_park;
-    park_wait a_park (fun () -> not (R.is_empty b2a));
-    match R.try_dequeue_into ~auto_credit:true b2a ~dst:buf_a ~dst_off:0 with
-    | Some _ -> ()
-    | None -> assert false
+    ignore (R.dequeue_packed_blocking ~auto_credit:true b2a ~dst:buf_a ~dst_off:0)
   done;
   Domain.join responder;
   let dt = Unix.gettimeofday () -. t0 in
@@ -286,6 +240,13 @@ let json_of_result r =
     {|    {"name": %S, "payload_bytes": %d, "msgs": %d, "ns_per_msg": %.2f, "msgs_per_sec": %.0f, "mb_per_sec": %.2f, "ok": %b}|}
     r.name r.payload r.msgs r.ns_per_msg r.msgs_per_sec r.mb_per_sec r.ok
 
+(* Reference points carried in the file so the perf trajectory reads
+   PR-over-PR without digging through git history: the seed's wait/notify
+   path cost ~32.3 µs per ping-pong message (fixed 512-spin + racy
+   flag/condvar parking); the event-notification subsystem is measured
+   against it. *)
+let baseline = [ ("ring2core pingpong ns_per_msg (seed)", 32263.44) ]
+
 let write_json ~path ~micro results =
   let oc = open_out path in
   let micro_json =
@@ -295,9 +256,13 @@ let write_json ~path ~micro results =
           words)
       micro
   in
+  let baseline_json =
+    List.map (fun (name, v) -> Printf.sprintf {|    %S: %.2f|} name v) baseline
+  in
   Printf.fprintf oc
-    "{\n  \"schema\": \"socksdirect-ring-bench/1\",\n  \"unix_time\": %.0f,\n  \"micro\": [\n%s\n  ],\n  \"ring\": [\n%s\n  ]\n}\n"
+    "{\n  \"schema\": \"socksdirect-ring-bench/1\",\n  \"unix_time\": %.0f,\n  \"baseline\": {\n%s\n  },\n  \"micro\": [\n%s\n  ],\n  \"ring\": [\n%s\n  ]\n}\n"
     (Unix.time ())
+    (String.concat ",\n" baseline_json)
     (String.concat ",\n" micro_json)
     (String.concat ",\n" (List.map json_of_result results));
   close_out oc;

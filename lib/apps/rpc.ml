@@ -6,16 +6,32 @@
    overhead on top of the socket — the paper's point is that the stack
    improvement still cuts RPC latency roughly in half. *)
 
-let frame ~call_id ~meth ~payload =
+(* Frame into a caller-owned buffer — the allocation-free flavour, used on
+   the library's own send paths with a per-connection scratch (the same
+   reuse discipline as the ring codec).  Returns the frame's total length. *)
+let frame_into ~buf ~call_id ~meth ~payload =
   let mlen = String.length meth in
   let total = 4 + 4 + 2 + mlen + Bytes.length payload in
-  let b = Bytes.create total in
-  Bytes.set_int32_le b 0 (Int32.of_int total);
-  Bytes.set_int32_le b 4 (Int32.of_int call_id);
-  Bytes.set_uint16_le b 8 mlen;
-  Bytes.blit_string meth 0 b 10 mlen;
-  Bytes.blit payload 0 b (10 + mlen) (Bytes.length payload);
+  if Bytes.length buf < total then invalid_arg "Rpc.frame_into: buffer too small";
+  Bytes.set_int32_le buf 0 (Int32.of_int total);
+  Bytes.set_int32_le buf 4 (Int32.of_int call_id);
+  Bytes.set_uint16_le buf 8 mlen;
+  Bytes.blit_string meth 0 buf 10 mlen;
+  Bytes.blit payload 0 buf (10 + mlen) (Bytes.length payload);
+  total
+
+let frame ~call_id ~meth ~payload =
+  let b = Bytes.create (4 + 4 + 2 + String.length meth + Bytes.length payload) in
+  ignore (frame_into ~buf:b ~call_id ~meth ~payload);
   b
+
+(* Zero-allocation field accessors over a framed buffer: parse without
+   materializing the method string or copying the payload. *)
+let frame_total b = Int32.to_int (Bytes.get_int32_le b 0)
+let frame_call_id b = Int32.to_int (Bytes.get_int32_le b 4)
+let frame_meth_len b = Bytes.get_uint16_le b 8
+let frame_payload_off b = 10 + frame_meth_len b
+let frame_payload_len b = frame_total b - frame_payload_off b
 
 let parse b =
   let call_id = Int32.to_int (Bytes.get_int32_le b 4) in
@@ -32,9 +48,15 @@ let marshal_overhead_ns = 5_000
 module Make (Api : Sock_api.S) = struct
   module Io = Sock_api.Io (Api)
 
-  type server = { handlers : (string, Bytes.t -> Bytes.t) Hashtbl.t }
+  type server = {
+    handlers : (string, Bytes.t -> Bytes.t) Hashtbl.t;
+    mutable scratch : Bytes.t;  (** reused response frame buffer *)
+  }
 
-  let create_server () = { handlers = Hashtbl.create 8 }
+  let create_server () = { handlers = Hashtbl.create 8; scratch = Bytes.create 256 }
+
+  (* Scratch buffers only grow, to the largest frame seen on the endpoint. *)
+  let grown b need = if Bytes.length b < need then Bytes.create (max need (2 * Bytes.length b)) else b
   let register srv name fn = Hashtbl.replace srv.handlers name fn
 
   let read_frame io =
@@ -65,30 +87,32 @@ module Make (Api : Sock_api.S) = struct
             | Some fn -> fn payload
             | None -> Bytes.of_string "ERR:no-such-method"
           in
-          let out = frame ~call_id ~meth:"" ~payload:result in
+          srv.scratch <- grown srv.scratch (10 + Bytes.length result);
+          let total = frame_into ~buf:srv.scratch ~call_id ~meth:"" ~payload:result in
           (* RPClib writes the length prefix and the body separately — an
              extra socket operation per message, cheap on SocksDirect,
              another wakeup on the kernel path. *)
-          Io.write_all io out ~off:0 ~len:4;
-          Io.write_all io out ~off:4 ~len:(Bytes.length out - 4);
+          Io.write_all io srv.scratch ~off:0 ~len:4;
+          Io.write_all io srv.scratch ~off:4 ~len:(total - 4);
           go (n - 1)
     in
     go calls;
     Io.close io
 
-  type client = { io : Io.t; mutable next_id : int }
+  type client = { io : Io.t; mutable next_id : int; mutable scratch : Bytes.t }
 
   let connect ep ~dst ~port =
     let conn = Api.connect ep ~dst ~port in
-    { io = Io.make ep conn; next_id = 1 }
+    { io = Io.make ep conn; next_id = 1; scratch = Bytes.create 256 }
 
   let call client ~meth ~payload =
     let id = client.next_id in
     client.next_id <- id + 1;
     Sds_sim.Proc.sleep_ns marshal_overhead_ns;
-    let b = frame ~call_id:id ~meth ~payload in
-    Io.write_all client.io b ~off:0 ~len:4;
-    Io.write_all client.io b ~off:4 ~len:(Bytes.length b - 4);
+    client.scratch <- grown client.scratch (10 + String.length meth + Bytes.length payload);
+    let total = frame_into ~buf:client.scratch ~call_id:id ~meth ~payload in
+    Io.write_all client.io client.scratch ~off:0 ~len:4;
+    Io.write_all client.io client.scratch ~off:4 ~len:(total - 4);
     match read_frame client.io with
     | None -> failwith "rpc: connection closed"
     | Some reply ->

@@ -254,25 +254,49 @@ and next_msg_inner th (s : Sock.t) =
       Some (Queue.pop s.Sock.incoming)
     else None
   else begin
-    let rec poll_phase rounds =
-      if Sock.poll_rx s && not (Queue.is_empty s.Sock.incoming) then Some (Queue.pop s.Sock.incoming)
-      else if not (Queue.is_empty s.Sock.incoming) then Some (Queue.pop s.Sock.incoming)
-      else if s.Sock.fin_seen then None
-      else if rounds > 0 then begin
-        Cpu.yield_turn th.cpu;
-        poll_phase (rounds - 1)
+    (* The polling budget runs through the shared §4.4 state machine
+       ([Sds_notify.Policy]) — non-adaptive here, so the budget is exactly
+       [yield_rounds] empty polls, as the paper's cost model fixes it. *)
+    let pol =
+      Sds_notify.Policy.create ~adaptive:false ~backoff_rounds:0
+        ~budget:th.ctx.config.yield_rounds ()
+    in
+    Sds_notify.Policy.begin_wait pol;
+    let rec poll_phase () =
+      if Sock.poll_rx s && not (Queue.is_empty s.Sock.incoming) then begin
+        Sds_notify.Policy.on_success pol;
+        Some (Queue.pop s.Sock.incoming)
       end
+      else if not (Queue.is_empty s.Sock.incoming) then begin
+        Sds_notify.Policy.on_success pol;
+        Some (Queue.pop s.Sock.incoming)
+      end
+      else if s.Sock.fin_seen then None
       else begin
-        (* Interrupt mode: tell the sender side to wake us via the monitor. *)
-        enter_interrupt th s;
-        (match Waitq.wait s.Sock.rx_wq with _ -> ());
-        leave_interrupt th s;
-        (* The wakeup itself costs a process wakeup (Table 2). *)
-        Proc.sleep_ns th.ctx.cost.Cost.process_wakeup;
-        next_msg th s
+        let u = Sds_notify.Policy.poll pol in
+        if u > 0 then begin
+          for _ = 1 to u do
+            Cpu.yield_turn th.cpu
+          done;
+          poll_phase ()
+        end
+        else begin
+          (* Interrupt mode: tell the sender side to wake us via the
+             monitor.  [Policy.poll] has already flipped [pol] to
+             [Interrupt]; [enter_interrupt] publishes the same switch on
+             the channel's own policy, which the sender reads. *)
+          Sds_notify.Policy.on_park pol;
+          enter_interrupt th s;
+          (match Waitq.wait s.Sock.rx_wq with _ -> ());
+          Sds_notify.Policy.on_wake pol;
+          leave_interrupt th s;
+          (* The wakeup itself costs a process wakeup (Table 2). *)
+          Proc.sleep_ns th.ctx.cost.Cost.process_wakeup;
+          next_msg th s
+        end
       end
     in
-    poll_phase th.ctx.config.yield_rounds
+    poll_phase ()
   end
 
 and enter_interrupt th (s : Sock.t) =
@@ -760,28 +784,45 @@ let epoll_wait th epfd ?timeout_ns () =
       e.ep_watched []
   in
   let deadline = Option.map (fun d -> Engine.now th.ctx.engine + d) timeout_ns in
-  let rec loop rounds =
+  (* Same shared §4.4 polling↔interrupt state machine as [next_msg]: poll
+     the watched set for [yield_rounds] empty rounds, then park on the
+     epoll waitqueue (the sim-side analogue of [Waiter.wait_any]). *)
+  let pol =
+    Sds_notify.Policy.create ~adaptive:false ~backoff_rounds:0
+      ~budget:th.ctx.config.yield_rounds ()
+  in
+  Sds_notify.Policy.begin_wait pol;
+  let rec loop () =
     match scan () with
-    | _ :: _ as fds -> List.sort compare fds
+    | _ :: _ as fds ->
+      Sds_notify.Policy.on_success pol;
+      List.sort compare fds
     | [] -> (
       let now = Engine.now th.ctx.engine in
       match deadline with
       | Some d when now >= d -> []
       | _ ->
-        if rounds > 0 then begin
-          Proc.sleep_ns th.ctx.cost.Cost.poll_empty_32;
-          Cpu.yield_turn th.cpu;
-          loop (rounds - 1)
+        let u = Sds_notify.Policy.poll pol in
+        if u > 0 then begin
+          for _ = 1 to u do
+            Proc.sleep_ns th.ctx.cost.Cost.poll_empty_32;
+            Cpu.yield_turn th.cpu
+          done;
+          loop ()
         end
         else begin
+          Sds_notify.Policy.on_park pol;
           Cpu.release th.cpu;
           let timeout_ns = Option.map (fun d -> max 1 (d - now)) deadline in
           match Waitq.wait ?timeout_ns e.ep_wq with
           | Waitq.Timeout -> []
-          | Waitq.Signaled -> loop th.ctx.config.yield_rounds
+          | Waitq.Signaled ->
+            Sds_notify.Policy.on_wake pol;
+            Sds_notify.Policy.begin_wait pol;
+            loop ()
         end)
   in
-  let r = loop th.ctx.config.yield_rounds in
+  let r = loop () in
   Cpu.release th.cpu;
   r
 

@@ -1,0 +1,53 @@
+(** The §4.4 polling↔interrupt mode switch as a reusable state machine,
+    shared by the simulator's cost model and the real cross-domain waiter.
+
+    A wait is a sequence of [poll] calls: each returns how many relax/yield
+    units to burn before re-checking readiness ([1] during the bounded spin
+    phase, a doubling burst during exponential backoff), or [0] once the
+    budget is exhausted — the policy is then in [Interrupt] mode and the
+    caller must arm a real wakeup before sleeping.
+
+    Adaptive policies resize the spin budget from outcomes: [on_success]
+    (condition came true while polling) doubles it, [on_park] (had to
+    sleep) halves it.  With [adaptive:false] the budget is fixed, which
+    reproduces the simulator's historical fixed [yield_rounds] behaviour
+    exactly. *)
+
+type mode = Polling | Interrupt
+
+type t
+
+val create :
+  ?min_spin:int ->
+  ?max_spin:int ->
+  ?backoff_rounds:int ->
+  ?max_relax:int ->
+  ?adaptive:bool ->
+  budget:int ->
+  unit ->
+  t
+(** Defaults: [min_spin 4], [max_spin 4096], [backoff_rounds 3],
+    [max_relax 64], [adaptive true]. *)
+
+val mode : t -> mode
+val set_mode : t -> mode -> unit
+
+val budget : t -> int
+(** Current spin budget (checks per wait before backoff). *)
+
+val begin_wait : t -> unit
+(** Start a fresh wait: reload the budget, reset the backoff curve, return
+    to [Polling] mode. *)
+
+val poll : t -> int
+(** Units to burn before the next readiness check; [0] = park now (the
+    policy has switched itself to [Interrupt] mode). *)
+
+val on_success : t -> unit
+(** The condition came true while polling (no park). *)
+
+val on_park : t -> unit
+(** The wait is committing to sleep. *)
+
+val on_wake : t -> unit
+(** The sleeper was woken; back to [Polling] mode. *)

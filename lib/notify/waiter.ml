@@ -1,0 +1,214 @@
+(* Eventcount/futex-style waiter: the real-code implementation of the §4.4
+   event-notification layer for OCaml domains.
+
+   The protocol is the classic eventcount three-step:
+
+     let ticket = Waiter.prepare_wait w in   (* publish intent to sleep *)
+     if ready () then Waiter.cancel w        (* data raced in: don't sleep *)
+     else Waiter.commit_wait w ticket        (* park until a notify *)
+
+   and the notifier side, after making the condition true:
+
+     Waiter.notify w
+
+   Correctness hinges on the SC atomics: [prepare_wait] stores the parked
+   flag *before* the waiter re-checks the condition, and [notify] loads the
+   parked flag *after* the producer published its data.  By the OCaml memory
+   model's total order over SC operations, either the notifier observes the
+   parked flag (and delivers a wake), or the waiter's re-check observes the
+   data (and cancels) — the lost-wakeup window of a bare flag+condvar
+   scheme (read flag, decide to skip the broadcast, while the peer is
+   mid-commit) cannot occur.
+
+   The parked flag [state] is producer-visible and three-valued:
+
+     0  idle — no waiter committed; [notify] is one atomic load and a branch
+     1  a waiter has prepared/committed and needs a wake
+     2  a wake has been delivered for this parked episode
+
+   State 2 is what keeps a streaming producer cheap while its consumer is
+   still context-switching in: only the *first* notify of an episode pays
+   the sequence bump and the mutex/broadcast; every subsequent enqueue is
+   back to the one-load fast path.  Only the waiter moves 0→1 and *→0; only
+   a notifier moves 1→2 (by CAS, so concurrent notifiers elect one waker —
+   which is what lets N producer rings share one waiter in [wait_any]).
+
+   The sequence number [seq] closes the window between the waiter's last
+   condition check and the actual sleep: [commit_wait] sleeps only while
+   [seq] still equals the ticket read in [prepare_wait], and [notify] bumps
+   [seq] before broadcasting, both under the mutex discipline that makes
+   condvar wakeups reliable.
+
+   Spin phases come from the shared [Policy] state machine (bounded spin →
+   exponential backoff → park), adapting the spin budget to whether
+   spinning actually pays on this machine/workload.  All spin-phase
+   operations — [prepare_wait], [cancel], [notify] on an unparked waiter —
+   allocate nothing; only the park path touches the mutex, the wall clock
+   and the wake-latency histogram. *)
+
+module Obs = Sds_obs.Obs
+
+type t = {
+  seq : int Atomic.t;  (** bumped once per delivered wake; the eventcount *)
+  state : int Atomic.t;  (** producer-visible parked flag: 0 / 1 / 2 above *)
+  m : Mutex.t;
+  c : Condition.t;
+  policy : Policy.t;
+  mutable rr : int;  (** [wait_any] rotation cursor (waiter-private) *)
+}
+
+(* Spin-success vs park counters, wake-latency histogram, mode-switch trace
+   events ([Park] on polling→interrupt, [Wake] on the delivered notify). *)
+let c_spin_wins = Obs.Metrics.counter "notify.spin_wins"
+let c_parks = Obs.Metrics.counter "notify.parks"
+let c_wakes = Obs.Metrics.counter "notify.wakes"
+let h_wake_latency = Obs.Metrics.histogram "notify.wake_latency_ns"
+
+let create ?min_spin ?max_spin ?backoff_rounds ?adaptive ?(spin = 512) () =
+  {
+    seq = Atomic.make 0;
+    state = Atomic.make 0;
+    m = Mutex.create ();
+    c = Condition.create ();
+    policy = Policy.create ?min_spin ?max_spin ?backoff_rounds ?adaptive ~budget:spin ();
+    rr = 0;
+  }
+
+let policy t = t.policy
+let parked t = Atomic.get t.state <> 0
+
+(* Hot-path notification: one SC load when nobody is parked.  The CAS
+   elects a single waker per parked episode (and per contending notifier),
+   so a producer streaming into a parked consumer pays the broadcast once,
+   not once per message. *)
+let[@inline] notify t =
+  if Atomic.get t.state = 1 && Atomic.compare_and_set t.state 1 2 then begin
+    Atomic.incr t.seq;
+    Mutex.lock t.m;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m;
+    Obs.Metrics.incr c_wakes;
+    Obs.Trace.emit Obs.Trace.Wake
+  end
+
+let prepare_wait t =
+  let ticket = Atomic.get t.seq in
+  Atomic.set t.state 1;
+  ticket
+
+let cancel t = Atomic.set t.state 0
+
+let commit_wait t ticket =
+  Obs.Metrics.incr c_parks;
+  Obs.Trace.emit Obs.Trace.Park;
+  let t0 = Unix.gettimeofday () in
+  Mutex.lock t.m;
+  while Atomic.get t.seq = ticket do
+    Condition.wait t.c t.m
+  done;
+  Mutex.unlock t.m;
+  Atomic.set t.state 0;
+  Obs.Metrics.observe h_wake_latency (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+
+(* Adaptive blocking wait: spin (per the policy), then prepare/re-check/
+   commit.  [ready] must be made true only by peers that subsequently call
+   [notify]. *)
+let wait t ~ready =
+  if not (ready ()) then begin
+    let pol = t.policy in
+    Policy.begin_wait pol;
+    let rec loop () =
+      if ready () then begin
+        Obs.Metrics.incr c_spin_wins;
+        Policy.on_success pol
+      end
+      else begin
+        let u = Policy.poll pol in
+        if u > 0 then begin
+          for _ = 1 to u do
+            Domain.cpu_relax ()
+          done;
+          loop ()
+        end
+        else begin
+          let ticket = prepare_wait t in
+          if ready () then begin
+            cancel t;
+            Obs.Metrics.incr c_spin_wins;
+            Policy.on_success pol
+          end
+          else begin
+            Policy.on_park pol;
+            commit_wait t ticket;
+            Policy.on_wake pol;
+            if not (ready ()) then begin
+              (* Spurious or stale wake (e.g. a notify for data a previous
+                 iteration already consumed): start a fresh wait. *)
+              Policy.begin_wait pol;
+              loop ()
+            end
+          end
+        end
+      end
+    in
+    loop ()
+  end
+
+(* Wait until one of [n] sources is ready; returns its index.  The scan
+   starts one past the last serviced source and the cursor advances past
+   the winner, so N continuously-ready sources are serviced round-robin —
+   no source starves (the real-code analogue of the per-process epoll
+   thread fanning events out fairly in §4.4).  All producers must share
+   this waiter as their notification target. *)
+let wait_any t ~n ~ready =
+  if n <= 0 then invalid_arg "Waiter.wait_any";
+  let scan () =
+    let start = t.rr in
+    let rec go k =
+      if k = n then -1
+      else
+        let i = (start + k) mod n in
+        if ready i then i else go (k + 1)
+    in
+    go 0
+  in
+  let finish i =
+    t.rr <- (i + 1) mod n;
+    i
+  in
+  match scan () with
+  | i when i >= 0 -> finish i
+  | _ ->
+    let pol = t.policy in
+    Policy.begin_wait pol;
+    let rec loop () =
+      match scan () with
+      | i when i >= 0 ->
+        Obs.Metrics.incr c_spin_wins;
+        Policy.on_success pol;
+        finish i
+      | _ ->
+        let u = Policy.poll pol in
+        if u > 0 then begin
+          for _ = 1 to u do
+            Domain.cpu_relax ()
+          done;
+          loop ()
+        end
+        else begin
+          let ticket = prepare_wait t in
+          match scan () with
+          | i when i >= 0 ->
+            cancel t;
+            Obs.Metrics.incr c_spin_wins;
+            Policy.on_success pol;
+            finish i
+          | _ ->
+            Policy.on_park pol;
+            commit_wait t ticket;
+            Policy.on_wake pol;
+            Policy.begin_wait pol;
+            loop ()
+        end
+    in
+    loop ()

@@ -1,0 +1,70 @@
+(** Eventcount/futex-style waiter for OCaml domains: the real-code
+    implementation of the paper's §4.4 event-notification layer (polling
+    mode with a switch to interrupt mode, sender-mediated wakeup).
+
+    One logical waiter (consumer or blocked producer) per [t]; any number
+    of notifiers.  The waiter protocol is race-free against notifiers by
+    construction:
+
+    {[
+      let ticket = Waiter.prepare_wait w in
+      if ready () then Waiter.cancel w
+      else Waiter.commit_wait w ticket
+    ]}
+
+    and notifiers, after making the condition true, call [notify] — which
+    costs one atomic load and a branch while nobody is parked, and pays the
+    mutex/broadcast at most once per parked episode.
+
+    [wait]/[wait_any] wrap the protocol in the adaptive spin→backoff→park
+    phases of the shared {!Policy} state machine. *)
+
+type t
+
+val create :
+  ?min_spin:int ->
+  ?max_spin:int ->
+  ?backoff_rounds:int ->
+  ?adaptive:bool ->
+  ?spin:int ->
+  unit ->
+  t
+(** [spin] is the initial spin budget (default 512); the other knobs are
+    forwarded to {!Policy.create}. *)
+
+val policy : t -> Policy.t
+(** The waiter's mode/spin state machine (exposed for observability and
+    tests). *)
+
+val parked : t -> bool
+(** Producer-visible parked flag: true while a waiter has prepared or
+    committed a wait.  One atomic load. *)
+
+val notify : t -> unit
+(** Wake the waiter if one is (about to be) parked.  One atomic load and a
+    branch on the fast path; allocation-free always.  Call only {e after}
+    the condition the waiter checks has been made true. *)
+
+val prepare_wait : t -> int
+(** Publish the intent to sleep and return the wait ticket.  The caller
+    must re-check its condition after this, then either [cancel] or
+    [commit_wait].  Allocation-free. *)
+
+val cancel : t -> unit
+(** Abort a prepared wait (the re-check found the condition true). *)
+
+val commit_wait : t -> int -> unit
+(** Park until a notify delivered after the matching [prepare_wait].
+    Returns immediately if one already landed between prepare and commit —
+    the lost-wakeup window this subsystem exists to close. *)
+
+val wait : t -> ready:(unit -> bool) -> unit
+(** Adaptive blocking wait until [ready ()].  Bounded spin, exponential
+    backoff, then park; the spin budget adapts to whether spinning pays.
+    [ready] must become true only through peers that then call [notify]. *)
+
+val wait_any : t -> n:int -> ready:(int -> bool) -> int
+(** Block until some source [i < n] has [ready i]; returns [i].  Scans
+    round-robin from one past the last serviced source, so continuously
+    ready sources are serviced fairly.  All [n] producers must notify this
+    waiter. *)

@@ -363,8 +363,9 @@ module Trace = struct
     | Steal
     | Wake
     | Fork
+    | Park
 
-  let tag_count = 13
+  let tag_count = 14
 
   let tag_to_int = function
     | Send -> 0
@@ -380,6 +381,7 @@ module Trace = struct
     | Steal -> 10
     | Wake -> 11
     | Fork -> 12
+    | Park -> 13
 
   let tag_of_int = function
     | 0 -> Send
@@ -395,6 +397,7 @@ module Trace = struct
     | 10 -> Steal
     | 11 -> Wake
     | 12 -> Fork
+    | 13 -> Park
     | n -> invalid_arg ("Obs.Trace.tag_of_int: " ^ string_of_int n)
 
   let tag_name = function
@@ -411,6 +414,7 @@ module Trace = struct
     | Steal -> "Steal"
     | Wake -> "Wake"
     | Fork -> "Fork"
+    | Park -> "Park"
 
   let tag_of_name n =
     let rec go i = if i >= tag_count then None else begin

@@ -107,6 +107,7 @@ module Trace : sig
     | Steal
     | Wake
     | Fork
+    | Park
 
   val tag_name : tag -> string
   val tag_of_name : string -> tag option

@@ -63,9 +63,9 @@ type prod = {
   mutable batches : int;  (** enqueue_batch calls that published *)
   mutable full_events : int;  (** enqueue attempts rejected for credits *)
   mutable was_full : int;  (** 1 after a rejected attempt, for edge-triggered tracing *)
+  mutable tx_need : int;  (** ring bytes the blocked producer is waiting for *)
   mutable p0 : int;
   mutable p1 : int;
-  mutable p2 : int;
 }
 
 (* Consumer-private mutable state, same padding trick. *)
@@ -88,6 +88,16 @@ type t = {
   credits : int Atomic.t;  (** free bytes: producer subtracts, consumer adds *)
   prod : prod;
   cons : cons;
+  (* §4.4 event notification, stored alongside the ring atomics: the
+     producer checks the consumer's parked flag ([rx_waiter]'s state cell)
+     with one load after every publication, and the consumer symmetrically
+     wakes a credit-starved producer through [tx_waiter] on credit return.
+     [rx_waiter] is mutable so N rings can share one waiter ([wait_any],
+     the per-process epoll-thread shape). *)
+  mutable rx_waiter : Sds_notify.Waiter.t;
+  tx_waiter : Sds_notify.Waiter.t;
+  rx_ready : unit -> bool;  (** preallocated: ring non-empty *)
+  tx_ready : unit -> bool;  (** preallocated: credits cover [prod.tx_need] *)
   (* Spacer blocks allocated between the two atomics at [create] time, kept
      live here so the atomics stay on distinct cache lines. *)
   _pad0 : int array;
@@ -201,17 +211,28 @@ let create_unregistered ?(size = default_size) () =
   let pad0 = Array.make 8 0 in
   let credits = Atomic.make size in
   let pad1 = Array.make 8 0 in
-  {
-    buf = Bytes.create size;
-    size;
-    mask = size - 1;
-    tail;
-    credits;
-    prod = { enqueued = 0; enq_bytes = 0; batches = 0; full_events = 0; was_full = 0; p0 = 0; p1 = 0; p2 = 0 };
-    cons = { head = 0; pending_return = 0; dequeued = 0; deq_bytes = 0; credit_returns = 0; c0 = 0; c1 = 0; c2 = 0 };
-    _pad0 = pad0;
-    _pad1 = pad1;
-  }
+  (* [let rec]: the readiness closures are preallocated here, once, so the
+     blocking wait paths never build a closure per call. *)
+  let rec t =
+    {
+      buf = Bytes.create size;
+      size;
+      mask = size - 1;
+      tail;
+      credits;
+      prod =
+        { enqueued = 0; enq_bytes = 0; batches = 0; full_events = 0; was_full = 0; tx_need = 0;
+          p0 = 0; p1 = 0 };
+      cons = { head = 0; pending_return = 0; dequeued = 0; deq_bytes = 0; credit_returns = 0; c0 = 0; c1 = 0; c2 = 0 };
+      rx_waiter = Sds_notify.Waiter.create ();
+      tx_waiter = Sds_notify.Waiter.create ();
+      rx_ready = (fun () -> t.cons.head <> Atomic.get t.tail);
+      tx_ready = (fun () -> Atomic.get t.credits >= t.prod.tx_need);
+      _pad0 = pad0;
+      _pad1 = pad1;
+    }
+  in
+  t
 
 let create ?size () =
   let t = create_unregistered ?size () in
@@ -327,6 +348,9 @@ let try_enqueue ?(flags = 0) t src ~off ~len =
     t.prod.enqueued <- t.prod.enqueued + 1;
     t.prod.enq_bytes <- t.prod.enq_bytes + len;
     t.prod.was_full <- 0;
+    (* §4.4 sender-mediated wakeup: one load of the consumer's parked flag;
+       the mutex path runs at most once per parked episode. *)
+    Sds_notify.Waiter.notify t.rx_waiter;
     true
   end
 
@@ -366,7 +390,9 @@ let enqueue_batch ?(flags = 0) t srcs =
     t.prod.batches <- t.prod.batches + 1;
     t.prod.was_full <- 0;
     Obs.Metrics.observe h_batch_size !i;
-    Obs.Trace.emit_n Obs.Trace.Batch !i
+    Obs.Trace.emit_n Obs.Trace.Batch !i;
+    (* One wakeup check per published batch (amortized like the tail store). *)
+    Sds_notify.Waiter.notify t.rx_waiter
   end;
   if !stop then note_reject t Obs.Trace.Credit_stall;
   !i
@@ -387,7 +413,8 @@ let take_credit_return t =
 
 let return_credits t n =
   if n < 0 || Atomic.get t.credits + n > t.size then invalid_arg "Spsc_ring.return_credits";
-  ignore (Atomic.fetch_and_add t.credits n)
+  ignore (Atomic.fetch_and_add t.credits n);
+  Sds_notify.Waiter.notify t.tx_waiter
 
 (* Consumer-side bookkeeping after a message of ring footprint [consumed]
    (payload [len]) has been copied out. *)
@@ -400,7 +427,8 @@ let[@inline] consume t consumed len auto_credit =
     let r = t.cons.pending_return in
     t.cons.pending_return <- 0;
     t.cons.credit_returns <- t.cons.credit_returns + 1;
-    ignore (Atomic.fetch_and_add t.credits r)
+    ignore (Atomic.fetch_and_add t.credits r);
+    Sds_notify.Waiter.notify t.tx_waiter
   end
 
 let try_dequeue ?(auto_credit = false) t =
@@ -458,6 +486,44 @@ let peek_packed t = if is_empty t then no_msg else decode_header t t.cons.head
 let peek_len t =
   let p = peek_packed t in
   if p = no_msg then None else Some (packed_len p)
+
+(* ---- blocking operation, via the §4.4 event-notification subsystem ----
+
+   The consumer parks on [rx_waiter] when the ring is empty; the producer's
+   tail publication notifies it (one parked-flag load on the hot path).  A
+   credit-starved producer parks on [tx_waiter]; the consumer's credit
+   return notifies it.  The readiness closures were preallocated at
+   [create], so waiting allocates nothing. *)
+
+let wait_rx t = Sds_notify.Waiter.wait t.rx_waiter ~ready:t.rx_ready
+
+let wait_tx t ~len =
+  t.prod.tx_need <- record_bytes len;
+  Sds_notify.Waiter.wait t.tx_waiter ~ready:t.tx_ready
+
+let rx_waiter t = t.rx_waiter
+let tx_waiter t = t.tx_waiter
+
+(* Share one waiter across N rings for [Waiter.wait_any]; all producers of
+   those rings then notify the shared waiter. *)
+let set_rx_waiter t w = t.rx_waiter <- w
+
+let rec enqueue_blocking ?(flags = 0) t src ~off ~len =
+  if not (try_enqueue ~flags t src ~off ~len) then begin
+    wait_tx t ~len;
+    enqueue_blocking ~flags t src ~off ~len
+  end
+
+(* Blocks while the ring is empty.  A header that fails its checksum (a
+   corrupt peer) also reads as "empty", so this parks rather than decoding
+   garbage — the non-blocking [try_dequeue_packed] is the probing flavour. *)
+let rec dequeue_packed_blocking ?(auto_credit = false) t ~dst ~dst_off =
+  let p = try_dequeue_packed ~auto_credit t ~dst ~dst_off in
+  if p <> no_msg then p
+  else begin
+    wait_rx t;
+    dequeue_packed_blocking ~auto_credit t ~dst ~dst_off
+  end
 
 (* Test-only access to the underlying storage, for corruption-injection
    tests of the header checksum. *)

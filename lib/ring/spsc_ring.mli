@@ -95,6 +95,36 @@ val return_credits : t -> int -> unit
 
 val peek_len : t -> int option
 
+(** {1 Event notification (§4.4)}
+
+    Every ring embeds two {!Sds_notify.Waiter} endpoints: consumers park on
+    the rx waiter when the ring is empty (the producer's tail publication
+    notifies it — one parked-flag load on the enqueue hot path), and
+    credit-starved producers park on the tx waiter (the consumer's credit
+    return notifies it).  Readiness closures are preallocated at [create],
+    so the blocking paths allocate nothing. *)
+
+val wait_rx : t -> unit
+(** Consumer side: adaptive spin→backoff→park until the ring is non-empty. *)
+
+val wait_tx : t -> len:int -> unit
+(** Producer side: block until the credits cover a [len]-byte message. *)
+
+val rx_waiter : t -> Sds_notify.Waiter.t
+val tx_waiter : t -> Sds_notify.Waiter.t
+
+val set_rx_waiter : t -> Sds_notify.Waiter.t -> unit
+(** Point N rings at one shared waiter to build a
+    {!Sds_notify.Waiter.wait_any} consumer (the per-process epoll-thread
+    shape). *)
+
+val enqueue_blocking : ?flags:int -> t -> Bytes.t -> off:int -> len:int -> unit
+(** [try_enqueue] that parks on the tx waiter instead of returning [false]. *)
+
+val dequeue_packed_blocking : ?auto_credit:bool -> t -> dst:Bytes.t -> dst_off:int -> int
+(** [try_dequeue_packed] that parks on the rx waiter while the ring is
+    empty (or the next header fails its checksum). *)
+
 (**/**)
 
 module For_testing : sig

@@ -34,7 +34,11 @@ let m_recv_bytes = Obs.Metrics.counter "shm.recv_bytes"
 let m_scratch_grows = Obs.Metrics.counter "shm.scratch_grows"
 let h_delivery = Obs.Metrics.histogram "shm.delivery_ns"
 
-type mode = Polling | Interrupt
+(* The receiver's polling↔interrupt mode lives in an [Sds_notify.Policy] —
+   the same state machine the real cross-domain waiter runs — created
+   non-adaptive so the simulator's fixed polling budget stays exactly the
+   paper's (and results stay deterministic). *)
+type mode = Sds_notify.Policy.mode = Polling | Interrupt
 
 type via =
   | Shm
@@ -49,7 +53,7 @@ type t = {
   mutable visible : int;
   rx_waitq : Waitq.t;
   tx_waitq : Waitq.t;  (** signalled when credits return *)
-  mutable rx_mode : mode;
+  rx_policy : Sds_notify.Policy.t;  (** receiver mode state machine (§4.4) *)
   mutable on_interrupt_write : (t -> unit) option;
   mutable deliver_hooks : (unit -> unit) list;  (** fired on every delivery (epoll) *)
   mutable sent : int;
@@ -72,7 +76,7 @@ let make engine ~cost ~via ~ring_size =
     visible = 0;
     rx_waitq = Waitq.create ();
     tx_waitq = Waitq.create ();
-    rx_mode = Polling;
+    rx_policy = Sds_notify.Policy.create ~adaptive:false ~backoff_rounds:0 ~budget:0 ();
     on_interrupt_write = None;
     deliver_hooks = [];
     sent = 0;
@@ -88,7 +92,7 @@ let commit t msg =
   t.visible <- t.visible + 1;
   Waitq.signal t.rx_waitq;
   List.iter (fun f -> f ()) t.deliver_hooks;
-  match (t.rx_mode, t.on_interrupt_write) with
+  match (Sds_notify.Policy.mode t.rx_policy, t.on_interrupt_write) with
   | Interrupt, Some hook -> hook t
   | (Polling | Interrupt), _ -> ()
 
@@ -106,8 +110,9 @@ let token t = t.token
 let via t = t.via
 let rx_waitq t = t.rx_waitq
 let tx_waitq t = t.tx_waitq
-let set_mode t m = t.rx_mode <- m
-let mode t = t.rx_mode
+let set_mode t m = Sds_notify.Policy.set_mode t.rx_policy m
+let mode t = Sds_notify.Policy.mode t.rx_policy
+let rx_policy t = t.rx_policy
 let set_interrupt_hook t f = t.on_interrupt_write <- Some f
 let add_deliver_hook t f = t.deliver_hooks <- f :: t.deliver_hooks
 let sent t = t.sent

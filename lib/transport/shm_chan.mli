@@ -8,7 +8,7 @@
 
 open Sds_sim
 
-type mode = Polling | Interrupt
+type mode = Sds_notify.Policy.mode = Polling | Interrupt
 
 type via =
   | Shm
@@ -36,6 +36,10 @@ val tx_waitq : t -> Waitq.t
 
 val set_mode : t -> mode -> unit
 val mode : t -> mode
+
+val rx_policy : t -> Sds_notify.Policy.t
+(** The receiver's polling↔interrupt state machine — the same
+    implementation the real cross-domain waiter runs. *)
 
 val set_interrupt_hook : t -> (t -> unit) -> unit
 (** Called on delivery while the receiver is in interrupt mode — the

@@ -4,7 +4,13 @@
    Also proves the observability hooks are allocation-free: the instrumented
    [try_dequeue_packed] path must read 0 minor words/op with metrics and
    tracing enabled, and the raw Obs primitives (counter add, histogram
-   observe, trace emit) must each read 0 as well. *)
+   observe, trace emit) must each read 0 as well.
+
+   The ring rows now include the §4.4 notification hooks inline — every
+   [try_enqueue] loads the rx waiter's parked flag and every auto-credit
+   return loads the tx waiter's — so the 0 here also covers [notify] on an
+   unparked waiter.  The dedicated notify rows pin the spin-phase waiter
+   primitives themselves at 0. *)
 
 let measure name iters f =
   let w0 = Gc.minor_words () in
@@ -40,4 +46,10 @@ let () =
   measure "Obs.Metrics.add" iters (fun () -> Obs.Metrics.add c 3);
   let h = Obs.Metrics.histogram "probe.hist" in
   measure "Obs.Metrics.observe" iters (fun () -> Obs.Metrics.observe h 1234);
-  measure "Obs.Trace.emit_n" iters (fun () -> Obs.Trace.emit_n Obs.Trace.Batch 7)
+  measure "Obs.Trace.emit_n" iters (fun () -> Obs.Trace.emit_n Obs.Trace.Batch 7);
+  let module W = Sds_notify.Waiter in
+  let w = W.create () in
+  measure "Waiter.notify (unparked)" iters (fun () -> W.notify w);
+  measure "Waiter.prepare_wait + cancel" iters (fun () ->
+      ignore (W.prepare_wait w);
+      W.cancel w)

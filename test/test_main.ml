@@ -4,6 +4,7 @@ let () =
       ("sim", Test_sim.suite);
       ("ring", Test_ring.suite);
       ("ring-domains", Test_ring_domains.suite);
+      ("notify", Test_notify.suite);
       ("vm", Test_vm.suite);
       ("transport", Test_transport.suite);
       ("verbs", Test_verbs.suite);
