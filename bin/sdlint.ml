@@ -1,0 +1,72 @@
+(* sdlint — driver for the Sds_check lint pass (docs/static-analysis.md).
+
+   Usage:
+     sdlint                     lint the whole tree from the repo root
+     sdlint --root DIR          lint the tree rooted at DIR
+     sdlint FILE.ml ...         lint specific files (repo-relative paths)
+     sdlint --rule SLUG         restrict to one rule (repeatable)
+     sdlint --list-rules        print the rule slugs and exit
+
+   Exit status: 0 when clean, 1 on any violation, 2 on usage error. *)
+
+module Lint = Sds_check.Lint
+
+let () =
+  let root = ref "." in
+  let rules : string list ref = ref [] in
+  let files : string list ref = ref [] in
+  let list_rules = ref false in
+  let quiet = ref false in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repo root to lint (default: .)");
+      ( "--rule",
+        Arg.String (fun r -> rules := r :: !rules),
+        "SLUG restrict to this rule (repeatable)" );
+      ("--list-rules", Arg.Set list_rules, " print rule slugs and exit");
+      ("--quiet", Arg.Set quiet, " print only the summary line");
+    ]
+  in
+  let usage = "sdlint [--root DIR] [--rule SLUG]... [FILE.ml ...]" in
+  Arg.parse spec (fun f -> files := f :: !files) usage;
+  if !list_rules then begin
+    List.iter print_endline Lint.all_rules;
+    exit 0
+  end;
+  let config = Lint.default in
+  (match !rules with
+  | [] -> ()
+  | rs ->
+    List.iter
+      (fun r ->
+        if not (List.mem r Lint.all_rules) then begin
+          Printf.eprintf "sdlint: unknown rule %S (try --list-rules)\n" r;
+          exit 2
+        end)
+      rs);
+  let violations =
+    match !files with
+    | [] -> Lint.lint_tree ~config ~root:!root
+    | fs ->
+      List.concat_map
+        (fun path ->
+          if not (Sys.file_exists (Filename.concat !root path)) then begin
+            Printf.eprintf "sdlint: no such file: %s\n" path;
+            exit 2
+          end;
+          Lint.lint_file ~config ~root:!root ~path)
+        (List.rev fs)
+  in
+  let violations =
+    match !rules with
+    | [] -> violations
+    | rs -> List.filter (fun (v : Lint.violation) -> List.mem v.rule rs) violations
+  in
+  if not !quiet then List.iter (fun v -> print_endline (Lint.to_string v)) violations;
+  match List.length violations with
+  | 0 ->
+    print_endline "sdlint: clean";
+    exit 0
+  | n ->
+    Printf.printf "sdlint: %d violation%s\n" n (if n = 1 then "" else "s");
+    exit 1

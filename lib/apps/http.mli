@@ -1,0 +1,44 @@
+(** Minimal HTTP/1.1 plus an Nginx-style reverse proxy (§5.3.1, Figure 11):
+    request generator -> proxy -> upstream responder, all speaking real
+    request-line/header/Content-Length framing over any {!Sock_api.S}. *)
+
+val app_work_ns : int
+(** Per-request application processing charged outside the socket stack. *)
+
+type request = { meth : string; path : string; headers : (string * string) list }
+type response = { status : int; resp_headers : (string * string) list; body : Bytes.t }
+
+val content_length : (string * string) list -> int
+val parse_header_line : string -> (string * string) option
+val format_request : request -> string
+val format_response_head : response -> string
+
+module Make (Api : Sock_api.S) : sig
+  module Io : module type of Sock_api.Io (Api)
+
+  val read_request : Io.t -> request option
+  val read_response : Io.t -> response option
+  val write_request : Io.t -> request -> unit
+  val write_response : Io.t -> response -> unit
+
+  val run_responder : Api.endpoint -> Api.listener -> requests:int -> unit
+  (** Upstream: answers every GET with a body sized by the path
+      ("/bytes/<n>"). *)
+
+  val run_proxy :
+    Api.endpoint ->
+    listener:Api.listener ->
+    upstream:Sds_transport.Host.t ->
+    upstream_port:int ->
+    requests:int ->
+    unit
+
+  val run_generator :
+    Api.endpoint ->
+    proxy:Sds_transport.Host.t ->
+    port:int ->
+    requests:int ->
+    size:int ->
+    on_latency:(int -> unit) ->
+    unit
+end

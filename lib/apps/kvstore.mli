@@ -1,0 +1,30 @@
+(** A Redis-like key-value store speaking a RESP-style protocol (§5.3.2):
+    single-threaded server over one keep-alive connection, and a
+    redis-benchmark-style closed-loop GET client. *)
+
+val app_work_ns : int
+(** Per-command application time charged outside the socket stack. *)
+
+module Make (Api : Sock_api.S) : sig
+  module Io : module type of Sock_api.Io (Api)
+
+  val write_bulk : Io.t -> string -> unit
+  val write_command : Io.t -> string list -> unit
+
+  val read_bulk : Io.t -> string option option
+  (** [Some None] is a RESP miss ("$-1"); [None] is EOF/garbage. *)
+
+  val read_command : Io.t -> string list option
+
+  val run_server : Api.endpoint -> Api.listener -> requests:int -> unit
+  (** Serves SET/GET/DEL on one accepted connection. *)
+
+  val run_client :
+    Api.endpoint ->
+    server:Sds_transport.Host.t ->
+    port:int ->
+    gets:int ->
+    value_size:int ->
+    on_latency:(int -> unit) ->
+    unit
+end

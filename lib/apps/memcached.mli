@@ -1,0 +1,42 @@
+(** A Memcached-like server speaking the binary protocol (§2, §2.2), over
+    any {!Sock_api.S}. *)
+
+type opcode = Get | Set | Delete
+
+val opcode_byte : opcode -> int
+val opcode_of_byte : int -> opcode option
+val req_magic : int
+val res_magic : int
+val header_bytes : int
+
+type packet = {
+  magic : int;
+  op : opcode;
+  status : int;  (** 0 ok, 1 not found; requests carry 0 *)
+  opaque : int;
+  key : string;
+  value : Bytes.t;
+}
+
+val encode : packet -> Bytes.t
+
+val decode_header : Bytes.t -> int * opcode option * int * int * int * int
+(** [(magic, opcode, key_len, status, total_body, opaque)]. *)
+
+module Make (Api : Sock_api.S) : sig
+  module Io : module type of Sock_api.Io (Api)
+
+  val read_packet : Io.t -> packet option
+  val write_packet : Io.t -> packet -> unit
+
+  val run_server : Api.endpoint -> Api.listener -> requests:int -> unit
+
+  type client
+
+  val connect : Api.endpoint -> dst:Sds_transport.Host.t -> port:int -> client
+  val request : client -> op:opcode -> key:string -> value:Bytes.t -> int * Bytes.t
+  val set : client -> key:string -> value:Bytes.t -> int
+  val get : client -> key:string -> Bytes.t option
+  val delete : client -> key:string -> int
+  val close : client -> unit
+end

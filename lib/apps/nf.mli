@@ -1,0 +1,52 @@
+(** Network-function pipeline (§5.3.4, Figure 12): pcap-framed packets flow
+    source -> NF1 -> ... -> NFk -> sink over pluggable channels
+    (SocksDirect, kernel TCP, kernel pipes), plus a NetBricks-style
+    single-process reference composition. *)
+
+val pcap_header_bytes : int
+val packet_payload : int
+val packet_bytes : int
+
+val make_packet : seq:int -> Bytes.t
+
+val nf_work : int array -> Bytes.t -> unit
+(** Parse the header and bump [counters] — the per-packet NF work itself. *)
+
+module type Channel = sig
+  type rd
+  type wr
+
+  val read_packet : rd -> Bytes.t option
+  val write_packet : wr -> Bytes.t -> unit
+  val close_wr : wr -> unit
+end
+
+module Run (C : Channel) : sig
+  val nf_stage : input:C.rd -> output:C.wr -> int
+  (** One NF process: input -> work -> output; returns packets processed. *)
+
+  val source : output:C.wr -> packets:int -> unit
+  val sink : input:C.rd -> int
+end
+
+module Sock_channel (Api : Sock_api.S) : sig
+  module Io : module type of Sock_api.Io (Api)
+
+  type rd = Io.t
+  type wr = Io.t
+
+  val read_packet : rd -> Bytes.t option
+  val write_packet : wr -> Bytes.t -> unit
+  val close_wr : wr -> unit
+end
+
+module Pipe_channel : sig
+  type rd = Sds_kernel.Kernel.process * int
+  type wr = Sds_kernel.Kernel.process * int
+
+  val read_packet : rd -> Bytes.t option
+  val write_packet : wr -> Bytes.t -> unit
+  val close_wr : wr -> unit
+end
+
+val netbricks_pipeline : stages:int -> packets:int -> int

@@ -1,0 +1,26 @@
+(** Pre-fork master/worker server over libsd — the Apache / PHP-FPM process
+    model (§2.2): the master binds and listens, forks N workers, and every
+    worker accepts from the same listening socket; the monitor dispatches
+    round-robin and idle workers steal (§4.5.2). *)
+
+type t
+
+val create : Sds_transport.Host.t -> port:int -> workers:int -> t
+
+val start :
+  t ->
+  engine:Sds_sim.Engine.t ->
+  conns_per_worker:int ->
+  handler:(Socksdirect.Libsd.thread -> int -> unit) ->
+  on_ready:(unit -> unit) ->
+  unit
+(** Spawns the master proc; [on_ready] fires once every worker accepts.
+    [handler th fd] serves one accepted connection fd and returns. *)
+
+val served : t -> int array
+(** Per-worker request counts (a copy). *)
+
+val total_served : t -> int
+
+val echo_handler : Socksdirect.Libsd.thread -> int -> unit
+(** Ready-made handler: one request in, one reply out. *)

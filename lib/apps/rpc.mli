@@ -1,0 +1,40 @@
+(** A small binary RPC library in the style of RPClib (§5.3.3).
+
+    Frame: 4-byte LE total length, 4-byte call id, 2-byte method-name
+    length, method name, payload; the response echoes the call id. *)
+
+val frame_into : buf:Bytes.t -> call_id:int -> meth:string -> payload:Bytes.t -> int
+(** Allocation-free framing into a caller-owned buffer; returns the frame's
+    total length.  Raises [Invalid_argument] when [buf] is too small. *)
+
+val frame : call_id:int -> meth:string -> payload:Bytes.t -> Bytes.t
+
+(** Zero-allocation field accessors over a framed buffer. *)
+
+val frame_total : Bytes.t -> int
+val frame_call_id : Bytes.t -> int
+val frame_meth_len : Bytes.t -> int
+val frame_payload_off : Bytes.t -> int
+val frame_payload_len : Bytes.t -> int
+
+val parse : Bytes.t -> int * string * Bytes.t
+(** [(call_id, method, payload)] — the allocating convenience parser. *)
+
+val marshal_overhead_ns : int
+
+module Make (Api : Sock_api.S) : sig
+  module Io : module type of Sock_api.Io (Api)
+
+  type server
+
+  val create_server : unit -> server
+  val register : server -> string -> (Bytes.t -> Bytes.t) -> unit
+  val read_frame : Io.t -> Bytes.t option
+  val serve : Api.endpoint -> Api.listener -> server -> calls:int -> unit
+
+  type client
+
+  val connect : Api.endpoint -> dst:Sds_transport.Host.t -> port:int -> client
+  val call : client -> meth:string -> payload:Bytes.t -> Bytes.t
+  val close : client -> unit
+end

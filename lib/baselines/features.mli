@@ -1,0 +1,41 @@
+(** Table 3: the compatibility / isolation / removed-overhead matrix for
+    the ten socket systems the paper compares, encoded as data so the bench
+    harness can regenerate the table and tests can assert the executable
+    stacks exhibit the claimed behaviours. *)
+
+type support = Yes | No | Partial of string
+
+type system = {
+  name : string;
+  category : string;
+  (* compatibility *)
+  transparent : support;
+  epoll : support;
+  tcp_peers : support;  (** compatible with regular TCP peers *)
+  intra_host : support;
+  multi_listen : support;  (** multiple applications listen on a port *)
+  full_fork : support;
+  live_migration : support;
+  (* isolation *)
+  access_control : string;  (** "Kernel" | "Daemon" | "-" *)
+  container_isolation : support;
+  qos : string;
+  (* removed overheads *)
+  kernel_crossing : support;
+  fd_locks : support;
+  transport_removed : support;
+  buffer_mgmt : support;
+  io_multiplexing : support;
+  process_wakeup : support;
+  zero_copy : support;
+  fd_alloc : support;
+  conn_dispatch : support;
+}
+
+val base : system
+(** All-[No] template for [{ base with ... }] rows. *)
+
+val systems : system list
+val find : string -> system option
+val string_of_support : support -> string
+val pp_row : Format.formatter -> system -> unit

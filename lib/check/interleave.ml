@@ -1,0 +1,387 @@
+(* Sds_check.Interleave — bounded-interleaving checker for the tree's
+   lock-free protocols.
+
+   A model program is a handful of threads written in a tiny shared-memory
+   op DSL (atomic/plain load and store, CAS, fence, a [Block_until] that
+   stands for a condvar sleep).  The checker runs every interleaving of the
+   threads' shared-memory operations, exhaustively up to a preemption bound,
+   under a sequentially-consistent interpreter, and reports three kinds of
+   defect:
+
+   - data races, found with vector clocks: two accesses to the same
+     variable from different threads, at least one a write, at least one
+     plain (non-atomic), with neither ordered happens-before the other.
+     Atomic ops build the happens-before edges (each atomic access joins
+     with and releases into the variable's synchronization clock — sound
+     for OCaml's SC atomics); plain accesses build none.  This is the
+     standard DRF argument in executable form: the interpreter itself is
+     sequentially consistent, so any behaviour that a weakly-ordered
+     machine could add shows up here as a reported race rather than as a
+     wrong value.
+
+   - assertion failures: [Assert] statements over thread-local registers,
+     for protocol post-conditions ("if I observed the published tail, the
+     header and payload reads must be complete").
+
+   - lost wakeups: a terminal state (no thread can take a step) in which
+     some thread is still parked on a [Block_until].  This is exactly the
+     lost-wakeup bug class of park/notify protocols — the sleeper missed
+     the only notify that was ever coming.
+
+   Scheduling points are shared-memory operations only; thread-local
+   control flow ([Set]/[If]/[While]/[Assert] over registers) runs greedily
+   between them, which keeps the schedule space small without hiding any
+   behaviour (local ops commute with everything).  The preemption bound
+   counts involuntary switches — scheduling away from a thread that could
+   have continued — following the observation (CHESS) that real concurrency
+   bugs almost always need only a few preemptions. *)
+
+(* ---- the DSL ---- *)
+
+type exp =
+  | Int of int
+  | Reg of string  (** thread-local register; reads as 0 before first write *)
+  | Var of string  (** shared variable — only legal inside [Block_until] *)
+  | Add of exp * exp
+
+type rel = Eq | Ne | Lt | Ge
+
+type cond =
+  | True
+  | Rel of rel * exp * exp
+  | And of cond * cond
+  | Not of cond
+
+type stmt =
+  | Load of string * string  (** atomic load [var] into [reg] *)
+  | Store of string * exp  (** atomic store *)
+  | Plain_load of string * string
+  | Plain_store of string * exp
+  | Cas of string * exp * exp * string
+      (** [Cas (var, expect, set, ok)]: atomically set [var] to [set] if it
+          equals [expect]; [ok] gets 1 on success, 0 otherwise *)
+  | Fence  (** full memory fence (joins a global fence clock) *)
+  | Set of string * exp  (** local: [reg := exp] *)
+  | If of cond * stmt list * stmt list  (** local; cond over registers *)
+  | While of cond * stmt list  (** local; cond over registers *)
+  | Block_until of cond
+      (** models a condvar sleep: the thread is not schedulable until the
+          condition (over shared [Var]s) holds; waking acquires the
+          synchronization clocks of the variables read *)
+  | Assert of cond * string  (** local; cond over registers *)
+
+type thread = { name : string; body : stmt list }
+type program = { globals : (string * int) list; threads : thread list }
+
+type race = { race_var : string; thread_a : string; thread_b : string }
+
+type outcome = {
+  executions : int;  (** distinct complete interleavings explored *)
+  races : race list;
+  assert_failures : string list;
+  lost_wakeups : int;  (** terminal states with a thread still parked *)
+  blocked_threads : string list;  (** names seen parked in such states *)
+  truncated : bool;  (** hit the execution cap before exhausting *)
+}
+
+let ok o =
+  o.races = [] && o.assert_failures = [] && o.lost_wakeups = 0 && not o.truncated
+
+(* ---- vector clocks ---- *)
+
+let vc_join a b = Array.mapi (fun i x -> max x b.(i)) a
+
+let vc_tick vc tid =
+  let v = Array.copy vc in
+  v.(tid) <- v.(tid) + 1;
+  v
+
+(* [a] (an access snapshot by [a_tid]) happens-before a thread whose clock
+   is [vc] iff the thread has seen [a_tid]'s tick. *)
+let hb_before a_vc a_tid vc = a_vc.(a_tid) <= vc.(a_tid)
+
+(* ---- machine state (persistent; branches share substructure) ---- *)
+
+module SM = Map.Make (String)
+
+type access = { a_tid : int; a_vc : int array; a_write : bool; a_plain : bool }
+type varst = { value : int; sync : int array; log : access list }
+type tstate = { frames : stmt list list; regs : int SM.t; vc : int array }
+
+type state = {
+  vars : varst SM.t;
+  threads : tstate array;
+  fence : int array;
+  last : int;
+  preemptions : int;
+}
+
+exception Model_error of string
+
+let reg_get regs r = match SM.find_opt r regs with Some v -> v | None -> 0
+
+let rec eval_exp ~regs ~var e =
+  match e with
+  | Int n -> n
+  | Reg r -> reg_get regs r
+  | Add (a, b) -> eval_exp ~regs ~var a + eval_exp ~regs ~var b
+  | Var v -> var v
+
+let rec eval_cond ~regs ~var c =
+  match c with
+  | True -> true
+  | Rel (rel, a, b) ->
+    let x = eval_exp ~regs ~var a and y = eval_exp ~regs ~var b in
+    (match rel with Eq -> x = y | Ne -> x <> y | Lt -> x < y | Ge -> x >= y)
+  | And (a, b) -> eval_cond ~regs ~var a && eval_cond ~regs ~var b
+  | Not a -> not (eval_cond ~regs ~var a)
+
+let no_var v = raise (Model_error ("Var " ^ v ^ " used outside Block_until"))
+
+let rec cond_vars acc c =
+  match c with
+  | True -> acc
+  | Rel (_, a, b) -> exp_vars (exp_vars acc a) b
+  | And (a, b) -> cond_vars (cond_vars acc a) b
+  | Not a -> cond_vars acc a
+
+and exp_vars acc e =
+  match e with
+  | Int _ | Reg _ -> acc
+  | Var v -> if List.mem v acc then acc else v :: acc
+  | Add (a, b) -> exp_vars (exp_vars acc a) b
+
+(* ---- thread stepping ---- *)
+
+(* Pop empty blocks so the head of [frames] is the next statement. *)
+let rec settle frames =
+  match frames with
+  | [] :: rest -> settle rest
+  | _ -> frames
+
+let finished t = settle t.frames = []
+
+let head t = match settle t.frames with (s :: _) :: _ -> Some s | _ -> None
+
+let is_shared = function
+  | Load _ | Store _ | Plain_load _ | Plain_store _ | Cas _ | Fence | Block_until _ -> true
+  | Set _ | If _ | While _ | Assert _ -> false
+
+(* Run thread-local statements greedily until the thread rests at a shared
+   op or finishes.  [on_assert] receives failed assertion messages. *)
+let normalize ~on_assert t =
+  let fuel = ref 100_000 in
+  let rec go t =
+    decr fuel;
+    if !fuel <= 0 then raise (Model_error "local statement loop does not terminate");
+    match settle t.frames with
+    | [] -> { t with frames = [] }
+    | (s :: rest) :: outer when not (is_shared s) ->
+      let t = { t with frames = rest :: outer } in
+      (match s with
+      | Set (r, e) ->
+        go { t with regs = SM.add r (eval_exp ~regs:t.regs ~var:no_var e) t.regs }
+      | If (c, a, b) ->
+        let branch = if eval_cond ~regs:t.regs ~var:no_var c then a else b in
+        go { t with frames = branch :: rest :: outer }
+      | While (c, body) ->
+        if eval_cond ~regs:t.regs ~var:no_var c then
+          go { t with frames = body :: (s :: rest) :: outer }
+        else go t
+      | Assert (c, msg) ->
+        if not (eval_cond ~regs:t.regs ~var:no_var c) then on_assert msg;
+        go t
+      | _ -> assert false)
+    | frames -> { t with frames }
+  in
+  go t
+
+let var_value st v =
+  match SM.find_opt v st.vars with
+  | Some x -> x.value
+  | None -> raise (Model_error ("undeclared variable " ^ v))
+
+let enabled st tid =
+  let t = st.threads.(tid) in
+  (not (finished t))
+  &&
+  match head t with
+  | Some (Block_until c) -> eval_cond ~regs:t.regs ~var:(var_value st) c
+  | _ -> true
+
+(* Execute the shared op at [tid]'s head; returns the new state.
+   [on_race] is called for every unordered conflicting access pair. *)
+let exec_shared ~on_race ~on_assert st tid =
+  let t = st.threads.(tid) in
+  let s, rest, outer =
+    match settle t.frames with
+    | (s :: rest) :: outer -> (s, rest, outer)
+    | _ -> assert false
+  in
+  let vget v =
+    match SM.find_opt v st.vars with
+    | Some x -> x
+    | None -> raise (Model_error ("undeclared variable " ^ v))
+  in
+  (* Race check of this access against the variable's log, then append.
+     [vc] is the access's own clock (acquire-joined and ticked), so a prior
+     access is ordered before this one iff this thread has seen its tick. *)
+  let record v (vs : varst) ~vc ~write ~plain =
+    List.iter
+      (fun a ->
+        if
+          a.a_tid <> tid
+          && (a.a_write || write)
+          && (a.a_plain || plain)
+          && not (hb_before a.a_vc a.a_tid vc)
+        then on_race v a.a_tid tid)
+      vs.log;
+    { vs with log = { a_tid = tid; a_vc = vc; a_write = write; a_plain = plain } :: vs.log }
+  in
+  let finish ?value ?sync ?regs v vs vc =
+    let vs = { vs with value = Option.value value ~default:vs.value } in
+    let vs = match sync with Some s -> { vs with sync = s } | None -> vs in
+    let threads = Array.copy st.threads in
+    threads.(tid) <-
+      { frames = rest :: outer; regs = Option.value regs ~default:t.regs; vc };
+    { st with vars = SM.add v vs st.vars; threads; last = tid }
+  in
+  match s with
+  | Load (v, r) ->
+    let vs = vget v in
+    let vc = vc_tick (vc_join t.vc vs.sync) tid in
+    let vs = record v vs ~vc ~write:false ~plain:false in
+    finish ~sync:(vc_join vs.sync vc) ~regs:(SM.add r vs.value t.regs) v vs vc
+  | Store (v, e) ->
+    let x = eval_exp ~regs:t.regs ~var:no_var e in
+    let vs = vget v in
+    let vc = vc_tick (vc_join t.vc vs.sync) tid in
+    let vs = record v vs ~vc ~write:true ~plain:false in
+    finish ~value:x ~sync:(vc_join vs.sync vc) v vs vc
+  | Cas (v, expect, set, r) ->
+    let vs = vget v in
+    let vc = vc_tick (vc_join t.vc vs.sync) tid in
+    let hit = vs.value = eval_exp ~regs:t.regs ~var:no_var expect in
+    let vs = record v vs ~vc ~write:hit ~plain:false in
+    let value = if hit then eval_exp ~regs:t.regs ~var:no_var set else vs.value in
+    finish ~value ~sync:(vc_join vs.sync vc)
+      ~regs:(SM.add r (if hit then 1 else 0) t.regs)
+      v vs vc
+  | Plain_load (v, r) ->
+    let vs = vget v in
+    let vc = vc_tick t.vc tid in
+    let vs = record v vs ~vc ~write:false ~plain:true in
+    finish ~regs:(SM.add r vs.value t.regs) v vs vc
+  | Plain_store (v, e) ->
+    let x = eval_exp ~regs:t.regs ~var:no_var e in
+    let vs = vget v in
+    let vc = vc_tick t.vc tid in
+    let vs = record v vs ~vc ~write:true ~plain:true in
+    finish ~value:x v vs vc
+  | Fence ->
+    let vc = vc_tick (vc_join t.vc st.fence) tid in
+    let threads = Array.copy st.threads in
+    threads.(tid) <- { t with frames = rest :: outer; vc };
+    { st with fence = vc_join st.fence vc; threads; last = tid }
+  | Block_until c ->
+    (* Enabledness was already checked; waking acquires the sync clocks of
+       the variables the condition read (the condvar/mutex edge). *)
+    let vc =
+      List.fold_left (fun vc v -> vc_join vc (vget v).sync) t.vc (cond_vars [] c)
+    in
+    let threads = Array.copy st.threads in
+    threads.(tid) <- { t with frames = rest :: outer; vc = vc_tick vc tid };
+    { st with threads; last = tid }
+  | Set _ | If _ | While _ | Assert _ ->
+    ignore on_assert;
+    assert false
+
+(* ---- exhaustive preemption-bounded exploration ---- *)
+
+let check ?(bound = 4) ?(max_executions = 500_000) (p : program) =
+  let n = List.length p.threads in
+  if n = 0 then invalid_arg "Interleave.check: no threads";
+  if n > 16 then invalid_arg "Interleave.check: too many threads";
+  let zero () = Array.make n 0 in
+  let executions = ref 0 in
+  let truncated = ref false in
+  let races : race list ref = ref [] in
+  let asserts : string list ref = ref [] in
+  let lost = ref 0 in
+  let blocked : string list ref = ref [] in
+  let names = Array.of_list (List.map (fun t -> t.name) p.threads) in
+  let add_once xs x = if not (List.mem x !xs) then xs := x :: !xs in
+  let on_race v a b =
+    let a, b = (min a b, max a b) in
+    add_once races { race_var = v; thread_a = names.(a); thread_b = names.(b) }
+  in
+  let on_assert msg = add_once asserts msg in
+  let init_vars =
+    List.fold_left
+      (fun m (v, x) -> SM.add v { value = x; sync = zero (); log = [] } m)
+      SM.empty p.globals
+  in
+  let init_threads =
+    Array.of_list
+      (List.map
+         (fun t -> normalize ~on_assert { frames = [ t.body ]; regs = SM.empty; vc = zero () })
+         p.threads)
+  in
+  let init =
+    { vars = init_vars; threads = init_threads; fence = zero (); last = -1; preemptions = 0 }
+  in
+  let rec explore st =
+    if !executions >= max_executions then truncated := true
+    else begin
+      let en = ref [] in
+      for tid = n - 1 downto 0 do
+        if enabled st tid then en := tid :: !en
+      done;
+      match !en with
+      | [] ->
+        incr executions;
+        let parked = ref false in
+        Array.iteri
+          (fun tid t ->
+            if not (finished t) then begin
+              parked := true;
+              add_once blocked names.(tid)
+            end)
+          st.threads;
+        if !parked then incr lost
+      | en ->
+        let run tid ~cost =
+          let st' = exec_shared ~on_race ~on_assert st tid in
+          let threads = Array.copy st'.threads in
+          threads.(tid) <- normalize ~on_assert threads.(tid);
+          explore { st' with threads; preemptions = st.preemptions + cost }
+        in
+        if st.last >= 0 && List.mem st.last en then begin
+          (* Continuing the running thread is free; preempting it costs. *)
+          run st.last ~cost:0;
+          if st.preemptions < bound then
+            List.iter (fun tid -> if tid <> st.last then run tid ~cost:1) en
+        end
+        else List.iter (fun tid -> run tid ~cost:0) en
+    end
+  in
+  explore init;
+  {
+    executions = !executions;
+    races = List.rev !races;
+    assert_failures = List.rev !asserts;
+    lost_wakeups = !lost;
+    blocked_threads = List.rev !blocked;
+    truncated = !truncated;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "@[<v>executions: %d%s@," o.executions (if o.truncated then " (truncated)" else "");
+  List.iter
+    (fun r -> Format.fprintf ppf "race on %s between %s and %s@," r.race_var r.thread_a r.thread_b)
+    o.races;
+  List.iter (fun m -> Format.fprintf ppf "assertion failed: %s@," m) o.assert_failures;
+  if o.lost_wakeups > 0 then
+    Format.fprintf ppf "lost wakeup: %d terminal states leave [%s] parked@," o.lost_wakeups
+      (String.concat "; " o.blocked_threads);
+  Format.fprintf ppf "@]"

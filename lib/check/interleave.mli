@@ -1,0 +1,61 @@
+(** Bounded-interleaving checker for the tree's lock-free protocols.
+
+    Model a protocol as a few threads over a tiny shared-memory op DSL;
+    {!check} explores every interleaving of their shared-memory operations
+    up to a preemption bound under a sequentially-consistent interpreter,
+    reporting vector-clock data races, assertion failures, and lost
+    wakeups (terminal states with a thread still parked on
+    {!stmt.Block_until}).  See [docs/static-analysis.md]. *)
+
+type exp =
+  | Int of int
+  | Reg of string  (** thread-local register; reads as 0 before first write *)
+  | Var of string  (** shared variable — only legal inside [Block_until] *)
+  | Add of exp * exp
+
+type rel = Eq | Ne | Lt | Ge
+type cond = True | Rel of rel * exp * exp | And of cond * cond | Not of cond
+
+type stmt =
+  | Load of string * string  (** atomic load [var] into [reg] *)
+  | Store of string * exp  (** atomic store *)
+  | Plain_load of string * string
+  | Plain_store of string * exp
+  | Cas of string * exp * exp * string
+      (** [Cas (var, expect, set, ok)]: [ok] gets 1 on success, 0 otherwise *)
+  | Fence
+  | Set of string * exp  (** local register assignment *)
+  | If of cond * stmt list * stmt list  (** local; cond over registers *)
+  | While of cond * stmt list  (** local; cond over registers *)
+  | Block_until of cond
+      (** condvar sleep: unschedulable until the condition (over [Var]s)
+          holds; waking acquires the sync clocks of the variables read *)
+  | Assert of cond * string  (** local; cond over registers *)
+
+type thread = { name : string; body : stmt list }
+type program = { globals : (string * int) list; threads : thread list }
+type race = { race_var : string; thread_a : string; thread_b : string }
+
+type outcome = {
+  executions : int;
+  races : race list;
+  assert_failures : string list;
+  lost_wakeups : int;
+  blocked_threads : string list;
+  truncated : bool;
+}
+
+exception Model_error of string
+(** Ill-formed model: undeclared variable, [Var] outside [Block_until], or
+    a thread-local loop that never reaches a shared op. *)
+
+val check : ?bound:int -> ?max_executions:int -> program -> outcome
+(** Exhaustive exploration up to [bound] preemptions (default 4; switching
+    away from a thread that could have continued costs one).  Voluntary
+    switches — the running thread blocked or finished — are free, so every
+    schedule terminates. *)
+
+val ok : outcome -> bool
+(** No races, no assertion failures, no lost wakeups, not truncated. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

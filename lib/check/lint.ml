@@ -1,0 +1,317 @@
+(* Sds_check.Lint — repo-specific concurrency/correctness lint over the
+   compiler-libs Parsetree.
+
+   The data path of this tree is a set of handwritten lock-free protocols
+   (the ring's payload-then-header-then-tail publication, the waiter's
+   eventcount park/notify).  Their correctness arguments are *local*: they
+   hold only while every [Atomic] access lives in the audited modules and
+   the hot paths stay allocation-free.  These rules machine-check those
+   locality assumptions:
+
+   - [atomic-confined]   [Atomic.*] (and [open Atomic] / module aliases)
+                         may appear only in the allowlisted modules whose
+                         protocols the interleaving checker models.
+   - [poly-compare]      bare polymorphic [compare] anywhere under [lib/],
+                         and [=]/[<>] applied to syntactically structured
+                         operands (tuples, records, strings, non-constant
+                         constructors) in the data-path libraries.
+   - [obj-unsafe]        any [Obj.*] outside the one designated module
+                         ([lib/het/hmap.ml], the shared het-map).
+   - [mli-parity]        every [.ml] under [lib/] must have a sibling
+                         [.mli] (interfaces are where invariants live).
+   - [hot-alloc]         inside functions annotated [@sds.hot]: no
+                         closures ([fun]/[function]/[lazy]), no
+                         [Printf]/[Format], no [List] combinators, no
+                         [^]/[@] concatenation.  Subtrees marked
+                         [@sds.cold] (rare slow paths) are exempt.
+
+   Any rule can be locally silenced with [@sds.allow "rule-slug"] on an
+   expression; the suppression covers the subtree.  The pass is purely
+   syntactic — it parses each file with compiler-libs and walks the
+   Parsetree, so it needs no build context and runs in milliseconds over
+   the whole tree. *)
+
+type violation = {
+  rule : string;
+  file : string;  (** path as given (repo-relative when driven by [lint_tree]) *)
+  line : int;
+  col : int;
+  message : string;
+}
+
+type config = {
+  atomic_allow : string list;  (** files allowed to touch [Atomic] *)
+  obj_allow : string list;  (** files allowed to touch [Obj] *)
+  atomic_dirs : string list;  (** scopes of the atomic-confined rule *)
+  obj_dirs : string list;
+  compare_dirs : string list;  (** bare [compare] flagged here *)
+  data_path_dirs : string list;  (** structural [=]/[<>] flagged here *)
+  mli_dirs : string list;  (** [.mli] parity enforced here *)
+  scan_dirs : string list;  (** roots walked by [lint_tree] *)
+  exclude_dirs : string list;  (** pruned subtrees (fixtures, _build) *)
+}
+
+let default =
+  {
+    atomic_allow = [ "lib/ring/spsc_ring.ml"; "lib/notify/waiter.ml" ];
+    obj_allow = [ "lib/het/hmap.ml" ];
+    atomic_dirs = [ "lib"; "bin"; "bench"; "examples" ];
+    obj_dirs = [ "lib"; "bin"; "bench"; "examples"; "test" ];
+    compare_dirs = [ "lib" ];
+    data_path_dirs = [ "lib/ring"; "lib/notify"; "lib/transport"; "lib/core" ];
+    mli_dirs = [ "lib" ];
+    scan_dirs = [ "lib"; "bin"; "bench"; "examples"; "test" ];
+    exclude_dirs = [ "_build"; ".git"; "test/fixtures" ];
+  }
+
+let rule_atomic = "atomic-confined"
+let rule_compare = "poly-compare"
+let rule_obj = "obj-unsafe"
+let rule_mli = "mli-parity"
+let rule_hot = "hot-alloc"
+let rule_parse = "parse-error"
+let all_rules = [ rule_atomic; rule_compare; rule_obj; rule_mli; rule_hot ]
+
+(* ---- path scoping ---- *)
+
+let in_dir path dir =
+  let ld = String.length dir and lp = String.length path in
+  lp > ld && String.sub path 0 ld = dir && path.[ld] = '/'
+
+let in_any path dirs = List.exists (in_dir path) dirs
+let is_allowed path allow = List.mem path allow
+
+(* ---- AST pass ---- *)
+
+open Parsetree
+
+let attr_is name (a : attribute) = a.attr_name.txt = name
+
+(* Payload of [@sds.allow "slug"]. *)
+let allow_payload (a : attribute) =
+  if not (attr_is "sds.allow" a) then None
+  else
+    match a.attr_payload with
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+            _;
+          };
+        ] ->
+      Some s
+    | _ -> None
+
+let lint_source ~config ~path ~source =
+  let viols = ref [] in
+  let suppressed : string list ref = ref [] in
+  let hot = ref 0 in
+  let cold = ref 0 in
+  let check_atomic = in_any path config.atomic_dirs && not (is_allowed path config.atomic_allow) in
+  let check_obj = in_any path config.obj_dirs && not (is_allowed path config.obj_allow) in
+  let check_compare = in_any path config.compare_dirs in
+  let check_struct_eq = in_any path config.data_path_dirs in
+  let add ~loc rule message =
+    if not (List.mem rule !suppressed) then begin
+      let p = loc.Location.loc_start in
+      viols :=
+        { rule; file = path; line = p.Lexing.pos_lnum; col = p.Lexing.pos_cnum - p.Lexing.pos_bol; message }
+        :: !viols
+    end
+  in
+  (* Module-path head of a longident: [Atomic.get] -> Some "Atomic", also
+     seeing through a [Stdlib.] prefix ([Stdlib.Atomic.get] -> Some "Atomic"). *)
+  let head_module lid =
+    match Longident.flatten lid with
+    | "Stdlib" :: m :: _ :: _ -> Some m
+    | m :: _ :: _ -> Some m
+    | _ -> None
+  in
+  let is_bare name lid =
+    match Longident.flatten lid with
+    | [ n ] | [ "Stdlib"; n ] -> n = name
+    | _ -> false
+  in
+  let check_ident lid loc =
+    (match head_module lid with
+    | Some "Atomic" when check_atomic ->
+      add ~loc rule_atomic
+        "Atomic.* is confined to the allowlisted lock-free modules (lib/ring/spsc_ring.ml, \
+         lib/notify/waiter.ml); route new shared state through them"
+    | Some "Obj" when check_obj ->
+      add ~loc rule_obj "Obj.* outside the designated safe module (lib/het/hmap.ml)"
+    | Some (("Printf" | "Format") as m) when !hot > 0 && !cold = 0 ->
+      add ~loc rule_hot (Printf.sprintf "%s.* formats (and allocates) inside an [@sds.hot] function" m)
+    | Some "List" when !hot > 0 && !cold = 0 ->
+      add ~loc rule_hot "List.* combinators allocate inside an [@sds.hot] function"
+    | _ -> ());
+    if check_compare && is_bare "compare" lid then
+      add ~loc rule_compare
+        "polymorphic compare; use a monomorphic comparator (Int.compare, Float.compare, \
+         String.compare, ...)";
+    if !hot > 0 && !cold = 0 then
+      match Longident.flatten lid with
+      | [ ("^" | "@") as op ] ->
+        add ~loc rule_hot (Printf.sprintf "(%s) concatenation allocates inside an [@sds.hot] function" op)
+      | _ -> ()
+  in
+  (* Syntactically structured operand: comparing one with polymorphic =
+     walks the structure at runtime. *)
+  let is_structural e =
+    match e.pexp_desc with
+    | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+    | Pexp_construct ({ txt = Longident.Lident "::"; _ }, _) -> true
+    | Pexp_construct (_, Some _) -> true
+    | Pexp_variant (_, Some _) -> true
+    | Pexp_constant (Pconst_string _) -> true
+    | _ -> false
+  in
+  let with_attrs attrs k =
+    let allows = List.filter_map allow_payload attrs in
+    let is_cold = List.exists (attr_is "sds.cold") attrs in
+    let saved = !suppressed in
+    suppressed := allows @ saved;
+    if is_cold then incr cold;
+    k ();
+    if is_cold then decr cold;
+    suppressed := saved
+  in
+  let default_it = Ast_iterator.default_iterator in
+  let expr it e =
+    with_attrs e.pexp_attributes (fun () ->
+        (match e.pexp_desc with
+        | Pexp_ident { txt; loc } -> check_ident txt loc
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident ("=" | "<>"); _ }; _ }, [ (_, a); (_, b) ])
+          when check_struct_eq && (is_structural a || is_structural b) ->
+          add ~loc:e.pexp_loc rule_compare
+            "polymorphic =/<> on a structured value in a data-path library; use a monomorphic \
+             equality"
+        | (Pexp_fun _ | Pexp_function _) when !hot > 0 && !cold = 0 ->
+          add ~loc:e.pexp_loc rule_hot "closure allocation inside an [@sds.hot] function"
+        | Pexp_lazy _ when !hot > 0 && !cold = 0 ->
+          add ~loc:e.pexp_loc rule_hot "lazy block allocates inside an [@sds.hot] function"
+        | _ -> ());
+        default_it.expr it e)
+  in
+  (* [let[@sds.hot] f p1 p2 = body]: the curried parameter chain is the
+     function itself, not a nested closure — skip through it, then walk the
+     body in hot context. *)
+  let value_binding it vb =
+    if List.exists (attr_is "sds.hot") vb.pvb_attributes then
+      with_attrs vb.pvb_attributes (fun () ->
+          it.Ast_iterator.pat it vb.pvb_pat;
+          incr hot;
+          let rec skip e =
+            match e.pexp_desc with
+            | Pexp_fun (_, dflt, pat, body) ->
+              Option.iter (it.Ast_iterator.expr it) dflt;
+              it.Ast_iterator.pat it pat;
+              skip body
+            | Pexp_newtype (_, body) -> skip body
+            | Pexp_constraint (body, ty) ->
+              it.Ast_iterator.typ it ty;
+              skip body
+            | _ -> it.Ast_iterator.expr it e
+          in
+          skip vb.pvb_expr;
+          decr hot)
+    else default_it.value_binding it vb
+  in
+  (* [open Atomic] / [module A = Atomic]: escape hatches for the ident rule. *)
+  let module_head me =
+    match me.pmod_desc with
+    | Pmod_ident { txt; loc } -> Some (Longident.flatten txt, loc)
+    | _ -> None
+  in
+  let check_module_path (flat, loc) =
+    match flat with
+    | "Atomic" :: _ when check_atomic ->
+      add ~loc rule_atomic "aliasing/opening Atomic outside the allowlisted lock-free modules"
+    | "Obj" :: _ when check_obj ->
+      add ~loc rule_obj "aliasing/opening Obj outside the designated safe module"
+    | _ -> ()
+  in
+  let module_expr it me =
+    (match module_head me with Some h -> check_module_path h | None -> ());
+    default_it.module_expr it me
+  in
+  let open_description it (od : open_description) =
+    check_module_path (Longident.flatten od.popen_expr.txt, od.popen_expr.loc);
+    default_it.open_description it od
+  in
+  let it =
+    { default_it with expr; value_binding; module_expr; open_description }
+  in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  (match Parse.implementation lexbuf with
+  | str -> it.structure it str
+  | exception _ ->
+    let p = lexbuf.Lexing.lex_curr_p in
+    viols :=
+      {
+        rule = rule_parse;
+        file = path;
+        line = p.Lexing.pos_lnum;
+        col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+        message = "syntax error: file does not parse";
+      }
+      :: !viols);
+  List.rev !viols
+
+(* ---- tree driver ---- *)
+
+let read_file f =
+  let ic = open_in_bin f in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ~config ~root ~path =
+  lint_source ~config ~path ~source:(read_file (Filename.concat root path))
+
+(* All .ml files under [config.scan_dirs], repo-relative, sorted. *)
+let ml_files ~config ~root =
+  let acc = ref [] in
+  let rec walk rel =
+    if not (List.mem rel config.exclude_dirs) then begin
+      let abs = Filename.concat root rel in
+      match Sys.is_directory abs with
+      | true ->
+        Array.iter
+          (fun entry -> walk (Filename.concat rel entry))
+          (Sys.readdir abs)
+      | false -> if Filename.check_suffix rel ".ml" then acc := rel :: !acc
+      | exception Sys_error _ -> ()
+    end
+  in
+  List.iter (fun d -> if Sys.file_exists (Filename.concat root d) then walk d) config.scan_dirs;
+  List.sort String.compare !acc
+
+let check_mli_parity ~config ~root =
+  List.filter_map
+    (fun path ->
+      if in_any path config.mli_dirs && not (Sys.file_exists (Filename.concat root (path ^ "i")))
+      then
+        Some
+          {
+            rule = rule_mli;
+            file = path;
+            line = 1;
+            col = 0;
+            message = "missing interface: every module under lib/ needs a sibling .mli";
+          }
+      else None)
+    (ml_files ~config ~root)
+
+let lint_tree ~config ~root =
+  let per_file =
+    List.concat_map (fun path -> lint_file ~config ~root ~path) (ml_files ~config ~root)
+  in
+  per_file @ check_mli_parity ~config ~root
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" v.file v.line v.col v.rule v.message
+
+let to_string v = Format.asprintf "%a" pp_violation v

@@ -1,0 +1,129 @@
+(* Sds_check.Models — the tree's lock-free protocols re-expressed as
+   Interleave model programs, with mutation knobs.
+
+   Each model is deliberately the *protocol skeleton*, not the whole
+   implementation: exactly the loads, stores and sync edges the correctness
+   comment in the real module appeals to.  The default knobs reproduce the
+   shipped protocol and must check clean; each knob flipped to the buggy
+   variant must make the checker report the corresponding defect — those
+   mutations are pinned by tests, so the detector itself is regression-
+   tested against the bug classes it exists to catch. *)
+
+open Interleave
+
+(* ---- §4.2 ring publication (lib/ring/spsc_ring.ml) ----
+
+   Producer: write payload (plain), write header (plain), publish tail
+   (atomic store — the release edge).  Consumer: read tail (atomic — the
+   acquire edge); if it observed the publication, read header and payload
+   and assert both writes are visible.
+
+   [publish_atomic = false] drops the SC publication (models losing the
+   release fence): the consumer's reads of [hdr]/[data] race with the
+   producer's writes — the checker must report races.
+
+   [header_after_publish = true] publishes the tail before the header
+   write: even sequentially consistent executions can then observe
+   [tail = 1] with an unwritten header — the checker must report the
+   assertion failure. *)
+
+let ring_publication ?(publish_atomic = true) ?(header_after_publish = false) () =
+  let publish = if publish_atomic then Store ("tail", Int 1) else Plain_store ("tail", Int 1) in
+  let producer =
+    if header_after_publish then
+      [ Plain_store ("data", Int 1); publish; Plain_store ("hdr", Int 1) ]
+    else [ Plain_store ("data", Int 1); Plain_store ("hdr", Int 1); publish ]
+  in
+  let consumer =
+    [
+      Load ("tail", "t");
+      If
+        ( Rel (Eq, Reg "t", Int 1),
+          [
+            Plain_load ("hdr", "h");
+            Plain_load ("data", "d");
+            Assert (Rel (Eq, Reg "h", Int 1), "consumer observed tail but header is unwritten");
+            Assert (Rel (Eq, Reg "d", Int 1), "consumer observed tail but payload is unwritten");
+          ],
+          [] );
+    ]
+  in
+  {
+    globals = [ ("data", 0); ("hdr", 0); ("tail", 0) ];
+    threads = [ { name = "producer"; body = producer }; { name = "consumer"; body = consumer } ];
+  }
+
+(* ---- §4.4 eventcount park/notify (lib/notify/waiter.ml) ----
+
+   Waiter: read the ticket ([seq]), publish the parked flag ([state] := 1),
+   re-check the readiness condition, and either cancel or park until [seq]
+   moves.  Notifier: make the condition true ([cond] := 1), then load the
+   parked flag; if parked, CAS 1->2 to elect itself waker and bump [seq].
+
+   The Dekker-style safety argument: the waiter stores [state] *before*
+   re-checking [cond]; the notifier stores [cond] *before* loading
+   [state].  Under SC one of the two observations must succeed, so either
+   the waiter cancels or the notifier wakes.
+
+   [recheck = false] drops the waiter's re-check — the shipped bench once
+   had exactly this bug in its private parking layer: the notifier can run
+   entirely between the waiter's first readiness check and its park, the
+   notify is skipped ([state] was still 0 when loaded), and the waiter
+   sleeps forever.  The checker must report a lost wakeup. *)
+
+let park_notify ?(recheck = true) () =
+  let park =
+    [
+      Block_until (Rel (Ne, Var "seq", Reg "ticket"));
+      Store ("state", Int 0);
+    ]
+  in
+  let waiter =
+    [ Load ("seq", "ticket"); Load ("cond", "c0") ]
+    @ [
+        If
+          ( Rel (Eq, Reg "c0", Int 1),
+            [],
+            [ Store ("state", Int 1) ]
+            @ (if recheck then
+                 [
+                   Load ("cond", "c1");
+                   If (Rel (Eq, Reg "c1", Int 1), [ Store ("state", Int 0) ], park);
+                 ]
+               else park) );
+      ]
+  in
+  let notifier =
+    [
+      Store ("cond", Int 1);
+      Load ("state", "s");
+      If
+        ( Rel (Eq, Reg "s", Int 1),
+          [
+            Cas ("state", Int 1, Int 2, "won");
+            If
+              ( Rel (Eq, Reg "won", Int 1),
+                [ Load ("seq", "n"); Store ("seq", Add (Reg "n", Int 1)) ],
+                [] );
+          ],
+          [] );
+    ]
+  in
+  {
+    globals = [ ("cond", 0); ("state", 0); ("seq", 0) ];
+    threads = [ { name = "waiter"; body = waiter }; { name = "notifier"; body = notifier } ];
+  }
+
+(* The two checks `dune runtest` gates on, plus their pinned mutations. *)
+let all =
+  [
+    ("ring-publication", ring_publication ());
+    ("park-notify", park_notify ());
+  ]
+
+let mutations =
+  [
+    ("ring-publication-unfenced", ring_publication ~publish_atomic:false ());
+    ("ring-publication-header-late", ring_publication ~header_after_publish:true ());
+    ("park-notify-no-recheck", park_notify ~recheck:false ());
+  ]

@@ -1,0 +1,21 @@
+(** The tree's lock-free protocols as {!Interleave} model programs.
+
+    Default knobs are the shipped protocols and must check clean; each
+    mutation knob reproduces a real bug class and must be caught. *)
+
+val ring_publication :
+  ?publish_atomic:bool -> ?header_after_publish:bool -> unit -> Interleave.program
+(** §4.2 payload-then-header-then-tail publication.
+    [~publish_atomic:false] drops the SC tail publication (expect data
+    races on [hdr]/[data]); [~header_after_publish:true] publishes before
+    the header write (expect an assertion failure). *)
+
+val park_notify : ?recheck:bool -> unit -> Interleave.program
+(** §4.4 eventcount park/notify.  [~recheck:false] drops the parked-flag
+    era re-check of the readiness condition (expect a lost wakeup). *)
+
+val all : (string * Interleave.program) list
+(** Correct protocols, by name — each must satisfy [Interleave.ok]. *)
+
+val mutations : (string * Interleave.program) list
+(** Seeded-bug variants, by name — each must be caught. *)

@@ -796,7 +796,7 @@ let epoll_wait th epfd ?timeout_ns () =
     match scan () with
     | _ :: _ as fds ->
       Sds_notify.Policy.on_success pol;
-      List.sort compare fds
+      List.sort Int.compare fds
     | [] -> (
       let now = Engine.now th.ctx.engine in
       match deadline with
@@ -963,7 +963,7 @@ let poll th fds ?timeout_ns () =
         | Some (U s) -> ignore (Sock.poll_rx s)
         | _ -> ());
         fd_readable th fd)
-      (List.sort_uniq compare fds)
+      (List.sort_uniq Int.compare fds)
   in
   let deadline = Option.map (fun d -> Engine.now th.ctx.engine + d) timeout_ns in
   let rec loop () =

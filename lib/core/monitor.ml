@@ -87,7 +87,7 @@ type t = {
 
 and peer_link = { mutable link_rdma : bool; mutable link_setup_done : bool }
 
-let ext_key = "sds_monitor"
+let ext_key : t Sds_het.Hmap.key = Sds_het.Hmap.create_key ~name:"sds_monitor" ()
 
 let log = Logs.Src.create "sds.monitor" ~doc:"SocksDirect monitor daemon"
 

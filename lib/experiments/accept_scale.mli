@@ -1,0 +1,12 @@
+(** Extension experiment: accept throughput of the pre-fork server as worker
+    count grows — stresses the monitor's round-robin dispatch and work
+    stealing (§4.5.2) under a connection storm. *)
+
+val worker_counts : int list
+val conns_per_worker : int
+
+val point : workers:int -> float * int array
+(** Connection-storm completion rate (conns/s) and the per-worker served
+    counts for one worker-count configuration. *)
+
+val run : unit -> (int * float * int array) list

@@ -1,0 +1,55 @@
+(** Shared machinery for the evaluation harness: worlds, ping-pong latency,
+    closed-loop streaming throughput — all generic over the socket stack so
+    every figure sweeps the same workload across SocksDirect, Linux, LibVMA,
+    RSocket and raw transports. *)
+
+type world = {
+  engine : Sds_sim.Engine.t;
+  cost : Sds_sim.Cost.t;
+  rng : Sds_sim.Rng.t;
+  mutable hosts : Sds_transport.Host.t list;
+}
+
+val make_world : ?cost:Sds_sim.Cost.t -> ?seed:int -> unit -> world
+(** Fresh engine + cost model; also resets the baseline stacks' per-run
+    registries. *)
+
+val add_host : ?cores:int -> ?rdma:bool -> world -> Sds_transport.Host.t
+
+val ns_to_us : float -> float
+
+val pingpong :
+  (module Sds_apps.Sock_api.S) ->
+  world ->
+  client_host:Sds_transport.Host.t ->
+  server_host:Sds_transport.Host.t ->
+  size:int ->
+  rounds:int ->
+  warmup:int ->
+  Sds_sim.Stats.summary
+(** Round-trip latency (ns) of [size]-byte messages between two endpoints,
+    summarized over [rounds] measured round trips after [warmup]. *)
+
+val stream_tput :
+  (module Sds_apps.Sock_api.S) ->
+  world ->
+  client_host:Sds_transport.Host.t ->
+  server_host:Sds_transport.Host.t ->
+  size:int ->
+  pairs:int ->
+  warmup_ns:int ->
+  window_ns:int ->
+  float
+(** Closed-loop unidirectional stream across [pairs] thread pairs; returns
+    aggregate messages/second measured inside the window (auto-extended for
+    stacks too slow to complete ten messages). *)
+
+val mops : float -> float
+val gbps : size:int -> msg_per_s:float -> float
+
+(* Output helpers shared by the figure drivers. *)
+
+val header : string -> unit
+val tsv_row : string list -> unit
+val f2 : float -> string
+val f3 : float -> string

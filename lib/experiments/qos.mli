@@ -1,0 +1,10 @@
+(** Performance isolation (Table 3's QoS row): two inter-host flows share a
+    NIC; shaping one on its QP must cap that flow and leave the other's
+    bandwidth share intact. *)
+
+val two_flows : shape_a:bool -> float * float
+(** Gbps of flows A and B after the measurement window, with flow A
+    optionally rate-shaped on its QP. *)
+
+val run : unit -> (float * float) * (float * float)
+(** [((a_free, b_free), (a_shaped, b_shaped))]. *)

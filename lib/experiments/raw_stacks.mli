@@ -1,0 +1,16 @@
+(** "Raw" reference stacks for the figures' dashed lines: bare RDMA write
+    verbs and a bare SHM queue, with no socket semantics on top.  These
+    bound what any socket system could achieve (Figure 8's RDMA line,
+    Table 2's lockless-queue row). *)
+
+module Raw_rdma : sig
+  include Sds_apps.Sock_api.S with type endpoint = Sds_transport.Host.t
+
+  val reset : unit -> unit
+end
+
+module Raw_shm : sig
+  include Sds_apps.Sock_api.S with type endpoint = Sds_transport.Host.t
+
+  val reset : unit -> unit
+end

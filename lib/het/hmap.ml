@@ -1,0 +1,64 @@
+(* Heterogeneous map keyed by typed capability keys.
+
+   This is the one sanctioned home for "attach a value of arbitrary type to
+   a host object" in the tree (per-proc slots in the simulator, per-host
+   extension state in the transport layer).  Earlier revisions open-coded
+   the pattern twice with [(_, Obj.t) Hashtbl.t] plus [Obj.repr]/[Obj.obj]
+   casts whose soundness rested on a string-key convention; this module
+   gets the same dynamic typing from an extensible variant instead, so a
+   key mismatch is a [None], never a segfault.
+
+   Each [create_key] mints a fresh constructor [B : a -> binding] of the
+   extensible type [binding]; injection wraps a value, projection pattern-
+   matches it back out.  The match can only succeed for the very
+   constructor the key owns, which is what makes [find] type-safe without
+   any unsafe cast.  (The [sdlint] obj-unsafe rule allowlists exactly this
+   module, and it no longer needs the exemption.) *)
+
+type binding = ..
+
+type 'a key = {
+  uid : int;
+  name : string;
+  inj : 'a -> binding;
+  proj : binding -> 'a option;
+}
+
+(* Key identity is the uid; minting is not thread-safe by design (keys are
+   created at module-initialization time, before any domain is spawned). *)
+let next_uid = ref 0
+
+let create_key (type a) ?(name = "key") () : a key =
+  let module M = struct
+    type binding += B of a
+  end in
+  incr next_uid;
+  {
+    uid = !next_uid;
+    name;
+    inj = (fun v -> M.B v);
+    proj = (function M.B v -> Some v | _ -> None);
+  }
+
+let key_name k = k.name
+
+type t = (int, binding) Hashtbl.t
+
+let create ?(size = 4) () : t = Hashtbl.create size
+let set t k v = Hashtbl.replace t k.uid (k.inj v)
+let remove t k = Hashtbl.remove t k.uid
+let mem t k = Hashtbl.mem t k.uid
+let length t = Hashtbl.length t
+
+let find t k =
+  match Hashtbl.find_opt t k.uid with
+  | None -> None
+  | Some b -> k.proj b
+
+let find_or t k ~create:mk =
+  match find t k with
+  | Some v -> v
+  | None ->
+    let v = mk () in
+    set t k v;
+    v

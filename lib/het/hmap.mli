@@ -1,0 +1,31 @@
+(** Heterogeneous map keyed by typed capability keys.
+
+    The one sanctioned "attach arbitrarily-typed state to an object" module
+    in the tree: per-proc slots ([Sds_sim.Proc]) and per-host extension
+    state ([Sds_transport.Host]) are both instances.  Implemented with an
+    extensible variant per key — no [Obj], no casts: looking a key up at
+    the wrong type is impossible because only the minting key holds the
+    constructor. *)
+
+type t
+(** A mutable heterogeneous map. *)
+
+type 'a key
+(** A capability to store and retrieve one ['a]-typed binding. *)
+
+val create_key : ?name:string -> unit -> 'a key
+(** Mint a fresh key.  Not thread-safe: mint keys at module-initialization
+    time, before spawning domains.  [name] is for diagnostics only. *)
+
+val key_name : 'a key -> string
+
+val create : ?size:int -> unit -> t
+val set : t -> 'a key -> 'a -> unit
+val find : t -> 'a key -> 'a option
+val find_or : t -> 'a key -> create:(unit -> 'a) -> 'a
+(** [find_or t k ~create] returns the existing binding or installs
+    [create ()] and returns it. *)
+
+val remove : t -> 'a key -> unit
+val mem : t -> 'a key -> bool
+val length : t -> int

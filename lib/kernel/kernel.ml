@@ -104,7 +104,7 @@ and epoll = {
   e_wq : Waitq.t;
 }
 
-let ext_key = "sds_kernel"
+let ext_key : t Sds_het.Hmap.key = Sds_het.Hmap.create_key ~name:"sds_kernel" ()
 
 let create host =
   {
@@ -424,7 +424,7 @@ let epoll_wait proc epfd ?timeout_ns () =
   in
   let rec loop deadline =
     match ready () with
-    | _ :: _ as fds -> List.sort compare fds
+    | _ :: _ as fds -> List.sort Int.compare fds
     | [] ->
       let now = Engine.now e.e_kernel.engine in
       (match deadline with

@@ -75,13 +75,14 @@ let create ?min_spin ?max_spin ?backoff_rounds ?adaptive ?(spin = 512) () =
   }
 
 let policy t = t.policy
-let parked t = Atomic.get t.state <> 0
+
+let[@sds.hot] parked t = Atomic.get t.state <> 0
 
 (* Hot-path notification: one SC load when nobody is parked.  The CAS
    elects a single waker per parked episode (and per contending notifier),
    so a producer streaming into a parked consumer pays the broadcast once,
    not once per message. *)
-let[@inline] notify t =
+let[@inline] [@sds.hot] notify t =
   if Atomic.get t.state = 1 && Atomic.compare_and_set t.state 1 2 then begin
     Atomic.incr t.seq;
     Mutex.lock t.m;
@@ -91,12 +92,12 @@ let[@inline] notify t =
     Obs.Trace.emit Obs.Trace.Wake
   end
 
-let prepare_wait t =
+let[@sds.hot] prepare_wait t =
   let ticket = Atomic.get t.seq in
   Atomic.set t.state 1;
   ticket
 
-let cancel t = Atomic.set t.state 0
+let[@sds.hot] cancel t = Atomic.set t.state 0
 
 let commit_wait t ticket =
   Obs.Metrics.incr c_parks;

@@ -248,7 +248,7 @@ module Metrics = struct
             registry [])
     in
     List.iter (fun p -> cs := (p.p_name, p.p_fn () - p.p_offset) :: !cs) probes;
-    let by_name (a, _) (b, _) = compare a b in
+    let by_name (a, _) (b, _) = String.compare a b in
     {
       counters = List.sort by_name !cs;
       gauges = List.sort by_name !gs;
@@ -498,7 +498,11 @@ module Trace = struct
         done;
         r.pos <- 0)
       rings;
-    List.stable_sort (fun a b -> compare (a.ts, a.domain) (b.ts, b.domain)) (List.rev !evs)
+    List.stable_sort
+      (fun a b ->
+        let c = Int.compare a.ts b.ts in
+        if c <> 0 then c else Int.compare a.domain b.domain)
+      (List.rev !evs)
 
   (* ---- rendering ---- *)
 

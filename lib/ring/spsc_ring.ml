@@ -193,7 +193,7 @@ let () =
 (* Edge-triggered full/stall bookkeeping: counts every rejected attempt but
    emits one trace event per full episode, so a spinning producer cannot
    flood the trace ring. *)
-let[@inline] note_reject (t : t) tag =
+let[@inline] [@sds.hot] note_reject (t : t) tag =
   t.prod.full_events <- t.prod.full_events + 1;
   if t.prod.was_full = 0 then begin
     t.prod.was_full <- 1;
@@ -251,13 +251,13 @@ let record_bytes len = (header_bytes + len + align - 1) land lnot (align - 1)
 
 (* Wrap-around blit of [len] bytes from [src] into the ring at absolute
    position [pos]. *)
-let blit_in t src src_off pos len =
+let[@sds.hot] blit_in t src src_off pos len =
   let off = pos land t.mask in
   let first = min len (t.size - off) in
   Bytes.blit src src_off t.buf off first;
   if first < len then Bytes.blit src (src_off + first) t.buf 0 (len - first)
 
-let blit_out t pos dst dst_off len =
+let[@sds.hot] blit_out t pos dst dst_off len =
   let off = pos land t.mask in
   let first = min len (t.size - off) in
   Bytes.blit t.buf off dst dst_off first;
@@ -266,7 +266,7 @@ let blit_out t pos dst dst_off len =
 (* Fold all 32 bits of [len] and all 16 of [flags] into 16 bits.  The
    non-zero constant keeps an all-zero header (fresh or zeroed shared
    memory) from validating as an empty message. *)
-let header_checksum len flags =
+let[@sds.hot] header_checksum len flags =
   let x = len lxor (len lsr 16) in
   let x = x lxor (x lsl 5) lxor flags lxor 0x9E37 in
   x land 0xFFFF
@@ -275,30 +275,32 @@ let header_checksum len flags =
    so the 8-byte header is always contiguous and the fast path below always
    hits; the byte-wise slow path is kept for generality should alignment
    rules ever change. *)
-let write_header t pos len flags =
+let[@sds.hot] write_header t pos len flags =
   let off = pos land t.mask in
   if off + header_bytes <= t.size then begin
     unsafe_set_int32 t.buf off (Int32.of_int len);
     unsafe_set_int32 t.buf (off + 4)
       (Int32.of_int (flags lor (header_checksum len flags lsl 16)))
   end
-  else begin
-    let sum = header_checksum len flags in
-    let byte i =
-      if i < 4 then (len lsr (8 * i)) land 0xFF
-      else if i < 6 then (flags lsr (8 * (i - 4))) land 0xFF
-      else (sum lsr (8 * (i - 6))) land 0xFF
-    in
-    for i = 0 to header_bytes - 1 do
-      Bytes.unsafe_set t.buf ((pos + i) land t.mask) (Char.unsafe_chr (byte i))
-    done
-  end
+  else
+    ((* Unreachable while positions stay 8-byte aligned; kept for
+        generality and exempt from the hot-alloc rule. *)
+     let sum = header_checksum len flags in
+     let byte i =
+       if i < 4 then (len lsr (8 * i)) land 0xFF
+       else if i < 6 then (flags lsr (8 * (i - 4))) land 0xFF
+       else (sum lsr (8 * (i - 6))) land 0xFF
+     in
+     for i = 0 to header_bytes - 1 do
+       Bytes.unsafe_set t.buf ((pos + i) land t.mask) (Char.unsafe_chr (byte i))
+     done)
+    [@sds.cold]
 
 (* Headers decode to a packed immediate — [len lor (flags lsl 32)], or
    [-1] when the checksum rejects — so the hot path allocates nothing. *)
 let no_msg = -1
 
-let decode_header t pos =
+let[@sds.hot] decode_header t pos =
   let off = pos land t.mask in
   if off + header_bytes <= t.size then begin
     let len = Int32.to_int (unsafe_get_int32 t.buf off) in
@@ -308,16 +310,18 @@ let decode_header t pos =
     if sum <> header_checksum len flags || len < 0 || record_bytes len > t.size / 2 then no_msg
     else len lor (flags lsl 32)
   end
-  else begin
-    let byte i = Char.code (Bytes.unsafe_get t.buf ((pos + i) land t.mask)) in
-    let word i n =
-      let rec go k acc = if k = n then acc else go (k + 1) (acc lor (byte (i + k) lsl (8 * k))) in
-      go 0 0
-    in
-    let len = word 0 4 and flags = word 4 2 and sum = word 6 2 in
-    if sum <> header_checksum len flags || len < 0 || record_bytes len > t.size / 2 then no_msg
-    else len lor (flags lsl 32)
-  end
+  else
+    ((* Unreachable while positions stay 8-byte aligned, like the
+        [write_header] slow path. *)
+     let byte i = Char.code (Bytes.unsafe_get t.buf ((pos + i) land t.mask)) in
+     let word i n =
+       let rec go k acc = if k = n then acc else go (k + 1) (acc lor (byte (i + k) lsl (8 * k))) in
+       go 0 0
+     in
+     let len = word 0 4 and flags = word 4 2 and sum = word 6 2 in
+     if sum <> header_checksum len flags || len < 0 || record_bytes len > t.size / 2 then no_msg
+     else len lor (flags lsl 32))
+    [@sds.cold]
 
 let[@inline] packed_len p = p land 0xFFFFFFFF
 let[@inline] packed_flags p = (p lsr 32) land 0xFFFF
@@ -328,7 +332,7 @@ let read_header t pos =
 
 (* Attempt to enqueue [len] bytes of [src] (with [flags] in the header).
    Returns [false] when the sender lacks credits — never overwrites. *)
-let try_enqueue ?(flags = 0) t src ~off ~len =
+let[@sds.hot] try_enqueue ?(flags = 0) t src ~off ~len =
   if len < 0 || off < 0 || off + len > Bytes.length src then invalid_arg "Spsc_ring.try_enqueue";
   let need = record_bytes len in
   if need > t.size / 2 then invalid_arg "Spsc_ring.try_enqueue: message larger than half ring";
@@ -358,7 +362,7 @@ let try_enqueue ?(flags = 0) t src ~off ~len =
    the tail once and spending credits once for the whole batch — the
    amortization behind the paper's adaptive batching (§4.2).  Returns how
    many messages of the prefix were enqueued. *)
-let enqueue_batch ?(flags = 0) t srcs =
+let[@sds.hot] enqueue_batch ?(flags = 0) t srcs =
   let budget = ref (Atomic.get t.credits) in
   let tail0 = Atomic.get t.tail in
   let tail = ref tail0 in
@@ -402,7 +406,7 @@ type dequeued = { data : Bytes.t; flags : int }
 (* Credit return the consumer owes the producer; the transport delivers it by
    calling [return_credits].  Returns 0 until half the ring has been
    consumed, matching the paper's batched credit-return flag. *)
-let take_credit_return t =
+let[@sds.hot] take_credit_return t =
   if t.cons.pending_return >= t.size / 2 then begin
     let r = t.cons.pending_return in
     t.cons.pending_return <- 0;
@@ -411,14 +415,14 @@ let take_credit_return t =
   end
   else 0
 
-let return_credits t n =
+let[@sds.hot] return_credits t n =
   if n < 0 || Atomic.get t.credits + n > t.size then invalid_arg "Spsc_ring.return_credits";
   ignore (Atomic.fetch_and_add t.credits n);
   Sds_notify.Waiter.notify t.tx_waiter
 
 (* Consumer-side bookkeeping after a message of ring footprint [consumed]
    (payload [len]) has been copied out. *)
-let[@inline] consume t consumed len auto_credit =
+let[@inline] [@sds.hot] consume t consumed len auto_credit =
   t.cons.head <- t.cons.head + consumed;
   t.cons.pending_return <- t.cons.pending_return + consumed;
   t.cons.dequeued <- t.cons.dequeued + 1;
@@ -446,7 +450,7 @@ let try_dequeue ?(auto_credit = false) t =
    into [dst] and returns the packed [len lor (flags lsl 32)] immediate, or
    [no_msg] (-1) when the ring is empty or the header invalid.  Raises when
    [dst] cannot hold the message (use [peek_packed] to size it). *)
-let try_dequeue_packed ?(auto_credit = false) t ~dst ~dst_off =
+let[@sds.hot] try_dequeue_packed ?(auto_credit = false) t ~dst ~dst_off =
   if is_empty t then no_msg
   else begin
     let p = decode_header t t.cons.head in
@@ -481,7 +485,7 @@ let dequeue_batch ?(auto_credit = false) t ~max =
 
 (* Peek the next message without consuming it: packed immediate, [no_msg]
    when empty or invalid. *)
-let peek_packed t = if is_empty t then no_msg else decode_header t t.cons.head
+let[@sds.hot] peek_packed t = if is_empty t then no_msg else decode_header t t.cons.head
 
 let peek_len t =
   let p = peek_packed t in

@@ -1,0 +1,79 @@
+(** Calibrated cost model: every constant is in nanoseconds, from the
+    paper's Table 2 (micro-operation round trips) and Table 4 (per-op /
+    per-packet / per-kbyte / per-connection breakdown).  Changing a field
+    reshapes every experiment consistently. *)
+
+type t = {
+  (* ---- Table 2 micro-ops ---- *)
+  cache_migration : int;  (** inter-core cache-line migration, 30 *)
+  poll_empty_32 : int;  (** polling 32 empty queues, 40 *)
+  syscall_pre_kpti : int;  (** system call before KPTI, 50 *)
+  syscall_post_kpti : int;  (** system call after KPTI, 200 *)
+  kpti : bool;  (** kernel page-table isolation enabled (paper testbed: yes) *)
+  spinlock : int;  (** uncontended spinlock acquire+release, 100 *)
+  spinlock_contended : int;  (** contended spinlock, 200 *)
+  buffer_alloc_free : int;  (** allocate + free one packet buffer, 130 *)
+  copy_page_4k : int;  (** copy one 4 KiB page, 400 *)
+  yield_switch : int;  (** cooperative context switch (sched_yield), 520 *)
+  map_page_4k : int;  (** remap one 4 KiB page, 780 *)
+  nic_hairpin : int;  (** CPU->NIC->CPU hairpin within a host, 950 *)
+  map_32_pages : int;  (** remap 32 pages (128 KiB) in one call, 1200 *)
+  open_socket_fd : int;  (** kernel socket FD + inode allocation, 1600 *)
+  rdma_write_rtt : int;  (** one-sided RDMA write round trip, 1600 *)
+  rdma_send_recv_rtt : int;  (** two-sided RDMA send/recv round trip, 1600 *)
+  process_wakeup : int;  (** wake a sleeping process, 2800-5500 -> 4000 *)
+  (* ---- Table 4 components ---- *)
+  c_shim : int;  (** C library shim / API dispatch, 10-15 *)
+  sd_per_op : int;  (** SocksDirect total per socket op, 53 *)
+  fd_lock_vma : int;  (** LibVMA per-op FD locking, 121 *)
+  fd_lock_rsocket : int;  (** RSocket per-op FD locking, 138 *)
+  fd_lock_linux : int;  (** Linux per-op FD locking, 160 *)
+  linux_per_op : int;  (** Linux total per socket op, 413 *)
+  sd_buffer_mgmt : int;  (** SD ring-buffer bookkeeping per message, 50 *)
+  vma_buffer_mgmt : int;  (** LibVMA buffer mgmt per packet, 320 *)
+  rsocket_buffer_mgmt : int;  (** RSocket buffer mgmt per packet, 370 *)
+  linux_buffer_mgmt : int;  (** Linux buffer mgmt per packet, 430 *)
+  vma_transport : int;  (** LibVMA user-space TCP/IP per packet, 260 *)
+  linux_transport : int;  (** Linux TCP/IP per packet, 360 *)
+  vma_packet_proc : int;  (** LibVMA packet processing, 200 *)
+  linux_packet_proc : int;  (** Linux packet processing, 500 *)
+  doorbell_dma_sd : int;  (** NIC doorbell+DMA with one-sided write, 600 *)
+  doorbell_dma_2sided : int;  (** doorbell+DMA with two-sided verbs, 900 *)
+  doorbell_dma_linux : int;  (** Linux NIC doorbell+DMA, 2100 *)
+  nic_wire : int;  (** NIC processing + wire propagation one way, 200 *)
+  linux_interrupt : int;  (** NIC interrupt handling per packet, 4000 *)
+  wire_per_kb : int;  (** wire serialization per KiB at 100 Gbps, 80 *)
+  copy_per_kb : int;  (** memory copy per KiB, 100 (= copy_page_4k / 4) *)
+  sd_remap_per_kb : int;  (** zero-copy page remap per KiB, 13 *)
+  (* ---- connection setup (Table 4 per-connection) ---- *)
+  tcp_handshake : int;  (** initial TCP handshake over the wire, 16000 *)
+  tcp_handshake_rsocket : int;  (** RSocket's slower handshake path, 47000 *)
+  monitor_processing : int;  (** monitor per-connection control work, 180 *)
+  rdma_qp_create : int;  (** RDMA QP creation via libibverbs, 30000 *)
+  linux_conn_setup : int;  (** Linux intra-host connection setup, 14700 *)
+  vma_conn_setup_intra : int;  (** LibVMA intra-host connection setup, 3800 *)
+  rsocket_conn_setup_intra : int;  (** RSocket intra-host connection setup, 33000 *)
+  (* ---- SocksDirect mechanism costs (§4, §5.2) ---- *)
+  takeover : int;  (** token take-over through the monitor, 600 *)
+  shm_msg_overhead : int;  (** per-message SHM ring cost incl. metadata, 45 *)
+  batch_flush_gap : int;  (** in-flight counter check before RDMA flush, 20 *)
+  (* ---- NIC model ---- *)
+  nic_qp_cache_entries : int;  (** QPs whose state fits on-NIC, 1024 *)
+  nic_qp_cache_miss : int;  (** penalty per DMA when QP state misses, 600 *)
+  nic_max_inflight : int;  (** send-queue depth before batching kicks in, 64 *)
+  mtu : int;  (** wire MTU in bytes, 4096 (RoCEv2 testbed) *)
+}
+
+val default : t
+
+val syscall : t -> int
+(** The effective syscall cost under the configured KPTI setting. *)
+
+val copy_cost : t -> int -> int
+(** Cost of copying [bytes] through one CPU. *)
+
+val remap_cost : t -> int -> int
+(** Cost of remapping [bytes] worth of pages, amortized over batch remaps. *)
+
+val wire_cost : t -> int -> int
+(** Wire serialization delay for [bytes]. *)

@@ -15,7 +15,7 @@ type t = {
   mutable on_exit : (unit -> unit) list;
   (* Arbitrary per-proc slots used by upper layers (current cpu, libsd
      context, ...).  Keys are allocated by [new_key]. *)
-  slots : (int, Obj.t) Hashtbl.t;
+  slots : Sds_het.Hmap.t;
 }
 
 type _ Effect.t +=
@@ -46,7 +46,7 @@ let finish p =
 let spawn engine ?(name = "proc") body =
   incr next_id;
   let p =
-    { id = !next_id; name; engine; state = Running; on_exit = []; slots = Hashtbl.create 4 }
+    { id = !next_id; name; engine; state = Running; on_exit = []; slots = Sds_het.Hmap.create () }
   in
   let handler =
     {
@@ -101,18 +101,9 @@ let name p = p.name
 let id p = p.id
 let engine p = p.engine
 
-(* Typed per-proc slots. *)
-type 'a key = int
+(* Typed per-proc slots, backed by the shared het-map (no [Obj]). *)
+type 'a key = 'a Sds_het.Hmap.key
 
-let key_counter = ref 0
-
-let new_key () =
-  incr key_counter;
-  !key_counter
-
-let set_slot (type a) p (key : a key) (v : a) = Hashtbl.replace p.slots key (Obj.repr v)
-
-let get_slot (type a) p (key : a key) : a option =
-  match Hashtbl.find_opt p.slots key with
-  | None -> None
-  | Some o -> Some (Obj.obj o : a)
+let new_key () = Sds_het.Hmap.create_key ~name:"proc-slot" ()
+let set_slot p key v = Sds_het.Hmap.set p.slots key v
+let get_slot p key = Sds_het.Hmap.find p.slots key

@@ -30,7 +30,7 @@ let count t = t.len
 let ensure_sorted t =
   if not t.sorted then begin
     let live = Array.sub t.samples 0 t.len in
-    Array.sort compare live;
+    Array.sort Float.compare live;
     Array.blit live 0 t.samples 0 t.len;
     t.sorted <- true
   end

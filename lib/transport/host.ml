@@ -16,7 +16,7 @@ type t = {
   mutable sds_capable : bool;  (** runs a SocksDirect monitor *)
   (* Per-host state attached by upper layers (kernel instance, monitor
      daemon) without creating dependency cycles. *)
-  ext : (string, Obj.t) Hashtbl.t;
+  ext : Sds_het.Hmap.t;
 }
 
 let create engine ~cost ~id ?(cores = 16) ?(rdma = true) ~rng () =
@@ -29,24 +29,14 @@ let create engine ~cost ~id ?(cores = 16) ?(rdma = true) ~rng () =
     rng = Rng.split rng;
     rdma_capable = rdma;
     sds_capable = true;
-    ext = Hashtbl.create 4;
+    ext = Sds_het.Hmap.create ();
   }
 
-(* Typed accessors for per-host extension state. *)
-let find_ext (type a) t key : a option =
-  match Hashtbl.find_opt t.ext key with
-  | None -> None
-  | Some o -> Some (Obj.obj o : a)
-
-let set_ext (type a) t key (v : a) = Hashtbl.replace t.ext key (Obj.repr v)
-
-let get_ext_or t key ~create =
-  match find_ext t key with
-  | Some v -> v
-  | None ->
-    let v = create t in
-    set_ext t key v;
-    v
+(* Typed accessors for per-host extension state, backed by the shared
+   het-map (typed keys instead of the old string-plus-[Obj] convention). *)
+let find_ext t key = Sds_het.Hmap.find t.ext key
+let set_ext t key v = Sds_het.Hmap.set t.ext key v
+let get_ext_or t key ~create = Sds_het.Hmap.find_or t.ext key ~create:(fun () -> create t)
 
 let id t = t.id
 let nic t = t.nic

@@ -14,7 +14,7 @@ type t = {
   rng : Rng.t;
   mutable rdma_capable : bool;
   mutable sds_capable : bool;  (** runs a SocksDirect monitor *)
-  ext : (string, Obj.t) Hashtbl.t;
+  ext : Sds_het.Hmap.t;
       (** per-host state attached by upper layers (kernel, monitor) *)
 }
 
@@ -30,9 +30,10 @@ val core : t -> int -> Cpu.t
 val num_cores : t -> int
 val same_host : t -> t -> bool
 
-(** Typed accessors for per-host extension state.  The phantom typing is by
-    convention on the key string; each key must always be used at one type. *)
+(** Typed accessors for per-host extension state.  Keys are minted with
+    [Sds_het.Hmap.create_key] at module-initialization time; the key's type
+    parameter makes each binding type-safe (no casts, no conventions). *)
 
-val find_ext : t -> string -> 'a option
-val set_ext : t -> string -> 'a -> unit
-val get_ext_or : t -> string -> create:(t -> 'a) -> 'a
+val find_ext : t -> 'a Sds_het.Hmap.key -> 'a option
+val set_ext : t -> 'a Sds_het.Hmap.key -> 'a -> unit
+val get_ext_or : t -> 'a Sds_het.Hmap.key -> create:(t -> 'a) -> 'a

@@ -1,0 +1,290 @@
+(* Sds_check: trigger/non-trigger fixtures for every lint rule, tree-level
+   (.mli parity) checks over a synthesized tree, the interleaving checker on
+   the shipped protocol models (must be clean) and on seeded-bug mutations
+   (must be caught), and the shared het-map the obj-unsafe rule blesses. *)
+
+module Lint = Sds_check.Lint
+module Interleave = Sds_check.Interleave
+module Models = Sds_check.Models
+module Hmap = Sds_het.Hmap
+
+let cfg = Lint.default
+
+let rules_of ~path source =
+  List.map (fun v -> v.Lint.rule) (Lint.lint_source ~config:cfg ~path ~source)
+
+let check_rules msg ~path source expected =
+  Alcotest.(check (list string)) msg expected (rules_of ~path source)
+
+(* ---- atomic-confined ---- *)
+
+let test_atomic_rule () =
+  check_rules "Atomic use outside the allowlist is flagged" ~path:"lib/transport/x.ml"
+    "let x = Atomic.make 0" [ "atomic-confined" ];
+  check_rules "Stdlib-prefixed Atomic is still caught" ~path:"lib/core/x.ml"
+    "let x = Stdlib.Atomic.make 0" [ "atomic-confined" ];
+  check_rules "open Atomic is an escape hatch, flagged" ~path:"lib/core/x.ml"
+    "open Atomic\nlet x = make 0" [ "atomic-confined" ];
+  check_rules "aliasing Atomic is an escape hatch, flagged" ~path:"lib/core/x.ml"
+    "module A = Atomic\nlet x = A.make 0" [ "atomic-confined" ];
+  check_rules "the ring is allowlisted" ~path:"lib/ring/spsc_ring.ml"
+    "let x = Atomic.make 0" [];
+  check_rules "the waiter is allowlisted" ~path:"lib/notify/waiter.ml"
+    "let x = Atomic.make 0" [];
+  check_rules "tests may use Atomic (cross-domain harnesses)" ~path:"test/t.ml"
+    "let x = Atomic.make 0" [];
+  check_rules "suppression covers the subtree" ~path:"lib/core/x.ml"
+    "let x = (Atomic.make 0 [@sds.allow \"atomic-confined\"])" []
+
+(* ---- poly-compare ---- *)
+
+let test_compare_rule () =
+  check_rules "bare polymorphic compare under lib/ is flagged" ~path:"lib/sim/x.ml"
+    "let f a b = compare a b" [ "poly-compare" ];
+  check_rules "Stdlib.compare is the same thing" ~path:"lib/sim/x.ml"
+    "let f a b = Stdlib.compare a b" [ "poly-compare" ];
+  check_rules "monomorphic comparators pass" ~path:"lib/sim/x.ml"
+    "let f a b = Int.compare a b && Float.compare a b && String.compare a b" [];
+  check_rules "structural = in a data-path library is flagged" ~path:"lib/ring/x.ml"
+    "let f a = a = (1, 2)" [ "poly-compare" ];
+  check_rules "structural <> on a constructor application too" ~path:"lib/notify/x.ml"
+    "let f a = a <> Some 3" [ "poly-compare" ];
+  check_rules "string-literal = in a data-path library is flagged" ~path:"lib/core/x.ml"
+    "let f a = a = \"hot\"" [ "poly-compare" ];
+  check_rules "scalar = is fine even in the data path" ~path:"lib/ring/x.ml"
+    "let f (a : int) b = a = b" [];
+  check_rules "structural = outside the data path is tolerated" ~path:"lib/sim/x.ml"
+    "let f a = a = (1, 2)" []
+
+(* ---- obj-unsafe ---- *)
+
+let test_obj_rule () =
+  check_rules "Obj outside the safe module is flagged" ~path:"lib/sim/x.ml"
+    "let f x = Obj.repr x" [ "obj-unsafe" ];
+  check_rules "Obj.magic is flagged in tests too" ~path:"test/t.ml"
+    "let f x = Obj.magic x" [ "obj-unsafe" ];
+  check_rules "the het-map module is the one sanctioned user" ~path:"lib/het/hmap.ml"
+    "let f x = Obj.repr x" []
+
+(* ---- hot-alloc ---- *)
+
+let test_hot_rule () =
+  check_rules "closure inside [@sds.hot] is flagged" ~path:"lib/ring/x.ml"
+    "let[@sds.hot] f x = let g y = y + x in g 3" [ "hot-alloc" ];
+  check_rules "List combinators inside [@sds.hot] are flagged" ~path:"lib/sim/x.ml"
+    "let[@sds.hot] f xs = List.map succ xs" [ "hot-alloc" ];
+  check_rules "Printf inside [@sds.hot] is flagged" ~path:"lib/sim/x.ml"
+    "let[@sds.hot] f x = Printf.printf \"%d\" x" [ "hot-alloc" ];
+  check_rules "string concatenation inside [@sds.hot] is flagged" ~path:"lib/sim/x.ml"
+    "let[@sds.hot] f a b = a ^ b" [ "hot-alloc" ];
+  check_rules "lazy inside [@sds.hot] is flagged" ~path:"lib/sim/x.ml"
+    "let[@sds.hot] f x = lazy (x + 1)" [ "hot-alloc" ];
+  check_rules "the curried parameter chain is the function, not a closure"
+    ~path:"lib/sim/x.ml" "let[@sds.hot] f a b ~c ?(d = 0) () = a + b + c + d" [];
+  check_rules "[@sds.cold] exempts the rare slow path" ~path:"lib/sim/x.ml"
+    "let[@sds.hot] f x = if x > 0 then x else ((List.length [ x ]) [@sds.cold])" [];
+  check_rules "unannotated functions may allocate freely" ~path:"lib/sim/x.ml"
+    "let f xs = List.map succ xs" []
+
+(* ---- parse errors surface, not crash ---- *)
+
+let test_parse_error () =
+  check_rules "syntax errors are reported as violations" ~path:"lib/sim/x.ml" "let = "
+    [ "parse-error" ]
+
+(* ---- tree-level: ml_files walk + .mli parity ---- *)
+
+let make_tree () =
+  let root = Filename.temp_dir "sds_check" "tree" in
+  let mkdir p = Sys.mkdir p 0o755 in
+  mkdir (Filename.concat root "lib");
+  mkdir (Filename.concat root "lib/sub");
+  mkdir (Filename.concat root "bin");
+  let write rel s =
+    let oc = open_out (Filename.concat root rel) in
+    output_string oc s;
+    close_out oc
+  in
+  write "lib/sub/a.ml" "let a = 1";
+  write "lib/sub/b.ml" "let b = 2";
+  write "lib/sub/b.mli" "val b : int";
+  write "bin/c.ml" "let c = 3";
+  root
+
+let test_mli_parity () =
+  let root = make_tree () in
+  Alcotest.(check (list string))
+    "walk finds every .ml under the scan roots"
+    [ "bin/c.ml"; "lib/sub/a.ml"; "lib/sub/b.ml" ]
+    (Lint.ml_files ~config:cfg ~root);
+  let missing = Lint.check_mli_parity ~config:cfg ~root in
+  Alcotest.(check (list string))
+    "exactly the interface-less lib module is flagged" [ "lib/sub/a.ml" ]
+    (List.map (fun v -> v.Lint.file) missing);
+  List.iter (fun v -> Alcotest.(check string) "rule slug" "mli-parity" v.Lint.rule) missing;
+  let all = Lint.lint_tree ~config:cfg ~root in
+  Alcotest.(check int) "lint_tree = per-file + parity" 1 (List.length all)
+
+(* The repo itself must be clean: the satellite fixes (monomorphic
+   comparators, the het-map, the added interfaces) are exactly what makes
+   this hold.  Locate the repo root by walking up to dune-project. *)
+let test_repo_clean () =
+  let rec find_root d =
+    if Sys.file_exists (Filename.concat d "dune-project") then Some d
+    else
+      let parent = Filename.dirname d in
+      if parent = d then None else find_root parent
+  in
+  match find_root (Sys.getcwd ()) with
+  | None -> () (* sandboxed run without the sources present: nothing to scan *)
+  | Some root ->
+    let viols = Lint.lint_tree ~config:cfg ~root in
+    List.iter (fun v -> Printf.printf "unexpected: %s\n" (Lint.to_string v)) viols;
+    Alcotest.(check int) "sdlint is clean on the repository" 0 (List.length viols)
+
+(* ---- interleaving checker: the DSL itself ---- *)
+
+let test_interleave_basics () =
+  let open Interleave in
+  (* Two unsynchronized plain writers: the canonical data race. *)
+  let racy =
+    {
+      globals = [ ("x", 0) ];
+      threads =
+        [
+          { name = "a"; body = [ Plain_store ("x", Int 1) ] };
+          { name = "b"; body = [ Plain_store ("x", Int 2) ] };
+        ];
+    }
+  in
+  let o = check racy in
+  Alcotest.(check bool) "plain/plain write race is reported" true (o.races <> []);
+  (* Same program through atomics: clean. *)
+  let sync =
+    {
+      globals = [ ("x", 0) ];
+      threads =
+        [
+          { name = "a"; body = [ Store ("x", Int 1) ] };
+          { name = "b"; body = [ Store ("x", Int 2) ] };
+        ];
+    }
+  in
+  Alcotest.(check bool) "atomic/atomic is not a race" true (ok (check sync));
+  (* A thread parked with no peer to wake it: a lost wakeup. *)
+  let stuck =
+    {
+      globals = [ ("x", 0) ];
+      threads = [ { name = "w"; body = [ Block_until (Rel (Eq, Var "x", Int 1)) ] } ];
+    }
+  in
+  let o = check stuck in
+  Alcotest.(check bool) "terminal parked thread counts as a lost wakeup" true
+    (o.lost_wakeups > 0);
+  Alcotest.(check (list string)) "and names the parked thread" [ "w" ] o.blocked_threads;
+  (* CAS: exactly one of two contending threads wins. *)
+  let cas_race =
+    {
+      globals = [ ("x", 0); ("wins", 0) ];
+      threads =
+        [
+          {
+            name = "a";
+            body =
+              [
+                Cas ("x", Int 0, Int 1, "ok");
+                If (Rel (Eq, Reg "ok", Int 1), [ Load ("wins", "w"); Store ("wins", Add (Reg "w", Int 1)) ], []);
+              ];
+          };
+          {
+            name = "b";
+            body =
+              [
+                Cas ("x", Int 0, Int 2, "ok");
+                If (Rel (Eq, Reg "ok", Int 1), [ Load ("wins", "w"); Store ("wins", Add (Reg "w", Int 1)) ], []);
+              ];
+          };
+        ];
+    }
+  in
+  Alcotest.(check bool) "contending CAS elects exactly one winner" true (ok (check cas_race));
+  Alcotest.(check bool) "exploration actually ran" true ((check cas_race).executions > 0)
+
+let test_models_clean () =
+  List.iter
+    (fun (name, p) ->
+      let o = Interleave.check p in
+      if not (Interleave.ok o) then
+        Alcotest.failf "model %s not clean: %a" name Interleave.pp_outcome o)
+    Models.all
+
+(* Mutation tests: each seeded bug class must be caught by the right
+   detector.  These are the regression tests for the checker itself — if a
+   refactor of [Interleave] stops catching one of these, the checker has
+   lost its reason to exist. *)
+
+let test_mutation_unfenced () =
+  let o = Interleave.check (Models.ring_publication ~publish_atomic:false ()) in
+  Alcotest.(check bool) "dropping the atomic tail publication races" true (o.races <> [])
+
+let test_mutation_header_late () =
+  let o = Interleave.check (Models.ring_publication ~header_after_publish:true ()) in
+  Alcotest.(check bool) "publishing before the header write trips the assert" true
+    (o.assert_failures <> [])
+
+let test_mutation_no_recheck () =
+  let o = Interleave.check (Models.park_notify ~recheck:false ()) in
+  Alcotest.(check bool) "dropping the parked-flag re-check loses a wakeup" true
+    (o.lost_wakeups > 0)
+
+let test_mutations_all_caught () =
+  List.iter
+    (fun (name, p) ->
+      let o = Interleave.check p in
+      if Interleave.ok o then Alcotest.failf "mutation %s escaped every detector" name)
+    Models.mutations
+
+(* ---- the shared het-map ---- *)
+
+let test_hmap () =
+  let k_int : int Hmap.key = Hmap.create_key ~name:"int" () in
+  let k_str : string Hmap.key = Hmap.create_key ~name:"str" () in
+  let k_int2 : int Hmap.key = Hmap.create_key ~name:"int2" () in
+  let m = Hmap.create () in
+  Alcotest.(check (option int)) "empty" None (Hmap.find m k_int);
+  Hmap.set m k_int 42;
+  Hmap.set m k_str "hello";
+  Alcotest.(check (option int)) "int roundtrip" (Some 42) (Hmap.find m k_int);
+  Alcotest.(check (option string)) "string roundtrip" (Some "hello") (Hmap.find m k_str);
+  Alcotest.(check (option int)) "same-type keys do not collide" None (Hmap.find m k_int2);
+  let calls = ref 0 in
+  let v =
+    Hmap.find_or m k_int2 ~create:(fun () ->
+        incr calls;
+        7)
+  in
+  Alcotest.(check int) "find_or installs" 7 v;
+  Alcotest.(check int) "find_or is memoized" 7 (Hmap.find_or m k_int2 ~create:(fun () -> 99));
+  Alcotest.(check int) "create ran once" 1 !calls;
+  Alcotest.(check int) "length" 3 (Hmap.length m);
+  Hmap.remove m k_int;
+  Alcotest.(check bool) "remove" false (Hmap.mem m k_int);
+  Alcotest.(check string) "key_name" "str" (Hmap.key_name k_str)
+
+let suite =
+  [
+    Alcotest.test_case "lint: atomic-confined" `Quick test_atomic_rule;
+    Alcotest.test_case "lint: poly-compare" `Quick test_compare_rule;
+    Alcotest.test_case "lint: obj-unsafe" `Quick test_obj_rule;
+    Alcotest.test_case "lint: hot-alloc" `Quick test_hot_rule;
+    Alcotest.test_case "lint: parse errors" `Quick test_parse_error;
+    Alcotest.test_case "lint: mli parity over a tree" `Quick test_mli_parity;
+    Alcotest.test_case "lint: repository is clean" `Quick test_repo_clean;
+    Alcotest.test_case "interleave: DSL basics" `Quick test_interleave_basics;
+    Alcotest.test_case "interleave: shipped protocols are clean" `Quick test_models_clean;
+    Alcotest.test_case "mutation: unfenced publication races" `Quick test_mutation_unfenced;
+    Alcotest.test_case "mutation: late header trips assert" `Quick test_mutation_header_late;
+    Alcotest.test_case "mutation: no-recheck loses wakeup" `Quick test_mutation_no_recheck;
+    Alcotest.test_case "mutation: all variants caught" `Quick test_mutations_all_caught;
+    Alcotest.test_case "het-map" `Quick test_hmap;
+  ]

@@ -17,4 +17,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
+      ("check", Test_check.suite);
     ]
