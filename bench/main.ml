@@ -4,13 +4,16 @@
    (the §4.2 ring vs the locked / buffer-allocating baselines, FD tables,
    protocol codecs).
 
-   Usage: main.exe [--json] [--metrics-out FILE] [experiment ...]
-   with experiments from: table1 table2 table3 table4 fig7 fig8 fig9 fig10
-   fig11 fig12 redis rpc connscale ablation micro ring2core.  No arguments
-   = all.  With [--json], the micro and ring2core results are also written
-   to BENCH_ring.json for the perf trajectory.  With [--metrics-out FILE],
-   the process-wide Obs metrics snapshot is written there as JSON after the
-   runs, next to BENCH_*.json. *)
+   Usage: main.exe [--json] [--metrics-out FILE] [--copy-policy MODE]
+   [experiment ...] with experiments from: table1 table2 table3 table4 fig7
+   fig8 fig9 fig10 fig11 fig12 redis rpc connscale ablation micro
+   ring2core.  No arguments = all.  With [--json], the micro and ring2core
+   results are also written to BENCH_ring.json for the perf trajectory.
+   With [--metrics-out FILE], the process-wide Obs metrics snapshot is
+   written there as JSON after the runs, next to BENCH_*.json.
+   [--copy-policy always|never|adaptive] selects the Libra selective-copy
+   mode for the ring2core large-payload stream rows (default adaptive);
+   the forced-copy comparison rows always run with [always]. *)
 
 open Sds_experiments
 
@@ -183,12 +186,16 @@ let run_bechamel () =
 let json_micro : (string * float * float) list ref = ref []
 let json_ring : Ring_bench.result list ref = ref []
 
+(* --copy-policy knob for the ring2core stream rows (Libra selective
+   copying); set from argv before the experiments run. *)
+let copy_mode = ref Socksdirect.Copy_policy.Adaptive
+
 let experiments : (string * (unit -> unit)) list =
   [
     (* micro runs first: Bechamel's wall-clock measurements are cleanest
        before the simulation experiments grow the heap. *)
     ("micro", fun () -> json_micro := run_bechamel ());
-    ("ring2core", fun () -> json_ring := Ring_bench.run_all ());
+    ("ring2core", fun () -> json_ring := Ring_bench.run_all ~copy_mode:!copy_mode ());
     ("table1", fun () -> Tables.run_table1 ());
     ("table2", fun () -> Tables.run_table2 ());
     ("table3", fun () -> Tables.run_table3 ());
@@ -224,6 +231,23 @@ let () =
     | [] -> (None, List.rev acc)
   in
   let metrics_out, args = extract_metrics_out [] args in
+  (* --copy-policy MODE: consume the flag and its argument. *)
+  let rec extract_copy_policy acc = function
+    | "--copy-policy" :: m :: rest -> (
+      match Socksdirect.Copy_policy.mode_of_string m with
+      | Some mode ->
+        copy_mode := mode;
+        List.rev_append acc rest
+      | None ->
+        Fmt.epr "--copy-policy must be one of: always never adaptive@.";
+        exit 1)
+    | "--copy-policy" :: [] ->
+      Fmt.epr "--copy-policy requires a mode argument@.";
+      exit 1
+    | a :: rest -> extract_copy_policy (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = extract_copy_policy [] args in
   let requested =
     match List.filter (fun a -> a <> "--json") args with
     | _ :: _ as names -> names
@@ -244,7 +268,8 @@ let () =
   if json then begin
     (* micro --json implies the ring2core rows too: the file is the ring
        perf trajectory, so always carry the cross-domain numbers. *)
-    if !json_ring = [] && List.mem "micro" requested then json_ring := Ring_bench.run_all ();
+    if !json_ring = [] && List.mem "micro" requested then
+      json_ring := Ring_bench.run_all ~copy_mode:!copy_mode ();
     Ring_bench.write_json ~path:"BENCH_ring.json" ~micro:!json_micro !json_ring
   end;
   match metrics_out with

@@ -120,6 +120,145 @@ let cross_domain_throughput ?(ring_size = 1 lsl 20) ?(batch = 64) ~payload ~msgs
     ok;
   }
 
+(* ---- §4.6 zero-copy stream: page-descriptor handoff vs inline copy ----
+
+   Producer and consumer domains share a page pool next to the ring.  Per
+   message the producer either stamps freshly allocated pool pages and
+   publishes one page-descriptor record (ownership handoff; the consumer
+   reads the stamp in place and releases the pages), or stamps a staging
+   buffer and copies it inline through the ring — per the [Copy_policy]
+   decision, which is what the bench's --copy-policy knob selects.  Pool
+   exhaustion falls back to the inline copy (Libra's safety rule), so the
+   stream never wedges on a slow consumer.  The producer additionally paces
+   itself on pool occupancy below the policy's high-water mark so the
+   adaptive mode is measured in its remap regime, not its pressure-backoff
+   regime. *)
+
+module Pp = Sds_vm.Pagepool
+module Cp = Socksdirect.Copy_policy
+
+(* Producer pacing hysteresis: back off when pool occupancy crosses the
+   high mark, resume only once the consumer has drained it below the low
+   mark.  A single threshold would leave occupancy hovering on the
+   boundary and turn the stream into a one-message-per-timeslice lockstep.
+   The backoff must be a real sleep, not [Thread.yield]: on a single
+   shared core the scheduler keeps running a yielding spinner, starving
+   the consumer it is waiting for (measured 6x on the 64 KiB row). *)
+let pace_high = 0.60
+let pace_low = 0.30
+let pace_sleep = 20e-6
+
+let cross_domain_stream_pool ?(ring_size = 1 lsl 18) ?(pool_pages = 8192)
+    ?(mode = Cp.Adaptive) ~name ~payload ~msgs () =
+  let r = R.create ~size:ring_size () in
+  let pool = Pp.create ~pages:pool_pages () in
+  let policy = Cp.create ~mode () in
+  let npages = (payload + Pp.page_size - 1) / Pp.page_size in
+  let consumer_sum = ref 0 in
+  let consumer_ok = ref true in
+  let t0 = Unix.gettimeofday () in
+  let consumer =
+    Domain.spawn (fun () ->
+        let h = Pp.handle pool in
+        let entries = Array.make npages 0 in
+        let dst = Bytes.create payload in
+        let got = ref 0 in
+        while !got < msgs do
+          let p = R.peek_packed r in
+          if p = R.no_msg then R.wait_rx r
+          else begin
+            if R.is_desc_packed p then begin
+              let q = R.try_dequeue_descs r ~entries in
+              let n = R.desc_count_packed q in
+              let e0 = entries.(0) in
+              consumer_sum :=
+                !consumer_sum
+                + Pp.get_int_le pool (Pp.page_base (R.desc_page e0) + R.desc_off e0);
+              let len = ref 0 in
+              for i = 0 to n - 1 do
+                len := !len + R.desc_len entries.(i);
+                Pp.release h (R.desc_page entries.(i))
+              done;
+              if !len <> payload then consumer_ok := false
+            end
+            else begin
+              let q = R.try_dequeue_packed r ~dst ~dst_off:0 in
+              if R.packed_len q <> payload then consumer_ok := false;
+              consumer_sum := !consumer_sum + unstamp dst 0 payload
+            end;
+            incr got;
+            let c = R.take_credit_return r in
+            if c > 0 then R.return_credits r c
+          end
+        done)
+  in
+  let h = Pp.handle pool in
+  let entries = Array.make npages 0 in
+  let staging = Bytes.create payload in
+  for seq = 0 to msgs - 1 do
+    (* Flow-control against the pool as well as the ring: a burst that
+       drove occupancy past [Copy_policy.high_water] would flip the
+       adaptive policy into pressure backoff mid-measurement. *)
+    if Pp.occupancy pool > pace_high then
+      while Pp.occupancy pool > pace_low do
+        Unix.sleepf pace_sleep
+      done;
+    let zero_copy =
+      Cp.decide policy ~pool:(Some pool) ~len:payload
+      && begin
+           (* Allocate the descriptor vector; any failure releases the
+              partial run and falls back to the copy path. *)
+           let ok = ref true in
+           let i = ref 0 in
+           while !ok && !i < npages do
+             let pg = Pp.alloc h in
+             if pg = Pp.no_page then begin
+               for j = 0 to !i - 1 do
+                 Pp.release h (R.desc_page entries.(j))
+               done;
+               ok := false
+             end
+             else begin
+               let off = !i * Pp.page_size in
+               entries.(!i) <-
+                 R.desc_entry ~page:pg ~off:0 ~len:(min Pp.page_size (payload - off));
+               incr i
+             end
+           done;
+           !ok
+         end
+    in
+    if zero_copy then begin
+      Pp.set_int_le pool (Pp.page_base (R.desc_page entries.(0))) seq;
+      while not (R.try_enqueue_descs r entries ~n:npages) do
+        R.wait_tx r ~len:(npages * 8)
+      done
+    end
+    else begin
+      stamp staging seq payload;
+      while not (R.try_enqueue r staging ~off:0 ~len:payload) do
+        R.wait_tx r ~len:payload
+      done
+    end
+  done;
+  Domain.join consumer;
+  let dt = Unix.gettimeofday () -. t0 in
+  let ok =
+    !consumer_ok
+    && !consumer_sum = expected_sum msgs payload
+    && R.is_empty r
+    && Pp.free_pages pool = pool_pages
+  in
+  {
+    name;
+    payload;
+    msgs;
+    ns_per_msg = dt *. 1e9 /. float_of_int msgs;
+    msgs_per_sec = float_of_int msgs /. dt;
+    mb_per_sec = float_of_int msgs *. float_of_int payload /. dt /. 1e6;
+    ok;
+  }
+
 (* ---- cross-domain ping-pong ----
 
    One message bounces between two rings; measures the full cross-domain
@@ -203,6 +342,44 @@ let single_domain_batched ?(ring_size = 1 lsl 20) ~payload ~msgs ~batch () =
     ok = R.is_empty r;
   }
 
+(* §4.5 adaptive batch sizing measured at ring level: the socket layer's
+   controller (double the budget on full acceptance, halve on rejection,
+   clamped to [Sock.min_batch, Sock.max_batch]) driving the vectored
+   enqueue.  On an uncontended ring the budget climbs to the cap and stays
+   there, so the row reads the controller's steady state against the fixed
+   batch=32 row next to it. *)
+let single_domain_adaptive ?(ring_size = 1 lsl 20) ~payload ~msgs () =
+  let module Sock = Socksdirect.Sock in
+  let r = R.create ~size:ring_size () in
+  let srcs =
+    Array.init Sock.max_batch (fun _ -> (Bytes.create (max payload 1), 0, payload))
+  in
+  let dst = Bytes.create (max payload 1) in
+  let budget = ref Sock.initial_batch in
+  let sent = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  while !sent < msgs do
+    let want = min !budget (msgs - !sent) in
+    let attempt = if want = Sock.max_batch then srcs else Array.sub srcs 0 want in
+    let n = R.enqueue_batch r attempt in
+    if n = want then budget := min (!budget * 2) Sock.max_batch
+    else budget := max (!budget / 2) Sock.min_batch;
+    for _ = 1 to n do
+      ignore (R.try_dequeue_packed ~auto_credit:true r ~dst ~dst_off:0)
+    done;
+    sent := !sent + n
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  {
+    name = "ring1core batch=adaptive";
+    payload;
+    msgs;
+    ns_per_msg = dt *. 1e9 /. float_of_int msgs;
+    msgs_per_sec = float_of_int msgs /. dt;
+    mb_per_sec = float_of_int msgs *. float_of_int payload /. dt /. 1e6;
+    ok = R.is_empty r;
+  }
+
 (* ---- suites ---- *)
 
 let payload_sizes = [ 8; 64; 512; 4096; 8192 ]
@@ -217,10 +394,29 @@ let run_cross_domain () =
 let run_single_domain () =
   List.map (fun payload -> single_domain_throughput ~payload ~msgs:(msgs_for payload) ()) payload_sizes
 
-let run_all () =
+(* Large-payload stream points: policy-driven descriptor handoff next to
+   the forced inline copy of the same traffic, the Libra comparison the
+   BENCH file tracks (zero-copy at 64 KiB must stay >= 2x the copy path). *)
+let pool_points = [ (16384, 20_000); (65536, 8_000) ]
+
+let run_stream_pool ~copy_mode () =
+  List.concat_map
+    (fun (payload, msgs) ->
+      [
+        cross_domain_stream_pool ~mode:copy_mode ~name:"ring2core stream" ~payload ~msgs ();
+        cross_domain_stream_pool ~mode:Cp.Always_copy ~name:"ring2core stream copy"
+          ~payload ~msgs ();
+      ])
+    pool_points
+
+let run_all ?(copy_mode = Cp.Adaptive) () =
   Fmt.pr "@.== ring2core: two-domain SPSC ring data path (real Atomics, real copies) ==@.";
   let cross = run_cross_domain () in
   List.iter pp_result cross;
+  Fmt.pr "-- §4.6 zero-copy stream: descriptor handoff vs inline copy (policy=%s) --@."
+    (Cp.mode_to_string copy_mode);
+  let pool_rows = run_stream_pool ~copy_mode () in
+  List.iter pp_result pool_rows;
   let pp = cross_domain_pingpong ~payload:64 ~rounds:100_000 () in
   pp_result pp;
   Fmt.pr "-- single-domain loopback for comparison --@.";
@@ -228,7 +424,9 @@ let run_all () =
   List.iter pp_result single;
   let batched = single_domain_batched ~payload:64 ~msgs:4_000_000 ~batch:32 () in
   pp_result batched;
-  let all = cross @ [ pp ] @ single @ [ batched ] in
+  let adaptive = single_domain_adaptive ~payload:64 ~msgs:4_000_000 () in
+  pp_result adaptive;
+  let all = cross @ pool_rows @ [ pp ] @ single @ [ batched; adaptive ] in
   if List.for_all (fun r -> r.ok) all then Fmt.pr "all checksums ok@."
   else Fmt.pr "CHECKSUM FAILURES PRESENT@.";
   all
@@ -260,7 +458,7 @@ let write_json ~path ~micro results =
     List.map (fun (name, v) -> Printf.sprintf {|    %S: %.2f|} name v) baseline
   in
   Printf.fprintf oc
-    "{\n  \"schema\": \"socksdirect-ring-bench/1\",\n  \"unix_time\": %.0f,\n  \"baseline\": {\n%s\n  },\n  \"micro\": [\n%s\n  ],\n  \"ring\": [\n%s\n  ]\n}\n"
+    "{\n  \"schema\": \"socksdirect-ring-bench/2\",\n  \"unix_time\": %.0f,\n  \"baseline\": {\n%s\n  },\n  \"micro\": [\n%s\n  ],\n  \"ring\": [\n%s\n  ]\n}\n"
     (Unix.time ())
     (String.concat ",\n" baseline_json)
     (String.concat ",\n" micro_json)

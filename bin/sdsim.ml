@@ -54,7 +54,9 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ all $ names)
 
 (* A short representative workload that lights up every instrumented layer:
-   an intra-host ping-pong (SHM rings, monitor dispatch, token fast path)
+   an intra-host ping-pong (SHM rings, monitor dispatch, token fast path),
+   an intra-host large-message ping-pong (the §4.6 shared page pool:
+   pool.* alloc/release churn, descriptor remaps, selective-copy policy),
    and an inter-host large-message ping-pong (RDMA QPs, NIC wire bytes,
    zero-copy page remapping). *)
 let stats_workload () =
@@ -65,6 +67,13 @@ let stats_workload () =
     (Common.pingpong
        (module Sds_apps.Sock_api.Sds)
        w ~client_host:h ~server_host:h ~size:64 ~rounds:512 ~warmup:32);
+  let w1 = Common.make_world () in
+  Sds_sim.Engine.install_trace_clock w1.Common.engine;
+  let h1 = Common.add_host w1 in
+  ignore
+    (Common.pingpong
+       (module Sds_apps.Sock_api.Sds)
+       w1 ~client_host:h1 ~server_host:h1 ~size:32768 ~rounds:64 ~warmup:8);
   let w2 = Common.make_world () in
   Sds_sim.Engine.install_trace_clock w2.Common.engine;
   let a = Common.add_host w2 in

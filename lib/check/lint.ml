@@ -24,6 +24,11 @@
                          [Printf]/[Format], no [List] combinators, no
                          [^]/[@] concatenation.  Subtrees marked
                          [@sds.cold] (rare slow paths) are exempt.
+   - [bigarray-unsafe]   [Bigarray.*.unsafe_*] accesses are confined to
+                         the allowlisted data-path modules (the page pool
+                         and the ring), and there only inside [@sds.hot]
+                         functions — i.e. on paths whose bounds checks
+                         have been hoisted and audited.
 
    Any rule can be locally silenced with [@sds.allow "rule-slug"] on an
    expression; the suppression covers the subtree.  The pass is purely
@@ -42,8 +47,10 @@ type violation = {
 type config = {
   atomic_allow : string list;  (** files allowed to touch [Atomic] *)
   obj_allow : string list;  (** files allowed to touch [Obj] *)
+  bigarray_allow : string list;  (** files allowed unsafe Bigarray access (hot only) *)
   atomic_dirs : string list;  (** scopes of the atomic-confined rule *)
   obj_dirs : string list;
+  bigarray_dirs : string list;  (** scopes of the bigarray-unsafe rule *)
   compare_dirs : string list;  (** bare [compare] flagged here *)
   data_path_dirs : string list;  (** structural [=]/[<>] flagged here *)
   mli_dirs : string list;  (** [.mli] parity enforced here *)
@@ -53,10 +60,12 @@ type config = {
 
 let default =
   {
-    atomic_allow = [ "lib/ring/spsc_ring.ml"; "lib/notify/waiter.ml" ];
+    atomic_allow = [ "lib/ring/spsc_ring.ml"; "lib/notify/waiter.ml"; "lib/vm/pagepool.ml" ];
     obj_allow = [ "lib/het/hmap.ml" ];
+    bigarray_allow = [ "lib/vm/pagepool.ml"; "lib/ring/spsc_ring.ml" ];
     atomic_dirs = [ "lib"; "bin"; "bench"; "examples" ];
     obj_dirs = [ "lib"; "bin"; "bench"; "examples"; "test" ];
+    bigarray_dirs = [ "lib"; "bin"; "bench"; "examples" ];
     compare_dirs = [ "lib" ];
     data_path_dirs = [ "lib/ring"; "lib/notify"; "lib/transport"; "lib/core" ];
     mli_dirs = [ "lib" ];
@@ -69,8 +78,9 @@ let rule_compare = "poly-compare"
 let rule_obj = "obj-unsafe"
 let rule_mli = "mli-parity"
 let rule_hot = "hot-alloc"
+let rule_bigarray = "bigarray-unsafe"
 let rule_parse = "parse-error"
-let all_rules = [ rule_atomic; rule_compare; rule_obj; rule_mli; rule_hot ]
+let all_rules = [ rule_atomic; rule_compare; rule_obj; rule_mli; rule_hot; rule_bigarray ]
 
 (* ---- path scoping ---- *)
 
@@ -110,6 +120,8 @@ let lint_source ~config ~path ~source =
   let cold = ref 0 in
   let check_atomic = in_any path config.atomic_dirs && not (is_allowed path config.atomic_allow) in
   let check_obj = in_any path config.obj_dirs && not (is_allowed path config.obj_allow) in
+  let check_bigarray = in_any path config.bigarray_dirs in
+  let bigarray_allowed = is_allowed path config.bigarray_allow in
   let check_compare = in_any path config.compare_dirs in
   let check_struct_eq = in_any path config.data_path_dirs in
   let add ~loc rule message =
@@ -138,7 +150,19 @@ let lint_source ~config ~path ~source =
     | Some "Atomic" when check_atomic ->
       add ~loc rule_atomic
         "Atomic.* is confined to the allowlisted lock-free modules (lib/ring/spsc_ring.ml, \
-         lib/notify/waiter.ml); route new shared state through them"
+         lib/notify/waiter.ml, lib/vm/pagepool.ml); route new shared state through them"
+    | Some "Bigarray" when check_bigarray -> (
+      match List.rev (Longident.flatten lid) with
+      | last :: _ when String.length last > 7 && String.sub last 0 7 = "unsafe_" ->
+        if not bigarray_allowed then
+          add ~loc rule_bigarray
+            "Bigarray unsafe access outside the audited data-path modules \
+             (lib/vm/pagepool.ml, lib/ring/spsc_ring.ml); use the checked accessors"
+        else if not (!hot > 0 && !cold = 0) then
+          add ~loc rule_bigarray
+            "Bigarray unsafe access outside an [@sds.hot] function; unchecked loads/stores \
+             are only for hot paths whose bounds checks were hoisted"
+      | _ -> ())
     | Some "Obj" when check_obj ->
       add ~loc rule_obj "Obj.* outside the designated safe module (lib/het/hmap.ml)"
     | Some (("Printf" | "Format") as m) when !hot > 0 && !cold = 0 ->

@@ -11,6 +11,8 @@
     - ["mli-parity"]: every [.ml] under [lib/] has a sibling [.mli].
     - ["hot-alloc"]: no closures / [Printf] / [Format] / [List] / [^] / [@]
       inside [@sds.hot] functions; [@sds.cold] subtrees are exempt.
+    - ["bigarray-unsafe"]: [Bigarray.*.unsafe_*] only in the allowlisted
+      data-path modules, and there only inside [@sds.hot] functions.
     - ["parse-error"]: the file does not parse (always reported).
 
     Suppress any rule locally with [(e [@sds.allow "rule-slug"])]. *)
@@ -26,8 +28,10 @@ type violation = {
 type config = {
   atomic_allow : string list;
   obj_allow : string list;
+  bigarray_allow : string list;
   atomic_dirs : string list;
   obj_dirs : string list;
+  bigarray_dirs : string list;
   compare_dirs : string list;
   data_path_dirs : string list;
   mli_dirs : string list;

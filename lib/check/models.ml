@@ -114,11 +114,55 @@ let park_notify ?(recheck = true) () =
     threads = [ { name = "waiter"; body = waiter }; { name = "notifier"; body = notifier } ];
   }
 
-(* The two checks `dune runtest` gates on, plus their pinned mutations. *)
+(* ---- §4.6 page-descriptor handoff (lib/vm/pagepool.ml + libsd) ----
+
+   Sender: fill the page (plain store), then publish the descriptor on the
+   ring (atomic store — stands in for the tail publication, which is the
+   ownership-transfer edge).  Receiver: wait for the descriptor, read the
+   payload and check it, then drop the reference ([rc] := 0 — the last
+   release).  Recycler: wait for [rc] = 0, then reuse the page (plain
+   store of new data) — stands in for a later [alloc] by anyone.
+
+   The safety argument mirrors the pool's ownership rule: the payload read
+   happens-before the release, and the release happens-before recycling,
+   so the reader and the re-user never touch the page concurrently.
+
+   [release_before_read = true] is the use-after-release bug: the receiver
+   drops its reference *before* reading the payload.  The recycler can then
+   run between the release and the read — the checker must report the race
+   on [page] (and the corrupted-payload assertion can fire). *)
+
+let desc_handoff ?(release_before_read = false) () =
+  let read_and_check =
+    [
+      Plain_load ("page", "v");
+      Assert (Rel (Eq, Reg "v", Int 1), "receiver read a recycled page (use after release)");
+    ]
+  in
+  let release = [ Store ("rc", Int 0) ] in
+  let receiver =
+    [ Block_until (Rel (Eq, Var "desc", Int 1)) ]
+    @ (if release_before_read then release @ read_and_check else read_and_check @ release)
+  in
+  {
+    globals = [ ("page", 0); ("desc", 0); ("rc", 1) ];
+    threads =
+      [
+        { name = "sender"; body = [ Plain_store ("page", Int 1); Store ("desc", Int 1) ] };
+        { name = "receiver"; body = receiver };
+        {
+          name = "recycler";
+          body = [ Block_until (Rel (Eq, Var "rc", Int 0)); Plain_store ("page", Int 2) ];
+        };
+      ];
+  }
+
+(* The checks `dune runtest` gates on, plus their pinned mutations. *)
 let all =
   [
     ("ring-publication", ring_publication ());
     ("park-notify", park_notify ());
+    ("desc-handoff", desc_handoff ());
   ]
 
 let mutations =
@@ -126,4 +170,5 @@ let mutations =
     ("ring-publication-unfenced", ring_publication ~publish_atomic:false ());
     ("ring-publication-header-late", ring_publication ~header_after_publish:true ());
     ("park-notify-no-recheck", park_notify ~recheck:false ());
+    ("desc-handoff-release-early", desc_handoff ~release_before_read:true ());
   ]

@@ -14,6 +14,12 @@ val park_notify : ?recheck:bool -> unit -> Interleave.program
 (** §4.4 eventcount park/notify.  [~recheck:false] drops the parked-flag
     era re-check of the readiness condition (expect a lost wakeup). *)
 
+val desc_handoff : ?release_before_read:bool -> unit -> Interleave.program
+(** §4.6 page-descriptor ownership handoff (fill, publish, read, release,
+    recycle).  [~release_before_read:true] drops the reference before the
+    payload read (expect a race on the page / a use-after-release
+    assertion). *)
+
 val all : (string * Interleave.program) list
 (** Correct protocols, by name — each must satisfy [Interleave.ok]. *)
 

@@ -30,6 +30,7 @@ let m_recvs = Obs.Metrics.counter "libsd.recvs"
 let m_recv_bytes = Obs.Metrics.counter "libsd.recv_bytes"
 let m_zerocopy_sends = Obs.Metrics.counter "libsd.zerocopy_sends"
 let m_zerocopy_recvs = Obs.Metrics.counter "libsd.zerocopy_recvs"
+let m_pool_fallbacks = Obs.Metrics.counter "libsd.pool_fallbacks"
 let m_forks = Obs.Metrics.counter "libsd.forks"
 let m_epoll_waits = Obs.Metrics.counter "libsd.epoll_waits"
 let h_send_size = Obs.Metrics.histogram "libsd.send_size"
@@ -41,11 +42,16 @@ exception Bad_fd of int
 type config = {
   batching : bool;  (** adaptive RDMA batching (§4.2); off in "SD (unopt)" *)
   zerocopy : bool;  (** page-remap path for >= 16 KiB (§4.3) *)
+  copy_policy : Copy_policy.mode;
+      (** Libra-style selective copying on the intra-host descriptor path
+          (§4.6); forced to [Always_copy] when [zerocopy] is off *)
   yield_rounds : int;  (** empty polls before switching to interrupt mode *)
   ring_size : int;
 }
 
-let default_config = { batching = true; zerocopy = true; yield_rounds = 256; ring_size = 64 * 1024 }
+let default_config =
+  { batching = true; zerocopy = true; copy_policy = Copy_policy.Adaptive;
+    yield_rounds = 256; ring_size = 64 * 1024 }
 
 type entry =
   | U of Sock.t  (** user-space socket *)
@@ -143,13 +149,17 @@ let sock_exn th fd =
   | U s -> s
   | K _ | Ep _ -> invalid_arg "libsd: not a user-space socket"
 
+(* The per-socket selective-copy mode a new socket starts with. *)
+let effective_copy_mode ctx =
+  if ctx.config.zerocopy then ctx.config.copy_policy else Copy_policy.Always_copy
+
 (* ---- socket / bind / listen ---- *)
 
 (* socket(): pure user-space — no kernel FD, no inode (§4.5.1). *)
 let socket th =
   Proc.sleep_ns th.ctx.cost.Cost.c_shim;
   Obs.Metrics.incr m_sockets;
-  Fd_table.alloc th.ctx.fds (U (Sock.create th.ctx.host ~cost:th.ctx.cost ~tid:th.tid))
+  Fd_table.alloc th.ctx.fds (U (Sock.create th.ctx.host ~cost:th.ctx.cost ~tid:th.tid ~copy_mode:(effective_copy_mode th.ctx) ()))
 
 let bind th fd ~port =
   let s = sock_exn th fd in
@@ -218,9 +228,25 @@ let rec send_msg th (s : Sock.t) msg =
     let b = Msg.to_bytes msg in
     ignore (Kernel.send kproc kfd b ~off:0 ~len:(Bytes.length b))
 
+(* First [n] elements of [l] (all of [l] when shorter), plus the rest. *)
+let split_budget n l =
+  let rec go acc k rest =
+    match rest with
+    | [] -> (List.rev acc, [])
+    | _ when k = 0 -> (List.rev acc, rest)
+    | x :: tl -> go (x :: acc) (k - 1) tl
+  in
+  go [] n l
+
 (* Send a run of messages, using the channel's vectored enqueue so a
    multi-chunk send publishes the ring tail once per batch instead of once
-   per message; blocks on credit flow control between batches. *)
+   per message; blocks on credit flow control between batches.
+
+   §4.5 adaptive batch sizing: each vectored enqueue is bounded by the tx
+   direction's batch budget.  A fully accepted batch doubles the budget
+   (up to [Sock.max_batch]); a credit rejection halves it (down to
+   [Sock.min_batch]) — so the batch size tracks ring occupancy instead of
+   sitting at a fixed 32. *)
 let rec send_msgs th (s : Sock.t) msgs =
   match msgs with
   | [] -> ()
@@ -228,10 +254,27 @@ let rec send_msgs th (s : Sock.t) msgs =
     match Sock.tx_exn s with
     | Sock.Tx_chan tx ->
       tx_prework th tx;
-      let n = Shm_chan.try_send_batch tx.Sock.chan msgs in
-      let rest = List.filteri (fun i _ -> i >= n) msgs in
-      if rest <> [] then begin
-        (match Waitq.wait (Shm_chan.tx_waitq tx.Sock.chan) with _ -> ());
+      let batch, overflow = split_budget tx.Sock.batch_budget msgs in
+      let n = Shm_chan.try_send_batch tx.Sock.chan batch in
+      let attempted = List.length batch in
+      if n = attempted then begin
+        if tx.Sock.batch_budget < Sock.max_batch then
+          tx.Sock.batch_budget <- 2 * tx.Sock.batch_budget;
+        match overflow with
+        | [] -> ()
+        | _ -> send_msgs th s overflow
+      end
+      else begin
+        if tx.Sock.batch_budget > Sock.min_batch then
+          tx.Sock.batch_budget <- tx.Sock.batch_budget / 2;
+        let rest = List.filteri (fun i _ -> i >= n) msgs in
+        (* Park only when an attempt made no progress at all.  A partial
+           acceptance yields sim time (per-message bookkeeping), so the
+           receiver's credit-return broadcast may already have fired —
+           parking then would lose the wakeup.  Retrying is the credit
+           re-check; a zero-progress attempt has no yield point between
+           the check and the wait, so the broadcast cannot be missed. *)
+        if n = 0 then ignore (Waitq.wait (Shm_chan.tx_waitq tx.Sock.chan));
         send_msgs th s rest
       end
     | Sock.Tx_kernel _ -> List.iter (fun m -> send_msg th s m) msgs)
@@ -395,7 +438,7 @@ let connect th fd ~dst ~port =
 
 (* Build the server-side socket from a dispatched SYN entry. *)
 let accept_entry th (entry : Monitor.syn_entry) ~port =
-  let s = Sock.create th.ctx.host ~cost:th.ctx.cost ~tid:th.tid in
+  let s = Sock.create th.ctx.host ~cost:th.ctx.cost ~tid:th.tid ~copy_mode:(effective_copy_mode th.ctx) () in
   s.Sock.tx <- Some entry.Monitor.s_tx;
   s.Sock.rx <- Some entry.Monitor.s_rx;
   s.Sock.local_port <- port;
@@ -442,6 +485,10 @@ let accept th fd =
 
 let max_inline_chunk = 8 * 1024
 
+(* Cap on descriptors per ring record, so a huge send splits into several
+   descriptor records instead of one record that could outgrow the ring. *)
+let max_desc_per_msg = 256
+
 let send_chunks th s buf ~off ~len =
   if len = 0 then ()
   else if len <= max_inline_chunk then send_msg th s (Msg.data (Bytes.sub buf off len))
@@ -458,6 +505,72 @@ let send_chunks th s buf ~off ~len =
     send_msgs th s (chunks off len)
   end
 
+(* The §4.6 descriptor path: stage the payload into freshly allocated
+   shared-pool pages and send {page, off, len} descriptor records — an
+   ownership handoff; no payload byte crosses the ring.  Returns [false]
+   (having released any pages it took) when the pool is exhausted, in
+   which case the caller falls back to the inline-copy path. *)
+let send_pool th s pool buf ~off ~len =
+  let module Pp = Sds_vm.Pagepool in
+  let h = Pp.domain_handle pool in
+  let npages = (len + Pp.page_size - 1) / Pp.page_size in
+  let pages = Array.make npages 0 in
+  let got = ref 0 in
+  let ok = ref true in
+  while !ok && !got < npages do
+    let p = Pp.alloc h in
+    if p = Pp.no_page then ok := false
+    else begin
+      pages.(!got) <- p;
+      incr got
+    end
+  done;
+  if not !ok then begin
+    for i = 0 to !got - 1 do
+      Pp.release h pages.(i)
+    done;
+    false
+  end
+  else begin
+    (* Stage and pack.  The app buffer is free for reuse the moment send
+       returns — the pages travel, not the buffer (§4.6 steady state). *)
+    let entries = Array.make npages 0 in
+    for i = 0 to npages - 1 do
+      let chunk_off = i * Pp.page_size in
+      let chunk = min Pp.page_size (len - chunk_off) in
+      Pp.blit_from_bytes pool ~src:buf ~src_off:(off + chunk_off) ~page:pages.(i) ~off:0
+        ~len:chunk;
+      entries.(i) <- Sds_ring.Spsc_ring.desc_entry ~page:pages.(i) ~off:0 ~len:chunk
+    done;
+    (* Sim cost: one driver call plus per-page grant bookkeeping, instead
+       of the memcpy (same shape as the RDMA-flavour [Zerocopy.send_pages]). *)
+    Proc.sleep_ns (Cost.syscall th.ctx.cost + (npages * 20));
+    (* Split into bounded descriptor records and hand off. *)
+    let rec records i =
+      if i >= npages then []
+      else begin
+        let n = min max_desc_per_msg (npages - i) in
+        let sub = Array.sub entries i n in
+        let sub_len =
+          if i + n >= npages then len - (i * Pp.page_size) else n * Pp.page_size
+        in
+        Msg.make (Msg.Pool { pool; entries = sub; len = sub_len }) :: records (i + n)
+      end
+    in
+    send_msgs th s (records 0);
+    true
+  end
+
+(* The shared pool of this socket's tx channel, when the §4.6 descriptor
+   path applies (intra-host SHM channel backed by a pool). *)
+let tx_pool (s : Sock.t) =
+  match s.Sock.tx with
+  | Some (Sock.Tx_chan tx) -> (
+    match Shm_chan.via tx.Sock.chan with
+    | Shm_chan.Shm -> Shm_chan.pool tx.Sock.chan
+    | Shm_chan.Rdma _ -> None)
+  | Some (Sock.Tx_kernel _) | None -> None
+
 let send th fd buf ~off ~len =
   if off < 0 || len < 0 || off + len > Bytes.length buf then invalid_arg "libsd.send";
   match lookup th fd with
@@ -473,11 +586,34 @@ let send th fd buf ~off ~len =
     Obs.Metrics.observe h_send_size len;
     Token.with_held s.Sock.send_token ~tid:th.tid (fun () ->
         let kernel_tx = match s.Sock.tx with Some (Sock.Tx_kernel _) -> true | _ -> false in
-        if th.ctx.config.zerocopy && len >= Zerocopy.threshold && not kernel_tx then begin
-          let msg = Zerocopy.send_pages ~cost:th.ctx.cost ~space:th.ctx.space ~src:buf ~off ~len in
+        let zc_sent =
+          if kernel_tx || len = 0 then false
+          else
+            match tx_pool s with
+            | Some pool ->
+              (* Intra-host: Libra-style per-socket selective copying over
+                 the real shared pool. *)
+              Copy_policy.decide s.Sock.policy ~pool:(Some pool) ~len
+              && (send_pool th s pool buf ~off ~len
+                 ||
+                 ((* Pool exhausted: Libra fallback to the copy path. *)
+                  Obs.Metrics.incr m_pool_fallbacks;
+                  Obs.Trace.emit Obs.Trace.Fallback;
+                  false))
+            | None ->
+              (* Inter-host: the §4.3 RDMA page-remap protocol. *)
+              if th.ctx.config.zerocopy && len >= Zerocopy.threshold then begin
+                let msg =
+                  Zerocopy.send_pages ~cost:th.ctx.cost ~space:th.ctx.space ~src:buf ~off ~len
+                in
+                send_msg th s msg;
+                true
+              end
+              else false
+        in
+        if zc_sent then begin
           s.Sock.zerocopy_sends <- s.Sock.zerocopy_sends + 1;
-          Obs.Metrics.incr m_zerocopy_sends;
-          send_msg th s msg
+          Obs.Metrics.incr m_zerocopy_sends
         end
         else send_chunks th s buf ~off ~len;
         s.Sock.bytes_sent <- s.Sock.bytes_sent + len);
@@ -495,6 +631,26 @@ let consume th (s : Sock.t) msg ~dst ~off ~len =
     Zerocopy.recv_pages ~cost:th.ctx.cost ~space:th.ctx.space ~engine:th.ctx.engine pages ~len:plen
       ~dst ~dst_off:off;
     plen
+  | Msg.Pool { pool; entries; len = plen } when len >= plen ->
+    (* Whole descriptor message fits: the ownership handoff is the §4.6
+       remap — charge remap cost, land the payload, drop our reference. *)
+    let module Pp = Sds_vm.Pagepool in
+    let module R = Sds_ring.Spsc_ring in
+    s.Sock.zerocopy_recvs <- s.Sock.zerocopy_recvs + 1;
+    Obs.Metrics.incr m_zerocopy_recvs;
+    Obs.Trace.emit_n Obs.Trace.Zerocopy_remap plen;
+    Proc.sleep_ns (Cost.remap_cost th.ctx.cost plen);
+    let h = Pp.domain_handle pool in
+    let pos = ref off in
+    Array.iter
+      (fun e ->
+        let elen = R.desc_len e in
+        Pp.blit_to_bytes pool ~page:(R.desc_page e) ~off:(R.desc_off e) ~dst ~dst_off:!pos
+          ~len:elen;
+        pos := !pos + elen;
+        Pp.release h (R.desc_page e))
+      entries;
+    plen
   | _ ->
     let b = Msg.to_bytes msg in
     let plen = Bytes.length b in
@@ -504,6 +660,13 @@ let consume th (s : Sock.t) msg ~dst ~off ~len =
     | Msg.Pages _ ->
       (* Partial read of a zero-copy message degrades to a copy. *)
       Proc.sleep_ns (Cost.copy_cost th.ctx.cost take)
+    | Msg.Pool { pool; entries; _ } ->
+      (* Partial read degrades to a copy ([to_bytes] above materialised the
+         payload); the pages are done travelling — release our reference. *)
+      Proc.sleep_ns (Cost.copy_cost th.ctx.cost take);
+      let module Pp = Sds_vm.Pagepool in
+      let h = Pp.domain_handle pool in
+      Array.iter (fun e -> Pp.release h (Sds_ring.Spsc_ring.desc_page e)) entries
     | Msg.Inline _ -> ());
     if take < plen then s.Sock.partial <- Some (b, take);
     take
@@ -849,9 +1012,9 @@ let rebuild_transports (s : Sock.t) (peer : Sock.t) =
   if Host.same_host s.Sock.host peer.Sock.host then begin
     let a2b = Shm_chan.create engine ~cost () in
     let b2a = Shm_chan.create engine ~cost () in
-    s.Sock.tx <- Some (Sock.Tx_chan { chan = a2b; needs_reinit = false });
+    s.Sock.tx <- Some (Sock.Tx_chan (Sock.chan_tx a2b));
     peer.Sock.rx <- Some (Sock.Rx_chan a2b);
-    peer.Sock.tx <- Some (Sock.Tx_chan { chan = b2a; needs_reinit = false });
+    peer.Sock.tx <- Some (Sock.Tx_chan (Sock.chan_tx b2a));
     s.Sock.rx <- Some (Sock.Rx_chan b2a);
     Proc.sleep_ns (2 * cost.Cost.monitor_processing)
   end
@@ -865,9 +1028,9 @@ let rebuild_transports (s : Sock.t) (peer : Sock.t) =
     Nic.set_batching qp_p true;
     let s2p = Shm_chan.create_rdma engine ~cost ~qp:qp_s () in
     let p2s = Shm_chan.create_rdma engine ~cost ~qp:qp_p () in
-    s.Sock.tx <- Some (Sock.Tx_chan { chan = s2p; needs_reinit = false });
+    s.Sock.tx <- Some (Sock.Tx_chan (Sock.chan_tx s2p));
     peer.Sock.rx <- Some (Sock.Rx_chan s2p);
-    peer.Sock.tx <- Some (Sock.Tx_chan { chan = p2s; needs_reinit = false });
+    peer.Sock.tx <- Some (Sock.Tx_chan (Sock.chan_tx p2s));
     s.Sock.rx <- Some (Sock.Rx_chan p2s)
   end
 

@@ -21,6 +21,9 @@ exception Would_block
 type config = {
   batching : bool;  (** adaptive RDMA batching (§4.2); off in "SD (unopt)" *)
   zerocopy : bool;  (** page-remap path for >= 16 KiB (§4.3) *)
+  copy_policy : Copy_policy.mode;
+      (** §4.6 + Libra selective copying for the intra-host shared-pool
+          path; forced to [Always_copy] when [zerocopy] is off *)
   yield_rounds : int;  (** empty polls before switching to interrupt mode *)
   ring_size : int;
 }

@@ -215,12 +215,12 @@ and intra_host_queues t =
   let s2c = Shm_chan.create t.engine ~cost:t.cost () in
   let pairing = { c_sock = None; s_sock = None } in
   let entry =
-    { s_tx = Sock.Tx_chan { chan = s2c; needs_reinit = false }; s_rx = Sock.Rx_chan c2s;
+    { s_tx = Sock.Tx_chan (Sock.chan_tx s2c); s_rx = Sock.Rx_chan c2s;
       syn_client_host = Host.id t.host; syn_client_port = 0; syn_deliver = ref None;
       syn_pairing = pairing }
   in
   let client =
-    Sds_queues (Sock.Tx_chan { chan = c2s; needs_reinit = false }, Sock.Rx_chan s2c, ref None, pairing)
+    Sds_queues (Sock.Tx_chan (Sock.chan_tx c2s), Sock.Rx_chan s2c, ref None, pairing)
   in
   (entry, client)
 
@@ -240,12 +240,12 @@ and inter_host_queues t (remote : t) =
   let s2c = Shm_chan.create_rdma remote.engine ~cost:remote.cost ~qp:qp_s () in
   let pairing = { c_sock = None; s_sock = None } in
   let entry =
-    { s_tx = Sock.Tx_chan { chan = s2c; needs_reinit = false }; s_rx = Sock.Rx_chan c2s;
+    { s_tx = Sock.Tx_chan (Sock.chan_tx s2c); s_rx = Sock.Rx_chan c2s;
       syn_client_host = Host.id t.host; syn_client_port = 0; syn_deliver = ref None;
       syn_pairing = pairing }
   in
   let client =
-    Sds_queues (Sock.Tx_chan { chan = c2s; needs_reinit = false }, Sock.Rx_chan s2c, ref None, pairing)
+    Sds_queues (Sock.Tx_chan (Sock.chan_tx c2s), Sock.Rx_chan s2c, ref None, pairing)
   in
   (entry, client)
 

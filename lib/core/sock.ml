@@ -36,10 +36,20 @@ let string_of_state = function
    channel in different flavours (§4.2); the tx side additionally remembers
    whether RDMA resources must be re-initialized after fork/exec. *)
 
+(* §4.5 adaptive batch sizing: the per-direction budget bounding how many
+   messages one vectored enqueue may carry.  Full acceptance doubles it, a
+   credit rejection halves it, so the batch tracks ring occupancy. *)
+let min_batch = 4
+let initial_batch = 32
+let max_batch = 256
+
 type chan_tx = {
   chan : Shm_chan.t;
   mutable needs_reinit : bool;  (** set in a forked child / after exec *)
+  mutable batch_budget : int;  (** §4.5 adaptive vectored-send bound *)
 }
+
+let chan_tx chan = { chan; needs_reinit = false; batch_budget = initial_batch }
 
 type tx_transport =
   | Tx_chan of chan_tx
@@ -78,11 +88,12 @@ type t = {
   mutable zerocopy_sends : int;
   mutable zerocopy_recvs : int;
   mutable requested_bufsize : int option;  (** SO_SNDBUF/SO_RCVBUF request *)
+  policy : Copy_policy.t;  (** per-socket selective-copy state (§4.6 + Libra) *)
 }
 
 let counter = ref 0
 
-let create host ~cost ~tid =
+let create host ~cost ~tid ?copy_mode () =
   incr counter;
   {
     sid = !counter;
@@ -111,6 +122,7 @@ let create host ~cost ~tid =
     zerocopy_sends = 0;
     zerocopy_recvs = 0;
     requested_bufsize = None;
+    policy = Copy_policy.create ?mode:copy_mode ();
   }
 
 let tx_exn t =

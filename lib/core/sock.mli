@@ -24,12 +24,24 @@ type state =
 
 val string_of_state : state -> string
 
+(** §4.5 adaptive batch sizing bounds for [chan_tx.batch_budget]. *)
+
+val min_batch : int
+val initial_batch : int
+val max_batch : int
+
 (** Both directions are the same ring channel in its SHM or RDMA flavour
-    (§4.2); the tx side also tracks fork/exec RDMA re-initialization. *)
+    (§4.2); the tx side also tracks fork/exec RDMA re-initialization and
+    the adaptive vectored-send budget. *)
 type chan_tx = {
   chan : Shm_chan.t;
   mutable needs_reinit : bool;  (** set in a forked child / after exec *)
+  mutable batch_budget : int;
+      (** §4.5: doubles on full batch acceptance, halves on a credit
+          rejection; clamped to [[min_batch, max_batch]] *)
 }
+
+val chan_tx : Shm_chan.t -> chan_tx
 
 type tx_transport =
   | Tx_chan of chan_tx
@@ -66,9 +78,10 @@ type t = {
   mutable zerocopy_sends : int;
   mutable zerocopy_recvs : int;
   mutable requested_bufsize : int option;  (** SO_SNDBUF/SO_RCVBUF request *)
+  policy : Copy_policy.t;  (** per-socket selective-copy state (§4.6 + Libra) *)
 }
 
-val create : Host.t -> cost:Cost.t -> tid:int -> t
+val create : Host.t -> cost:Cost.t -> tid:int -> ?copy_mode:Copy_policy.mode -> unit -> t
 
 val tx_exn : t -> tx_transport
 val rx_exn : t -> rx_transport

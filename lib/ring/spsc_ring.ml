@@ -51,6 +51,8 @@ let align = 8
    use is behind an explicit in-range test. *)
 external unsafe_get_int32 : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
 external unsafe_set_int32 : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32u"
+external unsafe_get_int64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set_int64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
 
 (* Producer-private mutable state, padded with dummy fields so the block
    spans a cache line of its own.  The stats fields double as this ring's
@@ -326,6 +328,36 @@ let[@sds.hot] decode_header t pos =
 let[@inline] packed_len p = p land 0xFFFFFFFF
 let[@inline] packed_flags p = (p lsr 32) land 0xFFFF
 
+(* ---- page-descriptor records (§4.6 zero-copy handoff) ----
+
+   A record whose header carries [flag_desc] holds no payload bytes: its
+   body is a vector of 8-byte page descriptors, each packing
+   {page id, offset, length} of a 4 KiB page in a shared [Sds_vm.Pagepool].
+   Enqueuing a descriptor vector transfers the pages' references to the
+   consumer (ownership handoff); the payload itself never crosses the ring.
+   The ring stays pool-agnostic — descriptors are opaque ints here; the
+   transport layer pairs them with the pool that gives them meaning. *)
+
+let flag_desc = 0x100
+
+(* Descriptor layout (fits a 63-bit int): bits 0-12 length (<= 4096),
+   13-25 offset (< 4096), 26+ page id. *)
+let desc_len_mask = 0x1FFF
+let desc_max_page = (1 lsl 36) - 1
+
+let desc_entry ~page ~off ~len =
+  if len < 0 || len > 4096 then invalid_arg "Spsc_ring.desc_entry: bad length";
+  if off < 0 || off >= 4096 then invalid_arg "Spsc_ring.desc_entry: bad offset";
+  if page < 0 || page > desc_max_page then invalid_arg "Spsc_ring.desc_entry: bad page id";
+  len lor (off lsl 13) lor (page lsl 26)
+
+let[@inline] desc_len e = e land desc_len_mask
+let[@inline] desc_off e = (e lsr 13) land desc_len_mask
+let[@inline] desc_page e = e lsr 26
+
+let[@inline] is_desc_packed p = packed_flags p land flag_desc <> 0
+let[@inline] desc_count_packed p = packed_len p lsr 3
+
 let read_header t pos =
   let p = decode_header t pos in
   if p = no_msg then None else Some (packed_len p, packed_flags p)
@@ -401,6 +433,38 @@ let[@sds.hot] enqueue_batch ?(flags = 0) t srcs =
   if !stop then note_reject t Obs.Trace.Credit_stall;
   !i
 
+(* Enqueue the first [n] descriptors of [entries] as one [flag_desc]
+   record.  Same credit/publication discipline as [try_enqueue]; the body
+   is written with aligned 8-byte stores (positions advance by multiples of
+   8 from 0, so an entry never straddles the wrap).  Publishing transfers
+   the page references to the consumer. *)
+let[@sds.hot] try_enqueue_descs ?(flags = 0) t entries ~n =
+  if n <= 0 || n > Array.length entries then invalid_arg "Spsc_ring.try_enqueue_descs";
+  let len = 8 * n in
+  let need = record_bytes len in
+  if need > t.size / 2 then
+    invalid_arg "Spsc_ring.try_enqueue_descs: descriptor vector larger than half ring";
+  if need > Atomic.get t.credits then begin
+    note_reject t Obs.Trace.Ring_full;
+    false
+  end
+  else begin
+    let tail = Atomic.get t.tail in
+    for i = 0 to n - 1 do
+      unsafe_set_int64 t.buf
+        ((tail + header_bytes + (8 * i)) land t.mask)
+        (Int64.of_int (Array.unsafe_get entries i))
+    done;
+    write_header t tail len (flags lor flag_desc);
+    Atomic.set t.tail (tail + need);
+    ignore (Atomic.fetch_and_add t.credits (-need));
+    t.prod.enqueued <- t.prod.enqueued + 1;
+    t.prod.enq_bytes <- t.prod.enq_bytes + len;
+    t.prod.was_full <- 0;
+    Sds_notify.Waiter.notify t.rx_waiter;
+    true
+  end
+
 type dequeued = { data : Bytes.t; flags : int }
 
 (* Credit return the consumer owes the producer; the transport delivers it by
@@ -460,6 +524,34 @@ let[@sds.hot] try_dequeue_packed ?(auto_credit = false) t ~dst ~dst_off =
       if dst_off < 0 || dst_off + len > Bytes.length dst then
         invalid_arg "Spsc_ring.try_dequeue_into: buffer too small";
       blit_out t (t.cons.head + header_bytes) dst dst_off len;
+      consume t (record_bytes len) len auto_credit;
+      p
+    end
+  end
+
+(* Dequeue the next record's descriptor vector into [entries] and return
+   the packed immediate ([desc_count_packed] gives the entry count), or
+   [no_msg] when the ring is empty/invalid.  The pages' references now
+   belong to the caller, which must release (or further hand off) each one.
+   Raises if the next record is not descriptor-flagged — callers peek the
+   flags first ([peek_packed]). *)
+let[@sds.hot] try_dequeue_descs ?(auto_credit = false) t ~entries =
+  if is_empty t then no_msg
+  else begin
+    let p = decode_header t t.cons.head in
+    if p = no_msg then no_msg
+    else begin
+      let len = packed_len p in
+      if packed_flags p land flag_desc = 0 then
+        invalid_arg "Spsc_ring.try_dequeue_descs: next record is not a descriptor (peek first)";
+      let n = len lsr 3 in
+      if n > Array.length entries then
+        invalid_arg "Spsc_ring.try_dequeue_descs: entries buffer too small";
+      for i = 0 to n - 1 do
+        Array.unsafe_set entries i
+          (Int64.to_int
+             (unsafe_get_int64 t.buf ((t.cons.head + header_bytes + (8 * i)) land t.mask)))
+      done;
       consume t (record_bytes len) len auto_credit;
       p
     end
@@ -535,3 +627,4 @@ module For_testing = struct
   let buf t = t.buf
   let head_offset t = t.cons.head land t.mask
 end
+

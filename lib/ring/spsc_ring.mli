@@ -95,6 +95,43 @@ val return_credits : t -> int -> unit
 
 val peek_len : t -> int option
 
+(** {1 Page-descriptor records (§4.6 zero-copy handoff)}
+
+    A record flagged [flag_desc] carries a vector of 8-byte page
+    descriptors — {page id, offset, length} into a shared
+    {!Sds_vm.Pagepool} — instead of payload bytes.  Enqueuing such a
+    record transfers the pages' references to the consumer; the payload
+    never crosses the ring.  The ring itself is pool-agnostic: descriptors
+    are opaque packed ints, paired with a pool by the transport layer. *)
+
+val flag_desc : int
+(** Header flag bit marking a descriptor record. *)
+
+val desc_entry : page:int -> off:int -> len:int -> int
+(** Pack one descriptor: [len <= 4096], [off < 4096], [page < 2^36]. *)
+
+val desc_page : int -> int
+val desc_off : int -> int
+val desc_len : int -> int
+
+val is_desc_packed : int -> bool
+(** Whether a packed immediate (from peek/dequeue) is descriptor-flagged. *)
+
+val desc_count_packed : int -> int
+(** Number of descriptors in a descriptor record's packed immediate. *)
+
+val try_enqueue_descs : ?flags:int -> t -> int array -> n:int -> bool
+(** Enqueue the first [n] entries as one descriptor record.  [false] when
+    credits are lacking; publication hands the page references off to the
+    consumer.  Allocation-free. *)
+
+val try_dequeue_descs : ?auto_credit:bool -> t -> entries:int array -> int
+(** Dequeue the next descriptor record's entries into [entries]; returns
+    the packed immediate ([no_msg] when empty/invalid).  The caller now
+    owns one reference per page and must release each.  Raises if the next
+    record is not descriptor-flagged ([peek_packed] first) or [entries] is
+    too small.  Allocation-free. *)
+
 (** {1 Event notification (§4.4)}
 
     Every ring embeds two {!Sds_notify.Waiter} endpoints: consumers park on

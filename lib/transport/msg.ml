@@ -7,6 +7,8 @@
 type payload =
   | Inline of Bytes.t
   | Pages of Sds_vm.Page.t array * int  (** pages, payload length *)
+  | Pool of { pool : Sds_vm.Pagepool.t; entries : int array; len : int }
+      (** real shared-pool pages: ring-packed descriptors (§4.6) *)
 
 type kind =
   | Data
@@ -33,13 +35,15 @@ let payload_len t =
   match t.payload with
   | Inline b -> Bytes.length b
   | Pages (_, len) -> len
+  | Pool { len; _ } -> len
 
 (* Bytes this message occupies in a ring: inline payload travels in-band,
-   page payloads contribute only their 8-byte page addresses. *)
+   page payloads contribute only their 8-byte page addresses / descriptors. *)
 let ring_len t =
   match t.payload with
   | Inline b -> Bytes.length b
   | Pages (pages, _) -> 8 * Array.length pages
+  | Pool { entries; _ } -> 8 * Array.length entries
 
 let to_bytes t =
   match t.payload with
@@ -55,4 +59,19 @@ let to_bytes t =
           remaining := !remaining - chunk
         end)
       pages;
+    b
+  | Pool { pool; entries; len } ->
+    (* Copy-out of the shared pool (the receiver's partial-read fallback);
+       does not release the pages — the owner does that explicitly. *)
+    let b = Bytes.create len in
+    let dst_off = ref 0 in
+    Array.iter
+      (fun e ->
+        let n = Sds_ring.Spsc_ring.desc_len e in
+        Sds_vm.Pagepool.blit_to_bytes pool
+          ~page:(Sds_ring.Spsc_ring.desc_page e)
+          ~off:(Sds_ring.Spsc_ring.desc_off e)
+          ~dst:b ~dst_off:!dst_off ~len:n;
+        dst_off := !dst_off + n)
+      entries;
     b

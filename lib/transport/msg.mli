@@ -7,6 +7,10 @@
 type payload =
   | Inline of Bytes.t
   | Pages of Sds_vm.Page.t array * int  (** pages, payload length *)
+  | Pool of { pool : Sds_vm.Pagepool.t; entries : int array; len : int }
+      (** real shared-pool pages: ring-packed descriptors
+          ({!Sds_ring.Spsc_ring.desc_entry}) whose references travel with
+          the message (§4.6 ownership handoff) *)
 
 type kind =
   | Data

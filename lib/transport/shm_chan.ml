@@ -49,6 +49,10 @@ type t = {
   cost : Cost.t;
   via : via;
   ring : Sds_ring.Spsc_ring.t;
+  pool : Sds_vm.Pagepool.t option;
+      (** shared page pool both endpoints address; [None] disables the
+          descriptor (zero-copy) path on this channel *)
+  mutable desc_scratch : int array;  (** reused descriptor dequeue target *)
   descs : Msg.t Queue.t;  (** messages visible to the receiver *)
   mutable visible : int;
   rx_waitq : Waitq.t;
@@ -65,13 +69,15 @@ type t = {
 
 let token_counter = ref 0
 
-let make engine ~cost ~via ~ring_size =
+let make engine ~cost ~via ~ring_size ~pool =
   incr token_counter;
   {
     engine;
     cost;
     via;
     ring = Sds_ring.Spsc_ring.create ~size:ring_size ();
+    pool;
+    desc_scratch = Array.make 64 0;
     descs = Queue.create ();
     visible = 0;
     rx_waitq = Waitq.create ();
@@ -96,18 +102,26 @@ let commit t msg =
   | Interrupt, Some hook -> hook t
   | (Polling | Interrupt), _ -> ()
 
-let create engine ~cost ?(ring_size = 64 * 1024) () = make engine ~cost ~via:Shm ~ring_size
+(* Intra-host channels share the process-wide page pool by default — that
+   is what makes the descriptor handoff a remap rather than a copy. *)
+let create engine ~cost ?(ring_size = 64 * 1024) ?pool () =
+  let pool =
+    match pool with Some _ -> pool | None -> Some (Sds_vm.Pagepool.shared ())
+  in
+  make engine ~cost ~via:Shm ~ring_size ~pool
 
 (* The inter-host flavour: enqueues are synchronized to the peer through
-   [qp]; this installs the QP's remote sink. *)
+   [qp]; this installs the QP's remote sink.  No shared pool — large
+   payloads use the RDMA zero-copy path ([Msg.Pages]). *)
 let create_rdma engine ~cost ~qp ?(ring_size = 64 * 1024) () =
-  let t = make engine ~cost ~via:(Rdma qp) ~ring_size in
+  let t = make engine ~cost ~via:(Rdma qp) ~ring_size ~pool:None in
   (* Writes fired on [qp] must commit into THIS channel at the remote end. *)
   Nic.on_commit qp (fun msg -> commit t msg);
   t
 
 let token t = t.token
 let via t = t.via
+let pool t = t.pool
 let rx_waitq t = t.rx_waitq
 let tx_waitq t = t.tx_waitq
 let set_mode t m = Sds_notify.Policy.set_mode t.rx_policy m
@@ -134,6 +148,9 @@ let ring_payload msg =
       (fun i p -> Bytes.set_int64_le b (i * 8) (Int64.of_int (Sds_vm.Page.obfuscated_address p)))
       pages;
     b
+  | Msg.Pool _ ->
+    (* Pool payloads never serialize: they enqueue as descriptor records. *)
+    assert false
 
 (* Per-message bookkeeping once the enqueue has succeeded: timestamping,
    sender-side CPU time, and synchronization to the receiver's copy. *)
@@ -147,7 +164,7 @@ let after_enqueue t msg =
   let copy =
     match msg.Msg.payload with
     | Msg.Inline b -> Cost.copy_cost t.cost (Bytes.length b)
-    | Msg.Pages _ -> 0
+    | Msg.Pages _ | Msg.Pool _ -> 0
   in
   Proc.sleep_ns (t.cost.Cost.shm_msg_overhead + copy);
   match t.via with
@@ -160,30 +177,61 @@ let after_enqueue t msg =
     Nic.write_imm qp msg ~imm:t.token
 
 (* Non-blocking send.  Charges sender-side time, spends ring credits, and
-   synchronizes the enqueue to the receiver's copy. *)
+   synchronizes the enqueue to the receiver's copy.  Pool payloads enqueue
+   their page descriptors out-of-band ([flag_desc]) — the ownership
+   handoff; no payload byte is blitted. *)
 let try_send t msg =
-  let inline_len = Msg.ring_len msg in
-  let payload = ring_payload msg in
-  if not (Sds_ring.Spsc_ring.try_enqueue t.ring payload ~off:0 ~len:inline_len) then Full
-  else begin
-    after_enqueue t msg;
-    Sent
-  end
+  match msg.Msg.payload with
+  | Msg.Pool { entries; _ } ->
+    if
+      not
+        (Sds_ring.Spsc_ring.try_enqueue_descs t.ring entries ~n:(Array.length entries))
+    then Full
+    else begin
+      after_enqueue t msg;
+      Sent
+    end
+  | Msg.Inline _ | Msg.Pages _ ->
+    let inline_len = Msg.ring_len msg in
+    let payload = ring_payload msg in
+    if not (Sds_ring.Spsc_ring.try_enqueue t.ring payload ~off:0 ~len:inline_len) then Full
+    else begin
+      after_enqueue t msg;
+      Sent
+    end
+
+let is_pool_msg m =
+  match m.Msg.payload with Msg.Pool _ -> true | Msg.Inline _ | Msg.Pages _ -> false
 
 (* Vectored send: enqueues the longest prefix of [msgs] the ring credits
    accept through a single batched ring operation (one tail publication, one
    credit spend — §4.2 adaptive batching), then performs the per-message
-   bookkeeping for the accepted prefix.  Returns how many were sent. *)
-let try_send_batch t msgs =
+   bookkeeping for the accepted prefix.  Pool (descriptor) messages publish
+   individually — their record format differs — so a mixed list degrades to
+   runs of batched inline sends.  Returns how many were sent. *)
+let rec try_send_batch t msgs =
   match msgs with
   | [] -> 0
+  | m :: rest when is_pool_msg m -> begin
+    match try_send t m with
+    | Full -> 0
+    | Sent -> 1 + try_send_batch t rest
+  end
   | _ ->
+    let rec span acc l =
+      match l with
+      | m :: rest when not (is_pool_msg m) -> span (m :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let inline, rest = span [] msgs in
     let srcs =
-      Array.of_list (List.map (fun m -> (ring_payload m, 0, Msg.ring_len m)) msgs)
+      Array.of_list (List.map (fun m -> (ring_payload m, 0, Msg.ring_len m)) inline)
     in
     let n = Sds_ring.Spsc_ring.enqueue_batch t.ring srcs in
-    List.iteri (fun i m -> if i < n then after_enqueue t m) msgs;
-    n
+    List.iteri (fun i m -> if i < n then after_enqueue t m) inline;
+    match rest with
+    | [] -> n
+    | _ -> if n = Array.length srcs then n + try_send_batch t rest else n
 
 (* Non-blocking receive.  Charges receiver-side time; posts batched credit
    returns back to the sender over the same transport. *)
@@ -198,12 +246,26 @@ let try_recv t =
     let peeked = Sds_ring.Spsc_ring.peek_packed t.ring in
     assert (peeked <> Sds_ring.Spsc_ring.no_msg) (* desc and ring move in lock step *);
     let len = Sds_ring.Spsc_ring.packed_len peeked in
-    if Bytes.length t.scratch < len then begin
-      t.scratch <- Bytes.create (max len (2 * Bytes.length t.scratch));
-      Obs.Metrics.incr m_scratch_grows;
-      Obs.Trace.emit_n Obs.Trace.Scratch_grow (Bytes.length t.scratch)
-    end;
-    let got = Sds_ring.Spsc_ring.try_dequeue_packed t.ring ~dst:t.scratch ~dst_off:0 in
+    let got =
+      if Sds_ring.Spsc_ring.is_desc_packed peeked then begin
+        (* Descriptor record: pull the page descriptors out-of-band; the
+           payload bytes never touch the ring or the scratch buffer. *)
+        if 8 * Array.length t.desc_scratch < len then
+          t.desc_scratch <- Array.make ((len + 7) / 8) 0;
+        Sds_ring.Spsc_ring.try_dequeue_descs t.ring ~entries:t.desc_scratch
+      end
+      else begin
+        (* Drain the ring record straight into the reusable scratch buffer:
+           one ring-to-app copy, no per-recv allocation (the scratch only
+           grows, to the largest in-band record seen on this channel). *)
+        if Bytes.length t.scratch < len then begin
+          t.scratch <- Bytes.create (max len (2 * Bytes.length t.scratch));
+          Obs.Metrics.incr m_scratch_grows;
+          Obs.Trace.emit_n Obs.Trace.Scratch_grow (Bytes.length t.scratch)
+        end;
+        Sds_ring.Spsc_ring.try_dequeue_packed t.ring ~dst:t.scratch ~dst_off:0
+      end
+    in
     assert (Sds_ring.Spsc_ring.packed_len got = Msg.ring_len msg);
     t.received <- t.received + 1;
     Obs.Metrics.incr m_recvs;
@@ -213,7 +275,7 @@ let try_recv t =
     let copy =
       match msg.Msg.payload with
       | Msg.Inline b -> Cost.copy_cost t.cost (Bytes.length b)
-      | Msg.Pages _ -> 0
+      | Msg.Pages _ | Msg.Pool _ -> 0
     in
     Proc.sleep_ns (t.cost.Cost.shm_msg_overhead + copy);
     let credit = Sds_ring.Spsc_ring.take_credit_return t.ring in

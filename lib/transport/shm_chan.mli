@@ -16,8 +16,10 @@ type via =
 
 type t
 
-val create : Engine.t -> cost:Cost.t -> ?ring_size:int -> unit -> t
-(** Intra-host flavour. *)
+val create : Engine.t -> cost:Cost.t -> ?ring_size:int -> ?pool:Sds_vm.Pagepool.t -> unit -> t
+(** Intra-host flavour.  Unless [pool] is given, the channel uses the
+    process-wide {!Sds_vm.Pagepool.shared} pool for the §4.6 descriptor
+    (zero-copy) path. *)
 
 val create_rdma : Engine.t -> cost:Cost.t -> qp:Nic.qp -> ?ring_size:int -> unit -> t
 (** Inter-host flavour; installs [qp]'s remote sink to commit into this
@@ -27,6 +29,10 @@ val token : t -> int
 (** The secret marking the queue; non-holders cannot attach (§3). *)
 
 val via : t -> via
+
+val pool : t -> Sds_vm.Pagepool.t option
+(** The shared page pool backing this channel's descriptor path; [None] on
+    RDMA channels (those use the [Msg.Pages] remap protocol instead). *)
 
 val rx_waitq : t -> Waitq.t
 (** Signalled on every delivery. *)
@@ -60,7 +66,9 @@ val pending : t -> int
 type send_result = Sent | Full
 
 val try_send : t -> Msg.t -> send_result
-(** Non-blocking; [Full] when the sender lacks ring credits. *)
+(** Non-blocking; [Full] when the sender lacks ring credits.  A
+    [Msg.Pool] payload enqueues its page descriptors out-of-band
+    ([Spsc_ring.flag_desc]) — ownership handoff, no payload blit. *)
 
 val try_send_batch : t -> Msg.t list -> int
 (** Vectored send: enqueues the longest prefix the ring credits accept in

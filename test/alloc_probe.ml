@@ -52,4 +52,23 @@ let () =
   measure "Waiter.notify (unparked)" iters (fun () -> W.notify w);
   measure "Waiter.prepare_wait + cancel" iters (fun () ->
       ignore (W.prepare_wait w);
-      W.cancel w)
+      W.cancel w);
+  (* §4.6 zero-copy path: pool page churn and the full descriptor handoff
+     (alloc, stamp, publish, dequeue, release) must also run at 0 minor
+     words/op — the payload never materializes as Bytes. *)
+  let module Pp = Sds_vm.Pagepool in
+  let pool = Pp.create ~pages:256 () in
+  let ph = Pp.handle pool in
+  measure "Pagepool.alloc + release" iters (fun () ->
+      let p = Pp.alloc ph in
+      Pp.release ph p);
+  let send_entries = Array.make 1 0 in
+  let entries = Array.make 1 0 in
+  measure "desc enq + deq + handoff (obs on)" iters (fun () ->
+      let p = Pp.alloc ph in
+      Pp.set_int_le pool (Pp.page_base p) 0xBEEF;
+      send_entries.(0) <- R.desc_entry ~page:p ~off:0 ~len:4096;
+      ignore (R.try_enqueue_descs r send_entries ~n:1);
+      ignore (R.try_dequeue_descs ~auto_credit:true r ~entries);
+      ignore (Pp.get_int_le pool (Pp.page_base (R.desc_page entries.(0))));
+      Pp.release ph (R.desc_page entries.(0)))

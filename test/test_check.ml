@@ -86,6 +86,27 @@ let test_hot_rule () =
   check_rules "unannotated functions may allocate freely" ~path:"lib/sim/x.ml"
     "let f xs = List.map succ xs" []
 
+(* ---- bigarray-unsafe ---- *)
+
+let test_bigarray_rule () =
+  check_rules "unsafe Bigarray access outside the allowlist is flagged" ~path:"lib/transport/x.ml"
+    "let[@sds.hot] f b i = Bigarray.Array1.unsafe_get b i" [ "bigarray-unsafe" ];
+  check_rules "even hot functions do not excuse a non-allowlisted file" ~path:"lib/core/x.ml"
+    "let[@sds.hot] f b i v = Bigarray.Array1.unsafe_set b i v" [ "bigarray-unsafe" ];
+  check_rules "allowlisted file but cold context is flagged" ~path:"lib/vm/pagepool.ml"
+    "let f b i = Bigarray.Array1.unsafe_get b i" [ "bigarray-unsafe" ];
+  check_rules "allowlisted file + [@sds.hot] passes" ~path:"lib/vm/pagepool.ml"
+    "let[@sds.hot] f b i = Bigarray.Array1.unsafe_get b i" [];
+  check_rules "the ring is allowlisted too" ~path:"lib/ring/spsc_ring.ml"
+    "let[@sds.hot] f b i = Bigarray.Array1.unsafe_get b i" [];
+  check_rules "[@sds.cold] subtrees inside hot functions are not exempt" ~path:"lib/vm/pagepool.ml"
+    "let[@sds.hot] f b i = if i > 0 then 'x' else ((Bigarray.Array1.unsafe_get b i) [@sds.cold])"
+    [ "bigarray-unsafe" ];
+  check_rules "checked Bigarray accessors pass anywhere" ~path:"lib/transport/x.ml"
+    "let f b i = Bigarray.Array1.get b i" [];
+  check_rules "tests may use unsafe Bigarray (harness code)" ~path:"test/t.ml"
+    "let f b i = Bigarray.Array1.unsafe_get b i" []
+
 (* ---- parse errors surface, not crash ---- *)
 
 let test_parse_error () =
@@ -237,6 +258,11 @@ let test_mutation_no_recheck () =
   Alcotest.(check bool) "dropping the parked-flag re-check loses a wakeup" true
     (o.lost_wakeups > 0)
 
+let test_mutation_release_early () =
+  let o = Interleave.check (Models.desc_handoff ~release_before_read:true ()) in
+  Alcotest.(check bool) "releasing the page before the payload read is caught" true
+    (o.races <> [] || o.assert_failures <> [])
+
 let test_mutations_all_caught () =
   List.iter
     (fun (name, p) ->
@@ -277,6 +303,7 @@ let suite =
     Alcotest.test_case "lint: poly-compare" `Quick test_compare_rule;
     Alcotest.test_case "lint: obj-unsafe" `Quick test_obj_rule;
     Alcotest.test_case "lint: hot-alloc" `Quick test_hot_rule;
+    Alcotest.test_case "lint: bigarray-unsafe" `Quick test_bigarray_rule;
     Alcotest.test_case "lint: parse errors" `Quick test_parse_error;
     Alcotest.test_case "lint: mli parity over a tree" `Quick test_mli_parity;
     Alcotest.test_case "lint: repository is clean" `Quick test_repo_clean;
@@ -285,6 +312,7 @@ let suite =
     Alcotest.test_case "mutation: unfenced publication races" `Quick test_mutation_unfenced;
     Alcotest.test_case "mutation: late header trips assert" `Quick test_mutation_header_late;
     Alcotest.test_case "mutation: no-recheck loses wakeup" `Quick test_mutation_no_recheck;
+    Alcotest.test_case "mutation: early release is use-after-free" `Quick test_mutation_release_early;
     Alcotest.test_case "mutation: all variants caught" `Quick test_mutations_all_caught;
     Alcotest.test_case "het-map" `Quick test_hmap;
   ]

@@ -146,6 +146,76 @@ let test_dequeue_batch_max () =
   Alcotest.(check (list string)) "remainder" [ "dddd" ]
     (List.map (fun { R.data; _ } -> Bytes.to_string data) rest)
 
+(* ---- page-descriptor records (§4.6 zero-copy handoff) ---- *)
+
+let test_desc_entry_roundtrip () =
+  let e = R.desc_entry ~page:123_456 ~off:712 ~len:4096 in
+  Alcotest.(check int) "len" 4096 (R.desc_len e);
+  Alcotest.(check int) "off" 712 (R.desc_off e);
+  Alcotest.(check int) "page" 123_456 (R.desc_page e);
+  Alcotest.check_raises "oversized len"
+    (Invalid_argument "Spsc_ring.desc_entry: bad length") (fun () ->
+      ignore (R.desc_entry ~page:0 ~off:0 ~len:4097));
+  Alcotest.check_raises "bad offset"
+    (Invalid_argument "Spsc_ring.desc_entry: bad offset") (fun () ->
+      ignore (R.desc_entry ~page:0 ~off:4096 ~len:1))
+
+let test_desc_enqueue_dequeue () =
+  let r = R.create ~size:1024 () in
+  let entries = [| R.desc_entry ~page:7 ~off:0 ~len:4096; R.desc_entry ~page:9 ~off:128 ~len:1000 |] in
+  Alcotest.(check bool) "enqueued" true (R.try_enqueue_descs ~flags:0x3 r entries ~n:2);
+  (* Interleave with an inline message: kinds must not mix up. *)
+  ignore (enq r "inline");
+  let peeked = R.peek_packed r in
+  Alcotest.(check bool) "peek flags descriptor kind" true (R.is_desc_packed peeked);
+  let out = Array.make 8 0 in
+  let p = R.try_dequeue_descs ~auto_credit:true r ~entries:out in
+  Alcotest.(check bool) "got a record" true (p <> R.no_msg);
+  Alcotest.(check int) "entry count" 2 (R.desc_count_packed p);
+  Alcotest.(check int) "flags preserved alongside flag_desc" 0x3
+    (R.packed_flags p land lnot R.flag_desc);
+  Alcotest.(check int) "first page" 7 (R.desc_page out.(0));
+  Alcotest.(check int) "second off" 128 (R.desc_off out.(1));
+  Alcotest.(check int) "second len" 1000 (R.desc_len out.(1));
+  (* The inline message follows, un-corrupted, through the normal path. *)
+  Alcotest.(check bool) "next is not a descriptor" false (R.is_desc_packed (R.peek_packed r));
+  Alcotest.(check (option string)) "inline intact" (Some "inline") (deq r);
+  Alcotest.(check (option string)) "drained" None (deq r)
+
+let test_desc_wrong_kind_raises () =
+  let r = R.create ~size:1024 () in
+  ignore (enq r "not-a-descriptor");
+  let out = Array.make 4 0 in
+  Alcotest.check_raises "inline record via desc dequeue"
+    (Invalid_argument "Spsc_ring.try_dequeue_descs: next record is not a descriptor (peek first)")
+    (fun () -> ignore (R.try_dequeue_descs r ~entries:out));
+  (* And the record survives the rejection. *)
+  Alcotest.(check (option string)) "intact" (Some "not-a-descriptor") (deq r);
+  ignore (R.try_enqueue_descs r [| R.desc_entry ~page:1 ~off:0 ~len:8 |] ~n:1);
+  Alcotest.check_raises "entries buffer too small"
+    (Invalid_argument "Spsc_ring.try_dequeue_descs: entries buffer too small") (fun () ->
+      ignore (R.try_dequeue_descs r ~entries:[||]))
+
+let test_desc_wraparound () =
+  (* Drive descriptor records around the ring many times, mixed with inline
+     records, so the 8-byte body stores cross the wrap point. *)
+  let r = R.create ~size:256 () in
+  let out = Array.make 4 0 in
+  for i = 0 to 499 do
+    let e0 = R.desc_entry ~page:(i * 2) ~off:(i mod 4096) ~len:(1 + (i mod 4096)) in
+    let e1 = R.desc_entry ~page:((i * 2) + 1) ~off:0 ~len:4096 in
+    Alcotest.(check bool) "enq descs" true (R.try_enqueue_descs r [| e0; e1 |] ~n:2);
+    let s = Printf.sprintf "i%04d" i in
+    Alcotest.(check bool) "enq inline" true (enq r s);
+    let p = R.try_dequeue_descs ~auto_credit:true r ~entries:out in
+    Alcotest.(check bool) "deq descs" true (p <> R.no_msg && R.desc_count_packed p = 2);
+    if R.desc_page out.(0) <> i * 2 || R.desc_off out.(0) <> i mod 4096
+       || R.desc_len out.(0) <> 1 + (i mod 4096)
+       || R.desc_page out.(1) <> (i * 2) + 1
+    then Alcotest.failf "iteration %d: descriptor corrupted across wrap" i;
+    Alcotest.(check (option string)) "deq inline" (Some s) (deq r)
+  done
+
 (* ---- header checksum hardening ---- *)
 
 let test_checksum_mixes_high_bits () =
@@ -372,6 +442,10 @@ let suite =
     Alcotest.test_case "spsc dequeue_into too-small buffer" `Quick test_dequeue_into_too_small;
     Alcotest.test_case "spsc enqueue_batch prefix" `Quick test_enqueue_batch_prefix;
     Alcotest.test_case "spsc dequeue_batch max" `Quick test_dequeue_batch_max;
+    Alcotest.test_case "spsc descriptor entry packing" `Quick test_desc_entry_roundtrip;
+    Alcotest.test_case "spsc descriptor enqueue/dequeue" `Quick test_desc_enqueue_dequeue;
+    Alcotest.test_case "spsc descriptor kind mismatches raise" `Quick test_desc_wrong_kind_raises;
+    Alcotest.test_case "spsc descriptor wraparound" `Quick test_desc_wraparound;
     Alcotest.test_case "spsc checksum mixes high bits" `Quick test_checksum_mixes_high_bits;
     Alcotest.test_case "spsc zero header invalid" `Quick test_zero_header_invalid;
     Alcotest.test_case "spsc corrupt header not decoded" `Quick test_corrupt_header_not_decoded;

@@ -131,8 +131,77 @@ let test_two_domain_batched () =
   Alcotest.(check bool) "batched checksums match" true (!producer_hash = !consumer_hash);
   Alcotest.(check bool) "ring drained" true (R.is_empty r)
 
+(* ---- §4.6 descriptor handoff soak: refcount transfer across domains ----
+
+   Producer domain: allocate a page from its pool handle, stamp it with a
+   seed-derived integer, publish a one-entry descriptor record (the
+   ownership transfer).  Consumer domain: dequeue the descriptor, dawdle a
+   pseudo-random while (so releases land at unpredictable points relative
+   to the producer's allocations), verify the stamp, release the page via
+   its own handle.  Recycled pages flow back to the producer through the
+   pool's spill/refill machinery; at the end every page must be free and
+   every stamp must have matched. *)
+let test_two_domain_desc_handoff () =
+  let module Pp = Sds_vm.Pagepool in
+  let msgs = 200_000 in
+  let npages = 512 in
+  let pool = Pp.create ~pages:npages () in
+  let r = R.create ~size:(1 lsl 14) () in
+  let bad_stamps = ref 0 in
+  let consumer_msgs = ref 0 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let h = Pp.handle pool in
+        let entries = Array.make 4 0 in
+        let spins = ref 0 in
+        let delay = ref 0x9E3779B9 in
+        while !consumer_msgs < msgs do
+          if R.is_empty r then backoff spins
+          else begin
+            let p = R.try_dequeue_descs ~auto_credit:true r ~entries in
+            if p <> R.no_msg then begin
+              (* Randomized consume delay: a xorshift-driven pause between
+                 taking ownership and releasing. *)
+              delay := !delay lxor (!delay lsl 13);
+              delay := !delay lxor (!delay lsr 7);
+              for _ = 1 to !delay land 0x3F do
+                Domain.cpu_relax ()
+              done;
+              let page = R.desc_page entries.(0) in
+              let stamp = Pp.get_int_le pool (Pp.page_base page + R.desc_off entries.(0)) in
+              if stamp <> (!consumer_msgs * 2654435761) land 0xFFFF_FFFF then incr bad_stamps;
+              Pp.release h page;
+              incr consumer_msgs
+            end
+            else backoff spins
+          end
+        done)
+  in
+  let h = Pp.handle pool in
+  let spins = ref 0 in
+  for seq = 0 to msgs - 1 do
+    let page = ref (Pp.alloc h) in
+    while !page = Pp.no_page do
+      (* Consumer hasn't recycled yet; wait for pages to flow back. *)
+      backoff spins;
+      page := Pp.alloc h
+    done;
+    let off = (seq * 8) land 0xFF8 in
+    Pp.set_int_le pool (Pp.page_base !page + off) ((seq * 2654435761) land 0xFFFF_FFFF);
+    let e = R.desc_entry ~page:!page ~off ~len:8 in
+    while not (R.try_enqueue_descs r [| e |] ~n:1) do
+      backoff spins
+    done
+  done;
+  Domain.join consumer;
+  Alcotest.(check int) "every stamp matched" 0 !bad_stamps;
+  Alcotest.(check bool) "ring drained" true (R.is_empty r);
+  Alcotest.(check int) "every page back home (no leak, no double free)" npages
+    (Pp.free_pages pool)
+
 let suite =
   [
     Alcotest.test_case "two-domain stress 1M msgs" `Quick test_two_domain_stress;
     Alcotest.test_case "two-domain batched stress" `Quick test_two_domain_batched;
+    Alcotest.test_case "two-domain descriptor handoff soak" `Quick test_two_domain_desc_handoff;
   ]
