@@ -219,6 +219,9 @@ let experiments : (string * (unit -> unit)) list =
   ]
 
 let () =
+  (* Crash/SIGQUIT flight-recorder dump: a wedged bench run leaves a
+     postmortem with the last spans and ring/pool state. *)
+  Sds_obs.Flight.install ();
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
   (* --metrics-out FILE: consume the flag and its argument. *)

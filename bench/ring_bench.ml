@@ -278,6 +278,9 @@ let cross_domain_pingpong ?(ring_size = 1 lsl 16) ~payload ~rounds () =
   let buf_a = Bytes.create (max payload 1) in
   let t0 = Unix.gettimeofday () in
   for _ = 1 to rounds do
+    (* API-entry span stamp (the Libsd.send stamp point): feeds span.app on
+       the sampled messages, next to the publish stamp try_enqueue takes. *)
+    R.stamp_send a2b;
     ignore (R.try_enqueue a2b buf_a ~off:0 ~len:payload);
     ignore (R.dequeue_packed_blocking ~auto_credit:true b2a ~dst:buf_a ~dst_off:0)
   done;
@@ -291,6 +294,72 @@ let cross_domain_pingpong ?(ring_size = 1 lsl 16) ~payload ~rounds () =
     msgs_per_sec = float_of_int rounds /. dt;
     mb_per_sec = float_of_int rounds *. float_of_int payload /. dt /. 1e6;
     ok = true;
+  }
+
+(* Stage-breakdown row derived from the ping-pong: the p99 of the §4.4
+   park→wake edge ([span.wake], stamped with raw monotonic ns by the
+   waiter) during the run above.  0 when the adaptive spin phase won every
+   wait and nothing parked — the ratchet skips the comparison then. *)
+let wake_p99_row ~payload ~rounds =
+  let hs = Sds_obs.Obs.Metrics.summarize_hist Sds_obs.Span.h_wake in
+  {
+    name = "ring2core pingpong wake_p99";
+    payload;
+    msgs = hs.Sds_obs.Obs.Metrics.hs_count;
+    ns_per_msg = float_of_int hs.Sds_obs.Obs.Metrics.hs_p99;
+    msgs_per_sec = (if rounds > 0 then float_of_int hs.Sds_obs.Obs.Metrics.hs_count /. float_of_int rounds else 0.);
+    mb_per_sec = 0.;
+    ok = true;
+  }
+
+(* ---- span-stamping overhead ----
+
+   Single-domain 64B enq+deq with all three stamp points exercised
+   (send, publish, dequeue-resolve), timed with spans enabled vs disabled.
+   Each rep times the two modes back to back and records the difference;
+   the estimate is the *median* of the paired differences, which is robust
+   to the timeslice noise of a shared box (alternate-and-take-min is not:
+   one quiet slice on either side skews it by several ns).  ns_per_msg is
+   the overhead; the acceptance bar is <= 2 ns/msg at the default 1-in-64
+   sampling. *)
+let span_overhead ?(ring_size = 1 lsl 20) ?(payload = 64) ?(msgs = 200_000) ?(reps = 25) () =
+  let r = R.create ~size:ring_size () in
+  let src = Bytes.create payload in
+  let dst = Bytes.create payload in
+  let run () =
+    let t0 = Unix.gettimeofday () in
+    for seq = 0 to msgs - 1 do
+      stamp src seq payload;
+      R.stamp_send r;
+      ignore (R.try_enqueue r src ~off:0 ~len:payload);
+      ignore (R.try_dequeue_packed ~auto_credit:true r ~dst ~dst_off:0)
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int msgs
+  in
+  let was = Sds_obs.Span.enabled () in
+  (* Alternate the order within each pair so slow linear drift (frequency
+     scaling, a neighbour tenant ramping up) biases half the pairs one way
+     and half the other, leaving the median centred. *)
+  let diffs =
+    Array.init reps (fun i ->
+        let first_on = i land 1 = 1 in
+        Sds_obs.Span.set_enabled first_on;
+        let a = run () in
+        Sds_obs.Span.set_enabled (not first_on);
+        let b = run () in
+        if first_on then a -. b else b -. a)
+  in
+  Sds_obs.Span.set_enabled was;
+  Array.sort compare diffs;
+  let overhead = diffs.(reps / 2) in
+  {
+    name = "ring1core span overhead";
+    payload;
+    msgs = reps * msgs;
+    ns_per_msg = overhead;
+    msgs_per_sec = 0.;
+    mb_per_sec = 0.;
+    ok = overhead <= 2.0;
   }
 
 (* ---- single-domain loopback (enq+deq on one core) ---- *)
@@ -417,8 +486,12 @@ let run_all ?(copy_mode = Cp.Adaptive) () =
     (Cp.mode_to_string copy_mode);
   let pool_rows = run_stream_pool ~copy_mode () in
   List.iter pp_result pool_rows;
+  (* Reset so the wake_p99 stage row reads only this ping-pong's parks. *)
+  Sds_obs.Obs.Metrics.reset ();
   let pp = cross_domain_pingpong ~payload:64 ~rounds:100_000 () in
   pp_result pp;
+  let wake = wake_p99_row ~payload:64 ~rounds:100_000 in
+  pp_result wake;
   Fmt.pr "-- single-domain loopback for comparison --@.";
   let single = run_single_domain () in
   List.iter pp_result single;
@@ -426,7 +499,9 @@ let run_all ?(copy_mode = Cp.Adaptive) () =
   pp_result batched;
   let adaptive = single_domain_adaptive ~payload:64 ~msgs:4_000_000 () in
   pp_result adaptive;
-  let all = cross @ pool_rows @ [ pp ] @ single @ [ batched; adaptive ] in
+  let span_oh = span_overhead () in
+  pp_result span_oh;
+  let all = cross @ pool_rows @ [ pp; wake ] @ single @ [ batched; adaptive; span_oh ] in
   if List.for_all (fun r -> r.ok) all then Fmt.pr "all checksums ok@."
   else Fmt.pr "CHECKSUM FAILURES PRESENT@.";
   all

@@ -62,6 +62,7 @@ let run_cmd =
 let stats_workload () =
   let w = Common.make_world () in
   Sds_sim.Engine.install_trace_clock w.Common.engine;
+  Sds_sim.Engine.install_span_clock w.Common.engine;
   let h = Common.add_host w in
   ignore
     (Common.pingpong
@@ -69,6 +70,7 @@ let stats_workload () =
        w ~client_host:h ~server_host:h ~size:64 ~rounds:512 ~warmup:32);
   let w1 = Common.make_world () in
   Sds_sim.Engine.install_trace_clock w1.Common.engine;
+  Sds_sim.Engine.install_span_clock w1.Common.engine;
   let h1 = Common.add_host w1 in
   ignore
     (Common.pingpong
@@ -76,6 +78,7 @@ let stats_workload () =
        w1 ~client_host:h1 ~server_host:h1 ~size:32768 ~rounds:64 ~warmup:8);
   let w2 = Common.make_world () in
   Sds_sim.Engine.install_trace_clock w2.Common.engine;
+  Sds_sim.Engine.install_span_clock w2.Common.engine;
   let a = Common.add_host w2 in
   let b = Common.add_host w2 in
   ignore
@@ -116,7 +119,89 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ json $ out $ trace_out)
 
+(* `sdsim top`: a lightweight live view.  Each frame re-runs a short
+   workload and renders per-stage span percentiles plus pool/ring
+   occupancy, overwriting the screen — the text-mode analogue of watching
+   latency attribution move as the data path runs. *)
+
+let top_frame_workload () =
+  let w = Common.make_world () in
+  Sds_sim.Engine.install_trace_clock w.Common.engine;
+  Sds_sim.Engine.install_span_clock w.Common.engine;
+  let h = Common.add_host w in
+  ignore
+    (Common.pingpong
+       (module Sds_apps.Sock_api.Sds)
+       w ~client_host:h ~server_host:h ~size:64 ~rounds:256 ~warmup:16);
+  let w1 = Common.make_world () in
+  Sds_sim.Engine.install_trace_clock w1.Common.engine;
+  Sds_sim.Engine.install_span_clock w1.Common.engine;
+  let h1 = Common.add_host w1 in
+  ignore
+    (Common.pingpong
+       (module Sds_apps.Sock_api.Sds)
+       w1 ~client_host:h1 ~server_host:h1 ~size:32768 ~rounds:32 ~warmup:4)
+
+let render_top ~frame ~frames =
+  let snap = Obs.Metrics.snapshot () in
+  let counter name =
+    match List.assoc_opt name snap.Obs.Metrics.counters with Some v -> v | None -> 0
+  in
+  let gauge name =
+    match List.assoc_opt name snap.Obs.Metrics.gauges with Some v -> v | None -> 0
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "sdsim top — frame %d/%d  (spans in simulated ns)\n\n" frame frames);
+  Buffer.add_string b
+    (Printf.sprintf "%-12s %10s %10s %10s %10s\n" "stage" "count" "p50" "p99" "p999");
+  List.iter
+    (fun (name, hs) ->
+      if String.length name > 5 && String.sub name 0 5 = "span." then
+        Buffer.add_string b
+          (Printf.sprintf "%-12s %10d %10d %10d %10d\n" name hs.Obs.Metrics.hs_count
+             hs.Obs.Metrics.hs_p50 hs.Obs.Metrics.hs_p99 hs.Obs.Metrics.hs_p999))
+    snap.Obs.Metrics.histograms;
+  let pages = gauge "pool.pages" and in_use = gauge "pool.pages_in_use" in
+  let occ = if pages > 0 then 100. *. float_of_int in_use /. float_of_int pages else 0. in
+  Buffer.add_string b
+    (Printf.sprintf "\npool: %d/%d pages in use (%.1f%%)   copy threshold: %d B (%d switches)\n"
+       in_use pages occ (gauge "copy_policy.threshold") (counter "copy_policy.switches"));
+  Buffer.add_string b
+    (Printf.sprintf "ring: %d enq / %d deq (backlog %d)   parks: %d  wakes: %d\n"
+       (counter "ring.enqueues") (counter "ring.dequeues")
+       (counter "ring.enqueues" - counter "ring.dequeues")
+       (counter "notify.parks") (counter "notify.wakes"));
+  Buffer.contents b
+
+let top_cmd =
+  let doc = "Live text view: per-stage span percentiles and occupancy." in
+  let frames =
+    Arg.(value & opt int 5 & info [ "frames" ] ~docv:"N" ~doc:"Number of frames to render.")
+  in
+  let no_clear =
+    Arg.(value & flag & info [ "no-clear" ] ~doc:"Do not clear the screen between frames.")
+  in
+  let interval =
+    Arg.(
+      value
+      & opt float 0.2
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Delay between frames.")
+  in
+  let run frames no_clear interval =
+    for frame = 1 to frames do
+      Obs.Metrics.reset ();
+      top_frame_workload ();
+      if not no_clear then print_string "\027[2J\027[H";
+      print_string (render_top ~frame ~frames);
+      flush stdout;
+      if frame < frames && interval > 0. then Unix.sleepf interval
+    done
+  in
+  Cmd.v (Cmd.info "top" ~doc) Term.(const run $ frames $ no_clear $ interval)
+
 let () =
+  Sds_obs.Flight.install ();
   let doc = "SocksDirect (SIGCOMM'19) reproduction experiment driver" in
   let info = Cmd.info "sdsim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; stats_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; stats_cmd; top_cmd ]))

@@ -29,6 +29,14 @@
                          and the ring), and there only inside [@sds.hot]
                          functions — i.e. on paths whose bounds checks
                          have been hoisted and audited.
+   - [metric-registration] [Metrics.counter/gauge/histogram/probe] calls
+                         must sit at module top level (registration takes
+                         the registry lock and allocates; doing it inside a
+                         function — worst of all an [@sds.hot] one — puts
+                         that on a per-call path), and a literal metric
+                         name must follow the [layer.noun] convention:
+                         lowercase dot-separated segments, e.g.
+                         ["ring.enqueues"], ["span.wake"].
 
    Any rule can be locally silenced with [@sds.allow "rule-slug"] on an
    expression; the suppression covers the subtree.  The pass is purely
@@ -54,6 +62,8 @@ type config = {
   compare_dirs : string list;  (** bare [compare] flagged here *)
   data_path_dirs : string list;  (** structural [=]/[<>] flagged here *)
   mli_dirs : string list;  (** [.mli] parity enforced here *)
+  metric_dirs : string list;  (** scopes of the metric-registration rule *)
+  metric_allow : string list;  (** files exempt from it (the registry itself) *)
   scan_dirs : string list;  (** roots walked by [lint_tree] *)
   exclude_dirs : string list;  (** pruned subtrees (fixtures, _build) *)
 }
@@ -69,6 +79,8 @@ let default =
     compare_dirs = [ "lib" ];
     data_path_dirs = [ "lib/ring"; "lib/notify"; "lib/transport"; "lib/core" ];
     mli_dirs = [ "lib" ];
+    metric_dirs = [ "lib"; "bin"; "bench" ];
+    metric_allow = [ "lib/obs/obs.ml" ];
     scan_dirs = [ "lib"; "bin"; "bench"; "examples"; "test" ];
     exclude_dirs = [ "_build"; ".git"; "test/fixtures" ];
   }
@@ -79,8 +91,11 @@ let rule_obj = "obj-unsafe"
 let rule_mli = "mli-parity"
 let rule_hot = "hot-alloc"
 let rule_bigarray = "bigarray-unsafe"
+let rule_metric = "metric-registration"
 let rule_parse = "parse-error"
-let all_rules = [ rule_atomic; rule_compare; rule_obj; rule_mli; rule_hot; rule_bigarray ]
+
+let all_rules =
+  [ rule_atomic; rule_compare; rule_obj; rule_mli; rule_hot; rule_bigarray; rule_metric ]
 
 (* ---- path scoping ---- *)
 
@@ -124,6 +139,9 @@ let lint_source ~config ~path ~source =
   let bigarray_allowed = is_allowed path config.bigarray_allow in
   let check_compare = in_any path config.compare_dirs in
   let check_struct_eq = in_any path config.data_path_dirs in
+  let check_metric = in_any path config.metric_dirs && not (is_allowed path config.metric_allow) in
+  (* Nesting depth in [fun]/[function] bodies: 0 = module top level. *)
+  let fun_depth = ref 0 in
   let add ~loc rule message =
     if not (List.mem rule !suppressed) then begin
       let p = loc.Location.loc_start in
@@ -180,6 +198,48 @@ let lint_source ~config ~path ~source =
         add ~loc rule_hot (Printf.sprintf "(%s) concatenation allocates inside an [@sds.hot] function" op)
       | _ -> ()
   in
+  (* [Obs.Metrics.counter], [Metrics.histogram], ... — a registration call
+     head, whatever the module prefix. *)
+  let is_registration lid =
+    match List.rev (Longident.flatten lid) with
+    | ("counter" | "gauge" | "histogram" | "probe") :: "Metrics" :: _ -> true
+    | _ -> false
+  in
+  (* layer.noun: two or more dot-separated lowercase [a-z][a-z0-9_]* segments. *)
+  let metric_name_ok s =
+    let seg_ok seg =
+      String.length seg > 0
+      && (match seg.[0] with 'a' .. 'z' -> true | _ -> false)
+      && String.for_all (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false) seg
+    in
+    match String.split_on_char '.' s with
+    | _ :: _ :: _ as segs -> List.for_all seg_ok segs
+    | _ -> false
+  in
+  let check_registration lid args loc =
+    if is_registration lid then begin
+      if !fun_depth > 0 then
+        add ~loc rule_metric
+          "metric registration inside a function; Metrics.counter/gauge/histogram/probe take \
+           the registry lock and allocate — register once at module top level and close over \
+           the handle";
+      match
+        List.find_opt
+          (fun (lbl, a) ->
+            lbl = Asttypes.Nolabel
+            && match a.pexp_desc with Pexp_constant (Pconst_string _) -> true | _ -> false)
+          args
+      with
+      | Some (_, { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }) ->
+        if not (metric_name_ok s) then
+          add ~loc rule_metric
+            (Printf.sprintf
+               "metric name %S breaks the layer.noun convention (lowercase dot-separated \
+                segments, e.g. \"ring.enqueues\")"
+               s)
+      | _ -> ()
+    end
+  in
   (* Syntactically structured operand: comparing one with polymorphic =
      walks the structure at runtime. *)
   let is_structural e =
@@ -216,7 +276,16 @@ let lint_source ~config ~path ~source =
         | Pexp_lazy _ when !hot > 0 && !cold = 0 ->
           add ~loc:e.pexp_loc rule_hot "lazy block allocates inside an [@sds.hot] function"
         | _ -> ());
-        default_it.expr it e)
+        (match e.pexp_desc with
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) when check_metric ->
+          check_registration txt args e.pexp_loc
+        | _ -> ());
+        match e.pexp_desc with
+        | Pexp_fun _ | Pexp_function _ ->
+          incr fun_depth;
+          default_it.expr it e;
+          decr fun_depth
+        | _ -> default_it.expr it e)
   in
   (* [let[@sds.hot] f p1 p2 = body]: the curried parameter chain is the
      function itself, not a nested closure — skip through it, then walk the
@@ -231,7 +300,11 @@ let lint_source ~config ~path ~source =
             | Pexp_fun (_, dflt, pat, body) ->
               Option.iter (it.Ast_iterator.expr it) dflt;
               it.Ast_iterator.pat it pat;
-              skip body
+              (* The body still sits inside a function for depth-sensitive
+                 rules, even though this chain is not a nested closure. *)
+              incr fun_depth;
+              skip body;
+              decr fun_depth
             | Pexp_newtype (_, body) -> skip body
             | Pexp_constraint (body, ty) ->
               it.Ast_iterator.typ it ty;

@@ -13,6 +13,10 @@
       inside [@sds.hot] functions; [@sds.cold] subtrees are exempt.
     - ["bigarray-unsafe"]: [Bigarray.*.unsafe_*] only in the allowlisted
       data-path modules, and there only inside [@sds.hot] functions.
+    - ["metric-registration"]: [Metrics.counter/gauge/histogram/probe]
+      only at module top level (never inside a function, least of all an
+      [@sds.hot] one), with literal names following the lowercase
+      dot-separated [layer.noun] convention.
     - ["parse-error"]: the file does not parse (always reported).
 
     Suppress any rule locally with [(e [@sds.allow "rule-slug"])]. *)
@@ -35,6 +39,8 @@ type config = {
   compare_dirs : string list;
   data_path_dirs : string list;
   mli_dirs : string list;
+  metric_dirs : string list;
+  metric_allow : string list;
   scan_dirs : string list;
   exclude_dirs : string list;
 }

@@ -50,6 +50,19 @@ let m_copies = Obs.Metrics.counter "pool.copies"
 let m_pressure_backoffs = Obs.Metrics.counter "pool.pressure_backoffs"
 let h_remap_bytes = Obs.Metrics.histogram "pool.remap_bytes"
 
+(* Policy visibility: the current crossover threshold as a gauge, a counter
+   of actual threshold moves, and a [Policy_adapt] trace event per move —
+   so span copy/remap histograms can be correlated with policy activity. *)
+let g_threshold = Obs.Metrics.gauge "copy_policy.threshold"
+let m_switches = Obs.Metrics.counter "copy_policy.switches"
+
+let note_threshold_move old_t new_t =
+  if new_t <> old_t then begin
+    Obs.Metrics.incr m_switches;
+    Obs.Metrics.gauge_set g_threshold new_t;
+    Obs.Trace.emit_n Obs.Trace.Policy_adapt new_t
+  end
+
 let buckets = 32
 
 type t = {
@@ -60,6 +73,7 @@ type t = {
 }
 
 let create ?(mode = Adaptive) () =
+  Obs.Metrics.gauge_set g_threshold base_threshold;
   { mode; threshold = base_threshold; recent = Array.make buckets 0; observed = 0 }
 
 let mode t = t.mode
@@ -79,12 +93,14 @@ let adapt t =
       if 1 lsl b >= cut then large := !large + bytes
     end
   done;
+  let old_t = t.threshold in
   if !total > 0 then begin
     if 2 * !large >= !total then begin
       if t.threshold > min_threshold then t.threshold <- t.threshold / 2
     end
     else if t.threshold < base_threshold then t.threshold <- t.threshold * 2
   end;
+  note_threshold_move old_t t.threshold;
   Array.fill t.recent 0 buckets 0;
   t.observed <- 0
 
@@ -107,8 +123,10 @@ let decide t ~pool ~len =
       (match pool with
       | Some p when Pagepool.occupancy p > high_water ->
         if t.threshold < max_threshold then begin
+          let old_t = t.threshold in
           t.threshold <- t.threshold * 2;
-          Obs.Metrics.incr m_pressure_backoffs
+          Obs.Metrics.incr m_pressure_backoffs;
+          note_threshold_move old_t t.threshold
         end
       | _ -> ());
       len >= t.threshold

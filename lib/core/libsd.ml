@@ -621,7 +621,7 @@ let send th fd buf ~off ~len =
 
 (* Copy message payload into the app buffer; stores any remainder for the
    next recv (stream semantics). *)
-let consume th (s : Sock.t) msg ~dst ~off ~len =
+let consume_payload th (s : Sock.t) msg ~dst ~off ~len =
   match msg.Msg.payload with
   | Msg.Pages (pages, plen) when len >= plen ->
     (* Whole zero-copy message fits: remap instead of copying. *)
@@ -670,6 +670,26 @@ let consume th (s : Sock.t) msg ~dst ~off ~len =
     | Msg.Inline _ -> ());
     if take < plen then s.Sock.partial <- Some (b, take);
     take
+
+(* [consume_payload] plus span-stage attribution: the consume-completion
+   stamp closes the message's span, and the stamps it carried (creation,
+   publish, visibility, dequeue, decode) become the per-stage histogram
+   observations.  Control messages never reach here ([handle_control]
+   filters first), so span.* histograms describe data traffic only. *)
+let consume th (s : Sock.t) msg ~dst ~off ~len =
+  let remapped =
+    match msg.Msg.payload with
+    | Msg.Pages (_, plen) | Msg.Pool { len = plen; _ } -> len >= plen
+    | Msg.Inline _ -> false
+  in
+  let n = consume_payload th s msg ~dst ~off ~len in
+  (match msg.Msg.kind with
+  | Msg.Data ->
+    Sds_obs.Span.observe_stages ~seq:msg.Msg.seq ~send:msg.Msg.span_send ~pub:msg.Msg.span_pub
+      ~vis:msg.Msg.span_vis ~deq:msg.Msg.span_deq ~parsed:msg.Msg.span_parse
+      ~done_:(Sds_obs.Span.now ()) ~remapped
+  | Msg.Control _ -> ());
+  n
 
 let rec recv th fd buf ~off ~len =
   if off < 0 || len < 0 || off + len > Bytes.length buf then invalid_arg "libsd.recv";

@@ -102,14 +102,19 @@ let[@sds.hot] cancel t = Atomic.set t.state 0
 let commit_wait t ticket =
   Obs.Metrics.incr c_parks;
   Obs.Trace.emit Obs.Trace.Park;
-  let t0 = Unix.gettimeofday () in
+  (* Raw monotonic stamps, never the (possibly simulated) span clock:
+     parking blocks a real thread, so the park→wake edge is wall time by
+     definition.  The same edge feeds [span.wake] and the flight recorder. *)
+  let t0 = Sds_obs.Span.monotonic_ns () in
   Mutex.lock t.m;
   while Atomic.get t.seq = ticket do
     Condition.wait t.c t.m
   done;
   Mutex.unlock t.m;
   Atomic.set t.state 0;
-  Obs.Metrics.observe h_wake_latency (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+  let t1 = Sds_obs.Span.monotonic_ns () in
+  Obs.Metrics.observe h_wake_latency (t1 - t0);
+  Sds_obs.Span.observe_wake ~parked_ns:t0 ~woke_ns:t1
 
 (* Adaptive blocking wait: spin (per the policy), then prepare/re-check/
    commit.  [ready] must be made true only by peers that subsequently call

@@ -1,0 +1,316 @@
+(* Flight recorder: the last thing the process remembers.
+
+   A per-domain bounded ring of fixed-size span records (no allocation to
+   record: five plain int stores and a cursor bump, same discipline as
+   [Obs.Trace]), plus a registry of cold-path state providers — closures
+   that render a data structure's current state as text (live rings,
+   waiter park flags, pagepool occupancy).  On crash, deadlock or SIGQUIT
+   the recorder renders everything — recent spans, every provider, and the
+   full metrics snapshot — into one postmortem file.
+
+   Recording must stay hot-path safe; everything else here (dumping,
+   parsing, the watchdog) is deliberately cold and allocates freely. *)
+
+let smask = Obs.shards - 1
+let[@inline] shard_index () = (Domain.self () :> int) land smask
+
+(* ---- record rings ------------------------------------------------------ *)
+
+(* Record kinds.  A span record carries (seq, send_ns, pub_ns, deq_ns); a
+   wake record carries (park_ns, wake_ns); a mark is a free-form point
+   annotation (code, arg). *)
+let kind_span = 1
+let kind_wake = 2
+let kind_mark = 3
+
+let kind_name = function
+  | 1 -> "span"
+  | 2 -> "wake"
+  | 3 -> "mark"
+  | _ -> "?"
+
+(* 5 ints per record: kind, a, b, c, d. *)
+let words = 5
+let default_capacity = 512
+
+type ring = { mutable pos : int; mutable store : int array; mutable cap : int }
+
+let make_ring cap = { pos = 0; store = Array.make (words * cap) 0; cap }
+let rings = Array.init Obs.shards (fun _ -> make_ring default_capacity)
+
+let on = ref true
+let set_enabled b = on := b
+let enabled () = !on
+
+let set_capacity cap =
+  if cap < 1 then invalid_arg "Obs.Flight.set_capacity";
+  Array.iter
+    (fun r ->
+      r.pos <- 0;
+      r.cap <- cap;
+      r.store <- Array.make (words * cap) 0)
+    rings
+
+let clear () =
+  Array.iter
+    (fun r ->
+      r.pos <- 0;
+      Array.fill r.store 0 (Array.length r.store) 0)
+    rings
+
+let[@inline] record kind a b c d =
+  if !on then begin
+    let r = Array.unsafe_get rings (shard_index ()) in
+    let slot = words * (r.pos mod r.cap) in
+    Array.unsafe_set r.store slot kind;
+    Array.unsafe_set r.store (slot + 1) a;
+    Array.unsafe_set r.store (slot + 2) b;
+    Array.unsafe_set r.store (slot + 3) c;
+    Array.unsafe_set r.store (slot + 4) d;
+    r.pos <- r.pos + 1
+  end
+
+let[@inline] span ~seq ~send ~pub ~deq = record kind_span seq send pub deq
+let[@inline] wake ~parked_ns ~woke_ns = record kind_wake parked_ns woke_ns 0 0
+let[@inline] mark ~code ~arg = record kind_mark code arg 0 0
+
+type rec_ = { domain : int; kind : int; a : int; b : int; c : int; d : int }
+
+(* Non-destructive snapshot, oldest-first per domain.  Reading a ring
+   another domain is still writing is racy by design — the recorder is a
+   best-effort postmortem, and a torn record is one bad line, not UB. *)
+let records () =
+  let out = ref [] in
+  Array.iteri
+    (fun d r ->
+      let n = min r.pos r.cap in
+      let first = r.pos - n in
+      for i = r.pos - 1 downto first do
+        let slot = words * (i mod r.cap) in
+        out :=
+          {
+            domain = d;
+            kind = r.store.(slot);
+            a = r.store.(slot + 1);
+            b = r.store.(slot + 2);
+            c = r.store.(slot + 3);
+            d = r.store.(slot + 4);
+          }
+          :: !out
+      done)
+    rings;
+  !out
+
+(* ---- state providers --------------------------------------------------- *)
+
+let providers : (string * (unit -> string)) list ref = ref []
+let providers_mu = Mutex.create ()
+
+let register_state name fn =
+  Mutex.lock providers_mu;
+  providers := (name, fn) :: List.filter (fun (n, _) -> n <> name) !providers;
+  Mutex.unlock providers_mu
+
+(* ---- rendering / dumping ----------------------------------------------- *)
+
+let dump_schema = "sds-flight/1"
+
+let render ~reason () =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b (dump_schema ^ "\n");
+  Buffer.add_string b ("reason: " ^ reason ^ "\n");
+  Buffer.add_string b "== spans ==\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "domain=%d kind=%s a=%d b=%d c=%d d=%d\n" r.domain (kind_name r.kind)
+           r.a r.b r.c r.d))
+    (records ());
+  let ps = Mutex.lock providers_mu; let p = !providers in Mutex.unlock providers_mu; p in
+  List.iter
+    (fun (name, fn) ->
+      Buffer.add_string b ("== state:" ^ name ^ " ==\n");
+      (match fn () with
+      | s -> Buffer.add_string b s
+      | exception e -> Buffer.add_string b ("<provider raised: " ^ Printexc.to_string e ^ ">\n"));
+      if Buffer.length b > 0 && Buffer.nth b (Buffer.length b - 1) <> '\n' then
+        Buffer.add_char b '\n')
+    (List.rev ps);
+  Buffer.add_string b "== metrics ==\n";
+  Buffer.add_string b (Obs.Metrics.to_text ());
+  Buffer.add_string b "== end ==\n";
+  Buffer.contents b
+
+let default_path () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "sds-flight-%d.dump" (Unix.getpid ()))
+
+let dump_to_file ?path ~reason () =
+  let path = match path with Some p -> p | None -> default_path () in
+  let body = render ~reason () in
+  let oc = open_out path in
+  output_string oc body;
+  close_out oc;
+  let n = List.length (records ()) in
+  Obs.Trace.emit_n Obs.Trace.Flight_dump n;
+  path
+
+(* ---- dump parsing (tooling and tests) ---------------------------------- *)
+
+type dump = {
+  d_reason : string;
+  d_spans : rec_ list;
+  d_states : (string * string) list;
+  d_metrics : string;
+}
+
+let parse_dump body =
+  let lines = String.split_on_char '\n' body in
+  (match lines with
+  | first :: _ when first = dump_schema -> ()
+  | _ -> invalid_arg "Obs.Flight.parse_dump: bad header");
+  let reason = ref "" and spans = ref [] and states = ref [] in
+  let metrics = Buffer.create 256 in
+  let section = ref `Head in
+  let cur_state = ref "" and cur_buf = Buffer.create 256 in
+  let flush_state () =
+    if !section = `State then states := (!cur_state, Buffer.contents cur_buf) :: !states;
+    Buffer.clear cur_buf
+  in
+  let int_field line key =
+    let pat = key ^ "=" in
+    let plen = String.length pat and n = String.length line in
+    let rec find i =
+      if i + plen > n then None
+      else if String.sub line i plen = pat then begin
+        let stop = ref (i + plen) in
+        while !stop < n && line.[!stop] <> ' ' do Stdlib.incr stop done;
+        int_of_string_opt (String.sub line (i + plen) (!stop - i - plen))
+      end
+      else find (i + 1)
+    in
+    find 0
+  in
+  let str_field line key =
+    let pat = key ^ "=" in
+    let plen = String.length pat and n = String.length line in
+    let rec find i =
+      if i + plen > n then None
+      else if String.sub line i plen = pat then begin
+        let stop = ref (i + plen) in
+        while !stop < n && line.[!stop] <> ' ' do Stdlib.incr stop done;
+        Some (String.sub line (i + plen) (!stop - i - plen))
+      end
+      else find (i + 1)
+    in
+    find 0
+  in
+  List.iter
+    (fun line ->
+      if line = "== spans ==" then (flush_state (); section := `Spans)
+      else if line = "== metrics ==" then (flush_state (); section := `Metrics)
+      else if line = "== end ==" then (flush_state (); section := `End)
+      else if String.length line > 9 && String.sub line 0 9 = "== state:" then begin
+        flush_state ();
+        section := `State;
+        let stop = String.length line - 3 in
+        cur_state := String.sub line 9 (stop - 9)
+      end
+      else
+        match !section with
+        | `Head ->
+          if String.length line > 8 && String.sub line 0 8 = "reason: " then
+            reason := String.sub line 8 (String.length line - 8)
+        | `Spans -> (
+          match (int_field line "domain", str_field line "kind") with
+          | Some domain, Some kname ->
+            let kind =
+              match kname with "span" -> kind_span | "wake" -> kind_wake | "mark" -> kind_mark | _ -> 0
+            in
+            let g k = Option.value ~default:0 (int_field line k) in
+            spans := { domain; kind; a = g "a"; b = g "b"; c = g "c"; d = g "d" } :: !spans
+          | _ -> ())
+        | `State -> Buffer.add_string cur_buf (line ^ "\n")
+        | `Metrics -> Buffer.add_string metrics (line ^ "\n")
+        | `End -> ())
+    lines;
+  {
+    d_reason = !reason;
+    d_spans = List.rev !spans;
+    d_states = List.rev !states;
+    d_metrics = Buffer.contents metrics;
+  }
+
+(* ---- crash / signal hooks ---------------------------------------------- *)
+
+let installed = ref false
+
+(* Wire SIGQUIT (^\) and uncaught exceptions to a dump.  Meant for the
+   long-running drivers (sdsim, bench); tests trigger dumps explicitly so
+   alcotest keeps its own exception reporting. *)
+let install ?path () =
+  if not !installed then begin
+    installed := true;
+    (try
+       Sys.set_signal Sys.sigquit
+         (Sys.Signal_handle (fun _ -> ignore (dump_to_file ?path ~reason:"sigquit" ())))
+     with Invalid_argument _ | Sys_error _ -> ());
+    Printexc.set_uncaught_exception_handler (fun e bt ->
+        (try ignore (dump_to_file ?path ~reason:("crash: " ^ Printexc.to_string e) ())
+         with _ -> ());
+        Printexc.default_uncaught_exception_handler e bt)
+  end
+
+(* ---- zero-progress watchdog -------------------------------------------- *)
+
+type watchdog = {
+  mutable w_stop : bool;
+  mutable w_fired : string option;
+  w_mu : Mutex.t;
+  mutable w_thread : Thread.t option;
+}
+
+(* Sample [progress] every [interval_s]; after [stalls] consecutive
+   unchanged samples, dump with the given reason and stop watching.  The
+   progress closure should be a cheap monotone observation (messages
+   consumed, engine events executed). *)
+let watchdog ?path ?(reason = "deadlock") ~interval_s ~stalls ~progress () =
+  let w = { w_stop = false; w_fired = None; w_mu = Mutex.create (); w_thread = None } in
+  let body () =
+    let last = ref (progress ()) in
+    let stalled = ref 0 in
+    let running = ref true in
+    while !running do
+      Thread.delay interval_s;
+      if w.w_stop then running := false
+      else begin
+        let v = progress () in
+        if v <> !last then begin
+          last := v;
+          stalled := 0
+        end
+        else begin
+          Stdlib.incr stalled;
+          if !stalled >= stalls then begin
+            let p = dump_to_file ?path ~reason () in
+            Mutex.lock w.w_mu;
+            w.w_fired <- Some p;
+            Mutex.unlock w.w_mu;
+            running := false
+          end
+        end
+      end
+    done
+  in
+  w.w_thread <- Some (Thread.create body ());
+  w
+
+let watchdog_fired w =
+  Mutex.lock w.w_mu;
+  let f = w.w_fired in
+  Mutex.unlock w.w_mu;
+  f
+
+let watchdog_stop w =
+  w.w_stop <- true;
+  match w.w_thread with Some t -> Thread.join t | None -> ()

@@ -1,0 +1,95 @@
+(** Flight recorder: per-domain bounded rings of recent span records plus
+    registered state providers, rendered into a postmortem dump on crash,
+    deadlock (zero-progress watchdog) or SIGQUIT.
+
+    Recording ([span], [wake], [mark]) is hot-path safe — five int stores
+    and a cursor bump, no allocation, no locks.  Everything else is cold. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val set_capacity : int -> unit
+(** Resize every per-domain record ring (default 512 records), clearing. *)
+
+val clear : unit -> unit
+
+(** {1 Recording} *)
+
+val span : seq:int -> send:int -> pub:int -> deq:int -> unit
+(** One message's resolved stamps: ring sequence number, send / publish /
+    dequeue timestamps (ns). *)
+
+val wake : parked_ns:int -> woke_ns:int -> unit
+(** A park→wake edge from [Sds_notify]. *)
+
+val mark : code:int -> arg:int -> unit
+(** Free-form point annotation. *)
+
+(** {1 Inspection} *)
+
+val kind_span : int
+
+val kind_wake : int
+
+val kind_mark : int
+
+type rec_ = { domain : int; kind : int; a : int; b : int; c : int; d : int }
+
+val records : unit -> rec_ list
+(** Non-destructive snapshot of every domain's retained records,
+    oldest-first per domain. *)
+
+(** {1 State providers} *)
+
+val register_state : string -> (unit -> string) -> unit
+(** Register (or replace) a named cold-path renderer of live structural
+    state (ring cursors, waiter park flags, pool occupancy); evaluated
+    only at dump time. *)
+
+(** {1 Dumping} *)
+
+val dump_schema : string
+(** First line of every dump ("sds-flight/1"). *)
+
+val render : reason:string -> unit -> string
+
+val dump_to_file : ?path:string -> reason:string -> unit -> string
+(** Write a dump and return its path (default
+    [$TMPDIR/sds-flight-<pid>.dump]); emits a [Flight_dump] trace event. *)
+
+type dump = {
+  d_reason : string;
+  d_spans : rec_ list;
+  d_states : (string * string) list;
+  d_metrics : string;
+}
+
+val parse_dump : string -> dump
+(** Parse the exact shape [render] emits; raises [Invalid_argument] on a
+    foreign header. *)
+
+val install : ?path:string -> unit -> unit
+(** Install the SIGQUIT handler and the uncaught-exception hook (both dump
+    before delegating to the default behaviour).  Idempotent; meant for
+    drivers, not tests. *)
+
+(** {1 Zero-progress watchdog} *)
+
+type watchdog
+
+val watchdog :
+  ?path:string ->
+  ?reason:string ->
+  interval_s:float ->
+  stalls:int ->
+  progress:(unit -> int) ->
+  unit ->
+  watchdog
+(** Sample [progress] every [interval_s] seconds; after [stalls]
+    consecutive unchanged samples, dump and stop watching. *)
+
+val watchdog_fired : watchdog -> string option
+(** Path of the dump if the watchdog has fired. *)
+
+val watchdog_stop : watchdog -> unit
+(** Stop and join the watchdog thread. *)

@@ -173,11 +173,14 @@ module Metrics = struct
     hs_buckets : int array;  (** aggregated over shards; length 64 *)
   }
 
-  (* Upper edge of bucket [b]; the percentile estimate is the conservative
-     (upper) edge of the bucket holding the target rank, clamped into the
-     exact [min, max] seen. *)
-  let bucket_upper b = if b <= 0 then 0 else if b >= 63 then max_int else (1 lsl b) - 1
-
+  (* Percentile estimation with log-linear interpolation inside the bucket
+     holding the target rank.  Bucket [b >= 1] covers [2^(b-1), 2^b): a
+     fraction [f] of the way through its population maps to
+     [2^(b-1) * 2^f], so the estimate tracks the geometric spread of the
+     bucket instead of clamping to its upper edge (which over-reported by
+     up to 2x on wide µs-range buckets).  The exact [min, max] seen still
+     clamps the result, so degenerate one-bucket distributions stay
+     faithful. *)
   let percentile_of ~buckets:bk ~count ~min_v ~max_v p =
     if count = 0 then 0
     else begin
@@ -185,8 +188,17 @@ module Metrics = struct
       let rec go b cum =
         if b >= Array.length bk then max_v
         else begin
-          let cum = cum + bk.(b) in
-          if cum >= rank then bucket_upper b else go (b + 1) cum
+          let here = bk.(b) in
+          let cum' = cum + here in
+          if cum' >= rank then begin
+            if b = 0 then 0
+            else begin
+              let f = float_of_int (rank - cum) /. float_of_int here in
+              let lower = float_of_int (1 lsl (b - 1)) in
+              int_of_float (Float.round (lower *. Float.pow 2. f))
+            end
+          end
+          else go (b + 1) cum'
         end
       in
       let v = go 0 0 in
@@ -364,8 +376,10 @@ module Trace = struct
     | Wake
     | Fork
     | Park
+    | Policy_adapt
+    | Flight_dump
 
-  let tag_count = 14
+  let tag_count = 16
 
   let tag_to_int = function
     | Send -> 0
@@ -382,6 +396,8 @@ module Trace = struct
     | Wake -> 11
     | Fork -> 12
     | Park -> 13
+    | Policy_adapt -> 14
+    | Flight_dump -> 15
 
   let tag_of_int = function
     | 0 -> Send
@@ -398,6 +414,8 @@ module Trace = struct
     | 11 -> Wake
     | 12 -> Fork
     | 13 -> Park
+    | 14 -> Policy_adapt
+    | 15 -> Flight_dump
     | n -> invalid_arg ("Obs.Trace.tag_of_int: " ^ string_of_int n)
 
   let tag_name = function
@@ -415,6 +433,8 @@ module Trace = struct
     | Wake -> "Wake"
     | Fork -> "Fork"
     | Park -> "Park"
+    | Policy_adapt -> "PolicyAdapt"
+    | Flight_dump -> "FlightDump"
 
   let tag_of_name n =
     let rec go i = if i >= tag_count then None else begin
@@ -437,7 +457,7 @@ module Trace = struct
   let set_clock f = clock := f
   let reset_clock () = clock := default_clock
 
-  (* Per-domain bounded ring: 2 ints per slot (timestamp, tag|arg<<4).
+  (* Per-domain bounded ring: 2 ints per slot (timestamp, tag|arg<<5).
      Single writer per ring (the domain itself); [pos] counts all events
      ever written, so [pos - capacity] of them have been overwritten. *)
   type ring = { mutable pos : int; mutable store : int array; mutable cap : int }
@@ -464,13 +484,13 @@ module Trace = struct
       rings
 
   (* Record [tag] with an integer argument; two stores and a cursor bump,
-     no allocation.  The argument survives packing for |arg| < 2^58. *)
+     no allocation.  The argument survives packing for |arg| < 2^57. *)
   let[@inline] emit_n tag arg =
     if !on then begin
       let r = Array.unsafe_get rings (shard_index ()) in
       let slot = 2 * (r.pos mod r.cap) in
       Array.unsafe_set r.store slot (!clock ());
-      Array.unsafe_set r.store (slot + 1) (tag_to_int tag lor (arg lsl 4));
+      Array.unsafe_set r.store (slot + 1) (tag_to_int tag lor (arg lsl 5));
       r.pos <- r.pos + 1
     end
 
@@ -493,7 +513,7 @@ module Trace = struct
           let slot = 2 * (i mod r.cap) in
           let packed = r.store.(slot + 1) in
           evs :=
-            { ts = r.store.(slot); domain = d; tag = tag_of_int (packed land 0xF); arg = packed asr 4 }
+            { ts = r.store.(slot); domain = d; tag = tag_of_int (packed land 0x1F); arg = packed asr 5 }
             :: !evs
         done;
         r.pos <- 0)

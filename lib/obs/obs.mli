@@ -108,6 +108,8 @@ module Trace : sig
     | Wake
     | Fork
     | Park
+    | Policy_adapt  (** [Copy_policy] re-derived its threshold; arg = new threshold *)
+    | Flight_dump  (** the flight recorder wrote a dump; arg = records dumped *)
 
   val tag_name : tag -> string
   val tag_of_name : string -> tag option

@@ -100,6 +100,11 @@ type t = {
   tx_waiter : Sds_notify.Waiter.t;
   rx_ready : unit -> bool;  (** preallocated: ring non-empty *)
   tx_ready : unit -> bool;  (** preallocated: credits cover [prod.tx_need] *)
+  (* Span track: preallocated stamp slots correlating publish and dequeue
+     times by sequence number ([Sds_obs.Span]).  The producer stamps
+     before the tail release, so the stamp rides the same happens-before
+     edge as the payload. *)
+  span : Sds_obs.Span.track;
   (* Spacer blocks allocated between the two atomics at [create] time, kept
      live here so the atomics stay on distinct cache lines. *)
   _pad0 : int array;
@@ -117,6 +122,7 @@ type t = {
    monotone across GC. *)
 
 module Obs = Sds_obs.Obs
+module Span = Sds_obs.Span
 
 type retired_totals = {
   mutable r_created : int;
@@ -190,7 +196,27 @@ let () =
   Obs.Metrics.probe "ring.dequeues" (fun () -> fold_live (fun t -> t.cons.dequeued) retired.r_dequeued);
   Obs.Metrics.probe "ring.dequeue_bytes" (fun () -> fold_live (fun t -> t.cons.deq_bytes) retired.r_deq_bytes);
   Obs.Metrics.probe "ring.credit_returns" (fun () ->
-      fold_live (fun t -> t.cons.credit_returns) retired.r_credit_returns)
+      fold_live (fun t -> t.cons.credit_returns) retired.r_credit_returns);
+  (* Flight-recorder state provider: cursors, credits and waiter park flags
+     of every live ring — the first thing to read in a deadlock dump. *)
+  Sds_obs.Flight.register_state "ring" (fun () ->
+      let b = Buffer.create 256 in
+      Mutex.lock live_mu;
+      let w = !live in
+      for i = 0 to Weak.length w - 1 do
+        match Weak.get w i with
+        | Some t ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "ring=%d size=%d tail=%d head=%d credits=%d enqueued=%d dequeued=%d pending_return=%d rx_parked=%b tx_parked=%b\n"
+               i t.size (Atomic.get t.tail) t.cons.head (Atomic.get t.credits) t.prod.enqueued
+               t.cons.dequeued t.cons.pending_return
+               (Sds_notify.Waiter.parked t.rx_waiter)
+               (Sds_notify.Waiter.parked t.tx_waiter))
+        | None -> ()
+      done;
+      Mutex.unlock live_mu;
+      Buffer.contents b)
 
 (* Edge-triggered full/stall bookkeeping: counts every rejected attempt but
    emits one trace event per full episode, so a spinning producer cannot
@@ -230,6 +256,7 @@ let create_unregistered ?(size = default_size) () =
       tx_waiter = Sds_notify.Waiter.create ();
       rx_ready = (fun () -> t.cons.head <> Atomic.get t.tail);
       tx_ready = (fun () -> Atomic.get t.credits >= t.prod.tx_need);
+      span = Sds_obs.Span.make_track ();
       _pad0 = pad0;
       _pad1 = pad1;
     }
@@ -250,6 +277,11 @@ let dequeued t = t.cons.dequeued
 let pending_return t = t.cons.pending_return
 
 let record_bytes len = (header_bytes + len + align - 1) land lnot (align - 1)
+
+(* Producer-side API-entry stamp for the message about to be enqueued (its
+   sequence number is [prod.enqueued]); lets callers attribute their own
+   staging work to [span.app] ahead of the publish stamp. *)
+let[@inline] [@sds.hot] stamp_send t = Span.stamp_send t.span ~seq:t.prod.enqueued
 
 (* Wrap-around blit of [len] bytes from [src] into the ring at absolute
    position [pos]. *)
@@ -379,6 +411,7 @@ let[@sds.hot] try_enqueue ?(flags = 0) t src ~off ~len =
     let tail = Atomic.get t.tail in
     blit_in t src off (tail + header_bytes) len;
     write_header t tail len flags;
+    Span.stamp_pub t.span ~seq:t.prod.enqueued;
     Atomic.set t.tail (tail + need);
     ignore (Atomic.fetch_and_add t.credits (-need));
     t.prod.enqueued <- t.prod.enqueued + 1;
@@ -419,6 +452,12 @@ let[@sds.hot] enqueue_batch ?(flags = 0) t srcs =
     end
   done;
   if !i > 0 then begin
+    (* Stamp every sampled sequence of the batch (the consumer derives the
+       sampled set from the sequence number alone, so producer and consumer
+       must agree even mid-batch); unsampled iterations are one branch. *)
+    for j = 0 to !i - 1 do
+      Span.stamp_pub t.span ~seq:(t.prod.enqueued + j)
+    done;
     Atomic.set t.tail !tail;
     ignore (Atomic.fetch_and_add t.credits (tail0 - !tail));
     t.prod.enqueued <- t.prod.enqueued + !i;
@@ -456,6 +495,7 @@ let[@sds.hot] try_enqueue_descs ?(flags = 0) t entries ~n =
         (Int64.of_int (Array.unsafe_get entries i))
     done;
     write_header t tail len (flags lor flag_desc);
+    Span.stamp_pub t.span ~seq:t.prod.enqueued;
     Atomic.set t.tail (tail + need);
     ignore (Atomic.fetch_and_add t.credits (-need));
     t.prod.enqueued <- t.prod.enqueued + 1;
@@ -487,6 +527,7 @@ let[@sds.hot] return_credits t n =
 (* Consumer-side bookkeeping after a message of ring footprint [consumed]
    (payload [len]) has been copied out. *)
 let[@inline] [@sds.hot] consume t consumed len auto_credit =
+  Span.note_deq t.span ~seq:t.cons.dequeued;
   t.cons.head <- t.cons.head + consumed;
   t.cons.pending_return <- t.cons.pending_return + consumed;
   t.cons.dequeued <- t.cons.dequeued + 1;

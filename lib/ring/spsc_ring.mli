@@ -38,6 +38,11 @@ val pending_return : t -> int
 val record_bytes : int -> int
 (** Ring bytes occupied by a message of the given payload length. *)
 
+val stamp_send : t -> unit
+(** [Sds_obs.Span] API-entry stamp for the message about to be enqueued;
+    attributes caller-side staging between here and the publish stamp to
+    [span.app].  Sampled and allocation-free (one branch when unsampled). *)
+
 val header_checksum : int -> int -> int
 (** [header_checksum len flags] — the 16-bit header guard.  Folds all 32
     bits of [len]; an all-zero header never validates.  Exposed for

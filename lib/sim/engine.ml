@@ -95,6 +95,11 @@ let stop t = t.running <- false
 (* Timestamp trace events with this engine's simulated clock. *)
 let install_trace_clock t = Obs.Trace.set_clock (fun () -> t.now)
 
+(* Stamp spans with simulated nanoseconds too: every stamp point then reads
+   the same clock, so per-stage durations are exact sim time and their sums
+   reconcile with span.e2e by construction. *)
+let install_span_clock t = Sds_obs.Span.set_clock (fun () -> t.now)
+
 let clear t =
   Heap.clear t.events;
   t.error <- None

@@ -41,5 +41,9 @@ val install_trace_clock : t -> unit
 (** Make [Obs.Trace] timestamp events with this engine's simulated clock
     (nanoseconds) instead of the default tick counter. *)
 
+val install_span_clock : t -> unit
+(** Make [Sds_obs.Span] stamps read this engine's simulated clock, so span
+    stage durations are exact simulated nanoseconds. *)
+
 val clear : t -> unit
 (** Drop all pending events and any recorded error. *)

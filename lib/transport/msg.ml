@@ -19,13 +19,32 @@ type t = {
   kind : kind;
   payload : payload;
   mutable sent_at : int;  (** simulated send timestamp, for latency accounting *)
+  (* Span stamps ([Sds_obs.Span] clock), filled in as the message moves:
+     creation (API entry), ring publication, transport visibility, receiver
+     dequeue, record decode.  [Libsd.consume] turns them into per-stage
+     histogram observations; 0 = never stamped. *)
+  mutable span_send : int;
+  mutable span_pub : int;
+  mutable span_vis : int;
+  mutable span_deq : int;
+  mutable span_parse : int;
 }
 
 let seq_counter = ref 0
 
 let make ?(kind = Data) payload =
   incr seq_counter;
-  { seq = !seq_counter; kind; payload; sent_at = 0 }
+  {
+    seq = !seq_counter;
+    kind;
+    payload;
+    sent_at = 0;
+    span_send = (if Sds_obs.Span.enabled () then Sds_obs.Span.now () else 0);
+    span_pub = 0;
+    span_vis = 0;
+    span_deq = 0;
+    span_parse = 0;
+  }
 
 let data bytes = make (Inline bytes)
 let data_string s = data (Bytes.of_string s)

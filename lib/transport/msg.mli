@@ -21,6 +21,11 @@ type t = {
   kind : kind;
   payload : payload;
   mutable sent_at : int;  (** simulated send timestamp, for latency accounting *)
+  mutable span_send : int;  (** {!Sds_obs.Span} stamp: API entry (creation) *)
+  mutable span_pub : int;  (** span stamp: ring publication *)
+  mutable span_vis : int;  (** span stamp: visible to the receiver *)
+  mutable span_deq : int;  (** span stamp: receiver dequeue *)
+  mutable span_parse : int;  (** span stamp: ring record decoded *)
 }
 
 val make : ?kind:kind -> payload -> t

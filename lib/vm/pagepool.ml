@@ -56,6 +56,27 @@ and t = {
 
 let max_handles = 64
 
+(* Live-pool registry for the flight recorder (weak, so observability never
+   extends a pool's lifetime — same discipline as the ring's registry). *)
+let live_mu = Mutex.create ()
+let live : t Weak.t ref = ref (Weak.create 8)
+
+let register_live t =
+  Mutex.lock live_mu;
+  let w = !live in
+  let n = Weak.length w in
+  let rec free_slot i = if i >= n then -1 else if Weak.check w i then free_slot (i + 1) else i in
+  (match free_slot 0 with
+  | slot when slot >= 0 -> Weak.set w slot (Some t)
+  | _ ->
+    let bigger = Weak.create (2 * n) in
+    for i = 0 to n - 1 do
+      Weak.set bigger i (Weak.get w i)
+    done;
+    Weak.set bigger n (Some t);
+    live := bigger);
+  Mutex.unlock live_mu
+
 let create ?(pages = default_pages) () =
   if pages <= 0 then invalid_arg "Pagepool.create: pages must be positive";
   let data = Bigarray.Array1.create Bigarray.char Bigarray.c_layout (pages * page_size) in
@@ -81,6 +102,7 @@ let create ?(pages = default_pages) () =
       dls = None;
     }
   in
+  register_live t;
   t
 
 let pages t = t.npages
@@ -226,6 +248,23 @@ let free_pages t =
 
 let occupancy t =
   float_of_int (t.npages - free_pages t) /. float_of_int t.npages
+
+(* Flight-recorder state provider: occupancy of every live pool. *)
+let () =
+  Sds_obs.Flight.register_state "pagepool" (fun () ->
+      let b = Buffer.create 128 in
+      Mutex.lock live_mu;
+      let w = !live in
+      for i = 0 to Weak.length w - 1 do
+        match Weak.get w i with
+        | Some p ->
+          Buffer.add_string b
+            (Printf.sprintf "pool=%d pages=%d free=%d handles=%d occupancy=%.3f\n" i p.npages
+               (free_pages p) p.nhandles (occupancy p))
+        | None -> ()
+      done;
+      Mutex.unlock live_mu;
+      Buffer.contents b)
 
 (* ---- data access ------------------------------------------------------- *)
 

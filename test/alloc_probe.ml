@@ -39,6 +39,21 @@ let () =
       ignore (R.try_dequeue_packed ~auto_credit:true r ~dst ~dst_off:0));
   Obs.Metrics.set_enabled true;
   Obs.Trace.set_enabled true;
+  (* Span stamping on send/recv must be allocation-free even with every
+     message sampled (shift 0): API-entry stamp, publish stamp, and the
+     dequeue-side resolve (3 histogram observes + a flight record). *)
+  let module Span = Sds_obs.Span in
+  let saved_shift = Span.sample_shift () in
+  Span.set_sample_shift 0;
+  measure "enq + deq + span stamps (shift 0)" iters (fun () ->
+      R.stamp_send r;
+      ignore (R.try_enqueue r payload ~off:0 ~len:64);
+      ignore (R.try_dequeue_packed ~auto_credit:true r ~dst ~dst_off:0));
+  Span.set_sample_shift saved_shift;
+  measure "enq + deq + span stamps (sampled)" iters (fun () ->
+      R.stamp_send r;
+      ignore (R.try_enqueue r payload ~off:0 ~len:64);
+      ignore (R.try_dequeue_packed ~auto_credit:true r ~dst ~dst_off:0));
   measure "enq + try_dequeue (alloc)" iters (fun () ->
       ignore (R.try_enqueue r payload ~off:0 ~len:64);
       ignore (R.try_dequeue ~auto_credit:true r));

@@ -107,6 +107,37 @@ let test_bigarray_rule () =
   check_rules "tests may use unsafe Bigarray (harness code)" ~path:"test/t.ml"
     "let f b i = Bigarray.Array1.unsafe_get b i" []
 
+(* ---- metric-registration ---- *)
+
+let test_metric_rule () =
+  check_rules "registration at module top level passes" ~path:"lib/transport/x.ml"
+    "let c = Obs.Metrics.counter \"shm.sends\"" [];
+  check_rules "registration inside a function is flagged" ~path:"lib/transport/x.ml"
+    "let f () = Obs.Metrics.counter \"shm.sends\"" [ "metric-registration" ];
+  check_rules "registration inside an [@sds.hot] function is flagged" ~path:"lib/ring/x.ml"
+    "let[@sds.hot] f () = ignore (Obs.Metrics.histogram \"ring.lat\")"
+    [ "metric-registration" ];
+  check_rules "any Metrics module prefix is recognized" ~path:"lib/core/x.ml"
+    "let f () = Sds_obs.Obs.Metrics.gauge \"pool.pages\"" [ "metric-registration" ];
+  check_rules "a top-level let () = block is top level" ~path:"lib/ring/x.ml"
+    "let () = ignore (Obs.Metrics.probe \"ring.created\" reader)" [];
+  check_rules "single-segment names break the layer.noun convention" ~path:"lib/core/x.ml"
+    "let c = Obs.Metrics.counter \"sends\"" [ "metric-registration" ];
+  check_rules "uppercase names break the layer.noun convention" ~path:"lib/core/x.ml"
+    "let c = Obs.Metrics.counter \"Libsd.Sends\"" [ "metric-registration" ];
+  check_rules "empty segments break the layer.noun convention" ~path:"lib/core/x.ml"
+    "let c = Obs.Metrics.counter \"libsd..sends\"" [ "metric-registration" ];
+  check_rules "underscores and digits are fine" ~path:"lib/notify/x.ml"
+    "let h = Obs.Metrics.histogram \"notify.wake_latency_ns2\"" [];
+  check_rules "incr/observe/gauge_set are not registrations" ~path:"lib/core/x.ml"
+    "let f c = Obs.Metrics.incr c; Obs.Metrics.gauge_set g 3" [];
+  check_rules "the registry implementation itself is exempt" ~path:"lib/obs/obs.ml"
+    "let f () = Metrics.counter \"x\"" [];
+  check_rules "tests may register ad hoc" ~path:"test/t.ml"
+    "let f () = Obs.Metrics.counter \"x\"" [];
+  check_rules "suppression works here too" ~path:"lib/core/x.ml"
+    "let f () = (Obs.Metrics.counter \"x\" [@sds.allow \"metric-registration\"])" []
+
 (* ---- parse errors surface, not crash ---- *)
 
 let test_parse_error () =
@@ -304,6 +335,7 @@ let suite =
     Alcotest.test_case "lint: obj-unsafe" `Quick test_obj_rule;
     Alcotest.test_case "lint: hot-alloc" `Quick test_hot_rule;
     Alcotest.test_case "lint: bigarray-unsafe" `Quick test_bigarray_rule;
+    Alcotest.test_case "lint: metric-registration" `Quick test_metric_rule;
     Alcotest.test_case "lint: parse errors" `Quick test_parse_error;
     Alcotest.test_case "lint: mli parity over a tree" `Quick test_mli_parity;
     Alcotest.test_case "lint: repository is clean" `Quick test_repo_clean;

@@ -17,5 +17,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
+      ("span", Test_span.suite);
       ("check", Test_check.suite);
     ]
