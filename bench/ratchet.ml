@@ -37,6 +37,15 @@ let watched =
     ("ring2core pingpong wake_p99", 64, 10.0);
     ("ring1core enq+deq", 64, 1.0);
     ("ring1core batch=adaptive", 64, 1.0);
+    (* Real-domain prefork aggregate rows (§4.5.2): end-to-end throughput
+       across worker counts.  They cross domain scheduling, token handoff
+       and the monitor, so they are noisier than the single-ring rows —
+       hence the wider band.  The takeover row is a p99 of a park→wake
+       handoff edge, as noisy as wake_p99. *)
+    ("ringNcore stream x1", 64, 2.0);
+    ("ringNcore stream x2", 64, 2.0);
+    ("ringNcore stream x4", 64, 2.0);
+    ("token takeover p99", 0, 10.0);
   ]
 
 (* ---- line-oriented field extraction ---- *)

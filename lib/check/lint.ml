@@ -70,14 +70,24 @@ type config = {
 
 let default =
   {
-    atomic_allow = [ "lib/ring/spsc_ring.ml"; "lib/notify/waiter.ml"; "lib/vm/pagepool.ml" ];
+    atomic_allow =
+      [
+        "lib/ring/spsc_ring.ml";
+        "lib/notify/waiter.ml";
+        "lib/vm/pagepool.ml";
+        (* The real-domain backend: the token word and the dispatcher's
+           backlog mirrors are the audited cross-domain state. *)
+        "lib/rt/rt_token.ml";
+        "lib/rt/rt_monitor.ml";
+      ];
     obj_allow = [ "lib/het/hmap.ml" ];
     bigarray_allow = [ "lib/vm/pagepool.ml"; "lib/ring/spsc_ring.ml" ];
     atomic_dirs = [ "lib"; "bin"; "bench"; "examples" ];
     obj_dirs = [ "lib"; "bin"; "bench"; "examples"; "test" ];
     bigarray_dirs = [ "lib"; "bin"; "bench"; "examples" ];
     compare_dirs = [ "lib" ];
-    data_path_dirs = [ "lib/ring"; "lib/notify"; "lib/transport"; "lib/core" ];
+    data_path_dirs =
+      [ "lib/ring"; "lib/notify"; "lib/transport"; "lib/core"; "lib/proto"; "lib/rt" ];
     mli_dirs = [ "lib" ];
     metric_dirs = [ "lib"; "bin"; "bench" ];
     metric_allow = [ "lib/obs/obs.ml" ];

@@ -157,12 +157,59 @@ let desc_handoff ?(release_before_read = false) () =
       ];
   }
 
+(* ---- §4.2 token handoff (lib/rt/rt_token.ml) ----
+
+   The takeover sequence: the requester CASes its request into the token
+   word (request), the holder finishes the operation it has in flight
+   (drain), publishes the grant with an atomic transition (the release
+   fence), and the requester resumes and touches the socket state the
+   previous holder wrote.
+
+   Encoding: [tok] = 1 is "held by domain 1, no request", 9 is "held by
+   domain 1, requested by domain 2" (the real word packs holder and
+   requester the same way), 2 is "held by domain 2".  [data] stands for
+   the token-guarded socket state (plain, unsynchronized — exactly as in
+   the implementation, where the token's atomics carry all the ordering).
+
+   [fence_atomic = false] publishes the grant with a plain store — losing
+   the release fence.  The requester's resume then has no happens-before
+   edge to the holder's plain writes: the checker must report the race on
+   [data].
+
+   [drain_before_grant = false] grants while the in-flight operation is
+   still open (the §4.2 bug the "finish the current batch first" rule
+   exists for): the requester can resume and read socket state the holder
+   has not written yet — the checker must report the stale-read assertion
+   (and the now-concurrent plain accesses race). *)
+
+let token_handoff ?(fence_atomic = true) ?(drain_before_grant = true) () =
+  let grant = if fence_atomic then Store ("tok", Int 2) else Plain_store ("tok", Int 2) in
+  let op = [ Plain_store ("data", Int 1) ] in
+  let serve = [ Block_until (Rel (Eq, Var "tok", Int 9)); grant ] in
+  let holder = if drain_before_grant then op @ serve else serve @ op in
+  let requester =
+    [
+      Cas ("tok", Int 1, Int 9, "posted");
+      Assert (Rel (Eq, Reg "posted", Int 1), "takeover request CAS failed against a held token");
+      Block_until (Rel (Eq, Var "tok", Int 2));
+      Plain_load ("data", "d");
+      Assert (Rel (Eq, Reg "d", Int 1), "requester resumed before the holder drained in flight");
+      Plain_store ("data", Int 2);
+    ]
+  in
+  {
+    globals = [ ("tok", 1); ("data", 0) ];
+    threads =
+      [ { name = "holder"; body = holder }; { name = "requester"; body = requester } ];
+  }
+
 (* The checks `dune runtest` gates on, plus their pinned mutations. *)
 let all =
   [
     ("ring-publication", ring_publication ());
     ("park-notify", park_notify ());
     ("desc-handoff", desc_handoff ());
+    ("token-handoff", token_handoff ());
   ]
 
 let mutations =
@@ -171,4 +218,6 @@ let mutations =
     ("ring-publication-header-late", ring_publication ~header_after_publish:true ());
     ("park-notify-no-recheck", park_notify ~recheck:false ());
     ("desc-handoff-release-early", desc_handoff ~release_before_read:true ());
+    ("token-handoff-unfenced", token_handoff ~fence_atomic:false ());
+    ("token-handoff-early-grant", token_handoff ~drain_before_grant:false ());
   ]

@@ -20,6 +20,14 @@ val desc_handoff : ?release_before_read:bool -> unit -> Interleave.program
     payload read (expect a race on the page / a use-after-release
     assertion). *)
 
+val token_handoff :
+  ?fence_atomic:bool -> ?drain_before_grant:bool -> unit -> Interleave.program
+(** §4.2 token takeover (request → drain → release-fence → resume).
+    [~fence_atomic:false] publishes the grant with a plain store (expect a
+    race on the token-guarded state); [~drain_before_grant:false] grants
+    with the in-flight operation still open (expect the stale-read
+    assertion). *)
+
 val all : (string * Interleave.program) list
 (** Correct protocols, by name — each must satisfy [Interleave.ok]. *)
 

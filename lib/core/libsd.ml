@@ -243,10 +243,10 @@ let split_budget n l =
    per message; blocks on credit flow control between batches.
 
    §4.5 adaptive batch sizing: each vectored enqueue is bounded by the tx
-   direction's batch budget.  A fully accepted batch doubles the budget
-   (up to [Sock.max_batch]); a credit rejection halves it (down to
-   [Sock.min_batch]) — so the batch size tracks ring occupancy instead of
-   sitting at a fixed 32. *)
+   direction's [Sds_proto.Batch_ctl] budget, shared with the real-domain
+   backend.  The budget rests at [Sock.initial_batch], halves only on an
+   observed ring-full (zero acceptance), and grows toward [Sock.max_batch]
+   only while an overflow backlog signals pressure. *)
 let rec send_msgs th (s : Sock.t) msgs =
   match msgs with
   | [] -> ()
@@ -254,19 +254,17 @@ let rec send_msgs th (s : Sock.t) msgs =
     match Sock.tx_exn s with
     | Sock.Tx_chan tx ->
       tx_prework th tx;
-      let batch, overflow = split_budget tx.Sock.batch_budget msgs in
+      let batch, overflow = split_budget (Sds_proto.Batch_ctl.budget tx.Sock.batch) msgs in
       let n = Shm_chan.try_send_batch tx.Sock.chan batch in
       let attempted = List.length batch in
+      Sds_proto.Batch_ctl.observe tx.Sock.batch ~sent:n ~attempted
+        ~pressure:(match overflow with [] -> false | _ :: _ -> true);
       if n = attempted then begin
-        if tx.Sock.batch_budget < Sock.max_batch then
-          tx.Sock.batch_budget <- 2 * tx.Sock.batch_budget;
         match overflow with
         | [] -> ()
         | _ -> send_msgs th s overflow
       end
       else begin
-        if tx.Sock.batch_budget > Sock.min_batch then
-          tx.Sock.batch_budget <- tx.Sock.batch_budget / 2;
         let rest = List.filteri (fun i _ -> i >= n) msgs in
         (* Park only when an attempt made no progress at all.  A partial
            acceptance yields sim time (per-message bookkeeping), so the

@@ -21,6 +21,13 @@ let m_accepts = Obs.Metrics.counter "monitor.accepts"
 let m_steals = Obs.Metrics.counter "monitor.steals"
 let m_wakes = Obs.Metrics.counter "monitor.wakes"
 
+(* Dispatch-policy metrics, shared by name with the real-domain dispatcher
+   ([Sds_rt.Rt_monitor]): both backends run the same [Dispatch_core]
+   decisions, so their deliveries land in the same counters. *)
+let m_dispatch_rr = Obs.Metrics.counter "monitor.dispatch.rr"
+let m_dispatch_steals = Obs.Metrics.counter "monitor.dispatch.steals"
+let h_dispatch_backlog = Obs.Metrics.histogram "monitor.dispatch.backlog"
+
 (* Both endpoint sockets of a connection, filled in as each side attaches;
    used to pair peers for container live migration. *)
 type pairing = { mutable c_sock : Sock.t option; mutable s_sock : Sock.t option }
@@ -147,22 +154,25 @@ and handle t req =
     match Hashtbl.find_opt t.listeners st_port with
     | None -> st_reply None
     | Some g ->
-      (* Steal from the longest backlog of a sibling listener. *)
+      (* Steal from the longest backlog of a sibling listener (§4.5.2);
+         victim selection is the shared [Dispatch_core] policy. *)
+      let threads = Array.of_list g.threads in
+      let self =
+        let found = ref (-1) in
+        Array.iteri (fun i lt -> if lt.lt_uid = st_for then found := i) threads;
+        !found
+      in
       let victim =
-        List.fold_left
-          (fun best lt ->
-            if lt.lt_uid = st_for then best
-            else
-              match best with
-              | Some b when Queue.length b.lt_backlog >= Queue.length lt.lt_backlog -> best
-              | _ -> if Queue.is_empty lt.lt_backlog then best else Some lt)
-          None g.threads
+        Sds_proto.Dispatch_core.steal_victim ~n:(Array.length threads)
+          ~self ~length:(fun i -> Queue.length threads.(i).lt_backlog)
       in
       (match victim with
       | None -> st_reply None
-      | Some lt ->
+      | Some i ->
+        let lt = threads.(i) in
         t.stolen <- t.stolen + 1;
         Obs.Metrics.incr m_steals;
+        Obs.Metrics.incr m_dispatch_steals;
         Obs.Trace.emit_n Obs.Trace.Steal st_for;
         Log.debug (fun m -> m "h%d: thread %d steals from thread %d" (Host.id t.host) st_for lt.lt_uid);
         st_reply (Queue.take_opt lt.lt_backlog)))
@@ -177,25 +187,28 @@ and handle t req =
     Obs.Trace.emit Obs.Trace.Wake;
     w_fn ()
 
-(* Dispatch a SYN to a listener thread round-robin (§4.5.2). *)
+(* Dispatch a SYN to a listener thread round-robin, skipping full
+   backlogs (§4.5.2); the pick is the shared [Dispatch_core] policy. *)
 and dispatch t group entry =
   match group.threads with
   | [] -> Error "no listener"
   | threads ->
-    let n = List.length threads in
-    let rec pick i tries =
-      if tries = 0 then None
-      else
-        let lt = List.nth threads (i mod n) in
-        if Queue.length lt.lt_backlog < lt.lt_max then Some (lt, i) else pick (i + 1) (tries - 1)
-    in
-    (match pick group.rr n with
+    let arr = Array.of_list threads in
+    let n = Array.length arr in
+    (match
+       Sds_proto.Dispatch_core.pick ~n ~rr:group.rr
+         ~length:(fun i -> Queue.length arr.(i).lt_backlog)
+         ~capacity:(fun i -> arr.(i).lt_max)
+     with
     | None -> Error "backlog full"
-    | Some (lt, i) ->
+    | Some i ->
+      let lt = arr.(i) in
       group.rr <- (i + 1) mod n;
+      Obs.Metrics.observe h_dispatch_backlog (Queue.length lt.lt_backlog);
       Queue.push entry lt.lt_backlog;
       t.dispatched <- t.dispatched + 1;
       Obs.Metrics.incr m_accepts;
+      Obs.Metrics.incr m_dispatch_rr;
       Obs.Trace.emit_n Obs.Trace.Accept group.port;
       Waitq.signal lt.lt_wq;
       Ok ())

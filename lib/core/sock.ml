@@ -37,8 +37,10 @@ let string_of_state = function
    whether RDMA resources must be re-initialized after fork/exec. *)
 
 (* §4.5 adaptive batch sizing: the per-direction budget bounding how many
-   messages one vectored enqueue may carry.  Full acceptance doubles it, a
-   credit rejection halves it, so the batch tracks ring occupancy. *)
+   messages one vectored enqueue may carry.  The controller is shared with
+   the real-domain backend ([Sds_proto.Batch_ctl]): it rests at
+   [initial_batch], halves only on an observed ring-full, and grows past
+   the resting point only under caller backlog pressure. *)
 let min_batch = 4
 let initial_batch = 32
 let max_batch = 256
@@ -46,10 +48,12 @@ let max_batch = 256
 type chan_tx = {
   chan : Shm_chan.t;
   mutable needs_reinit : bool;  (** set in a forked child / after exec *)
-  mutable batch_budget : int;  (** §4.5 adaptive vectored-send bound *)
+  batch : Sds_proto.Batch_ctl.t;  (** §4.5 adaptive vectored-send bound *)
 }
 
-let chan_tx chan = { chan; needs_reinit = false; batch_budget = initial_batch }
+let chan_tx chan =
+  { chan; needs_reinit = false;
+    batch = Sds_proto.Batch_ctl.create ~min_b:min_batch ~initial:initial_batch ~max_b:max_batch () }
 
 type tx_transport =
   | Tx_chan of chan_tx

@@ -24,7 +24,7 @@ type state =
 
 val string_of_state : state -> string
 
-(** §4.5 adaptive batch sizing bounds for [chan_tx.batch_budget]. *)
+(** §4.5 adaptive batch sizing bounds for [chan_tx.batch]. *)
 
 val min_batch : int
 val initial_batch : int
@@ -36,9 +36,10 @@ val max_batch : int
 type chan_tx = {
   chan : Shm_chan.t;
   mutable needs_reinit : bool;  (** set in a forked child / after exec *)
-  mutable batch_budget : int;
-      (** §4.5: doubles on full batch acceptance, halves on a credit
-          rejection; clamped to [[min_batch, max_batch]] *)
+  batch : Sds_proto.Batch_ctl.t;
+      (** §4.5 shared controller: rests at [initial_batch], halves only on
+          observed ring-full, grows past the resting point only under
+          backlog pressure *)
 }
 
 val chan_tx : Shm_chan.t -> chan_tx

@@ -1,19 +1,27 @@
-(* Token-based socket sharing (§4.1).
+(* Token-based socket sharing (§4.1) — simulator backend.
 
    Each socket queue direction has one token; only the holder may operate on
    the queue, so the common case runs without any lock.  A non-holder
-   requests a take-over through the monitor: it joins a FIFO waiting list,
-   the monitor asks the active holder to release, and grants the token to
-   the list head.  Deadlock-free (token is always held by a thread or the
-   monitor) and starvation-free (FIFO, each thread queued at most once). *)
+   requests a take-over through the monitor: it posts itself as the pending
+   requester, the monitor asks the active holder to release, and the grant
+   makes the requester the holder.  Deadlock-free (token is always held by a
+   thread or the monitor) and starvation-free (one posted requester at a
+   time; further contenders queue FIFO on the waiting list).
+
+   The protocol state and its transitions live in [Sds_proto.Token_proto],
+   shared verbatim with the real-domain backend ([Sds_rt.Rt_token]): the sim
+   commits transitions with plain stores under the cooperative scheduler and
+   models the monitor round-trip as a sleep; the real backend commits the
+   same transitions with CAS. *)
 
 open Sds_sim
 module Obs = Sds_obs.Obs
+module P = Sds_proto.Token_proto
 
 let m_takeovers = Obs.Metrics.counter "token.takeovers"
 
 type t = {
-  mutable holder : int option;  (** thread uid *)
+  mutable state : int;  (** packed holder/requester, see {!Sds_proto.Token_proto} *)
   mutable busy : bool;  (** holder is mid-operation *)
   waiters : Waitq.t;
   mutable takeovers : int;
@@ -21,30 +29,48 @@ type t = {
 }
 
 let create ~cost ~holder =
-  { holder = Some holder; busy = false; waiters = Waitq.create (); takeovers = 0; takeover_cost = cost.Cost.takeover }
+  { state = P.held ~holder; busy = false; waiters = Waitq.create (); takeovers = 0;
+    takeover_cost = cost.Cost.takeover }
 
-let holder t = t.holder
+let holder t = if P.is_free t.state then None else Some (P.holder t.state)
 let takeovers t = t.takeovers
 
 (* Fast path: the calling thread already holds the token — zero cost, this
    is the case the whole design optimizes for. *)
 let rec acquire t ~tid =
-  match t.holder with
-  | Some h when h = tid -> ()
-  | _ ->
+  match P.acquire t.state ~id:tid with
+  | P.Fast -> ()
+  | step ->
     (* Take-over through the monitor: one message to the monitor, monitor
        notifies the holder, holder returns the token, monitor grants. *)
     t.takeovers <- t.takeovers + 1;
     Obs.Metrics.incr m_takeovers;
     Obs.Trace.emit_n Obs.Trace.Token_takeover tid;
     Proc.sleep_ns t.takeover_cost;
-    if t.busy then begin
-      (* Holder mid-operation: queue on the waiting list; the release path
-         signals the list head. *)
-      (match Waitq.wait t.waiters with _ -> ());
-      acquire t ~tid
-    end
-    else t.holder <- Some tid
+    (match step with
+    | P.Fast -> ()
+    | P.Take s' -> t.state <- s'
+    | P.Post s' ->
+      t.state <- s';
+      if t.busy then begin
+        (* Holder mid-operation: the release path publishes the grant and
+           signals the waiting list. *)
+        (match Waitq.wait t.waiters with _ -> ());
+        acquire t ~tid
+      end
+      else
+        (* Holder idle: the monitor grants immediately. *)
+        t.state <- P.grant t.state
+    | P.Wait ->
+      (* Another thread's request is already posted. *)
+      if t.busy then begin
+        (match Waitq.wait t.waiters with _ -> ());
+        acquire t ~tid
+      end
+      else
+        (* Idle holder, occupied request slot: the monitor reassigns,
+           keeping the other request pending for the next release. *)
+        t.state <- P.seize t.state ~id:tid)
 
 (* Mark the operation window so a take-over never interleaves mid-message. *)
 let with_held t ~tid f =
@@ -52,8 +78,11 @@ let with_held t ~tid f =
   t.busy <- true;
   Fun.protect ~finally:(fun () ->
       t.busy <- false;
+      (* Operation boundary: serve a takeover posted while we were busy —
+         the same [should_release]/[grant] pair the real backend runs. *)
+      if P.should_release t.state ~id:tid then t.state <- P.grant t.state;
       Waitq.signal t.waiters)
     f
 
 (* Fork: the parent inherits the token; the child starts inactive (§4.1.2). *)
-let on_fork t ~parent_tid = t.holder <- Some parent_tid
+let on_fork t ~parent_tid = t.state <- P.seize t.state ~id:parent_tid

@@ -1,0 +1,37 @@
+(* Monitor accept-dispatch policy (§4.5.2), shared between backends.
+
+   New connections go to per-listener-thread backlogs round-robin, skipping
+   full ones; an idle listener steals from the sibling with the longest
+   backlog.  Both the simulated monitor and the real-domain dispatcher call
+   these two decisions; the backlog containers stay backend-private and are
+   observed through the [length]/[capacity] callbacks. *)
+
+(* First worker at or after [rr] (mod [n]) whose backlog has room.  The
+   caller advances its cursor to [picked + 1]. *)
+let pick ~n ~rr ~length ~capacity =
+  if n <= 0 then None
+  else begin
+    let found = ref (-1) in
+    let k = ref 0 in
+    while !found < 0 && !k < n do
+      let i = (rr + !k) mod n in
+      if length i < capacity i then found := i else incr k
+    done;
+    if !found < 0 then None else Some !found
+  end
+
+(* Steal victim for [self]: the sibling with the strictly longest non-empty
+   backlog; earlier index wins ties. *)
+let steal_victim ~n ~self ~length =
+  let best = ref (-1) in
+  let best_len = ref 0 in
+  for i = 0 to n - 1 do
+    if i <> self then begin
+      let l = length i in
+      if l > !best_len then begin
+        best := i;
+        best_len := l
+      end
+    end
+  done;
+  if !best < 0 then None else Some !best

@@ -1,0 +1,12 @@
+(** Monitor accept-dispatch policy (§4.5.2), shared between the sim and
+    real-domain backends: round-robin delivery into per-worker backlogs
+    (skipping full ones) plus longest-backlog steal-victim selection. *)
+
+val pick : n:int -> rr:int -> length:(int -> int) -> capacity:(int -> int) -> int option
+(** First worker at or after [rr] (mod [n]) with [length i < capacity i];
+    [None] when every backlog is full (or [n = 0]).  The caller advances
+    its round-robin cursor to [picked + 1]. *)
+
+val steal_victim : n:int -> self:int -> length:(int -> int) -> int option
+(** The sibling of [self] with the strictly longest non-empty backlog;
+    earlier index wins ties; [None] when all are empty. *)

@@ -1,0 +1,72 @@
+(* Shared token-handoff state machine (§4.1, §4.2).
+
+   One token per socket-queue direction; only the holder touches the queue.
+   The whole protocol state fits one immediate int so the real-domain
+   backend can keep it in a single [Atomic.t] and every transition is one
+   CAS, while the simulator applies the same transitions to a plain field
+   under its cooperative scheduler.  This module is the single place the
+   takeover protocol is written down: both backends call these transitions,
+   neither re-implements them.
+
+   Layout: bits 0..id_bits-1 hold the holder id, the next id_bits hold the
+   id of the (single) pending takeover requester; [nobody] marks an empty
+   slot.  One pending requester is enough: the paper's monitor serializes
+   takeover requests, and any further contender simply retries — matching
+   the FIFO waiting list of §4.1 one head at a time. *)
+
+let id_bits = 20
+let id_mask = (1 lsl id_bits) - 1
+
+(* All-ones id: "no holder" / "no requester". *)
+let nobody = id_mask
+let max_id = nobody - 1
+
+let pack ~holder ~requester = (requester lsl id_bits) lor holder
+let holder s = s land id_mask
+let requester s = (s lsr id_bits) land id_mask
+
+let free = pack ~holder:nobody ~requester:nobody
+let held ~holder = pack ~holder ~requester:nobody
+
+let is_free s = holder s = nobody
+let is_held_by s ~id = holder s = id
+let has_request s = requester s <> nobody
+
+(* One acquire attempt from [id], as a pure decision over the observed
+   state.  The caller commits the returned state with whatever write its
+   backend uses (CAS on a domain, plain store in the sim) and retries from
+   a fresh observation when the commit loses a race. *)
+type step =
+  | Fast  (** caller already holds the token: nothing to write *)
+  | Take of int  (** token is free: next state with the caller as holder *)
+  | Post of int
+      (** held by someone else, request slot empty: next state with the
+          caller registered as the pending requester; wait for the grant *)
+  | Wait  (** request slot occupied (possibly by us): wait and re-observe *)
+
+let acquire s ~id =
+  if holder s = id then Fast
+  else if is_free s then
+    (* Clear our own stale request if we posted one earlier. *)
+    Take (pack ~holder:id ~requester:(if requester s = id then nobody else requester s))
+  else if not (has_request s) then Post (pack ~holder:(holder s) ~requester:id)
+  else Wait
+
+(* Does the holder owe a handoff?  Checked at every operation boundary —
+   this is the only test on the data-path fast path. *)
+let should_release s ~id = holder s = id && has_request s
+
+(* The release fence: the holder, done draining its in-flight batch, hands
+   the token to the pending requester in one write. *)
+let grant s = pack ~holder:(requester s) ~requester:nobody
+
+(* Relinquish without a specific successor (close, fork, exit): grant when
+   a request is pending, otherwise leave the token free. *)
+let release s ~id =
+  if holder s <> id then s else if has_request s then grant s else free
+
+(* Monitor-mediated reassignment (sim idle-holder grant, fork inheritance):
+   force [id] to be the holder, preserving any other thread's pending
+   request so it is still served at the next release. *)
+let seize s ~id =
+  pack ~holder:id ~requester:(if requester s = id then nobody else requester s)

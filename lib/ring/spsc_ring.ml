@@ -412,8 +412,14 @@ let[@sds.hot] try_enqueue ?(flags = 0) t src ~off ~len =
     blit_in t src off (tail + header_bytes) len;
     write_header t tail len flags;
     Span.stamp_pub t.span ~seq:t.prod.enqueued;
-    Atomic.set t.tail (tail + need);
+    (* Spend credits BEFORE publishing the tail.  The consumer can dequeue
+       the instant the tail store lands; if its batched credit return fired
+       in the publish->spend window, [return_credits] would see
+       credits + returned > capacity and reject a correct return.  Spending
+       first keeps spends-landed >= published >= consumed at every
+       interleaving, so the capacity invariant holds unconditionally. *)
     ignore (Atomic.fetch_and_add t.credits (-need));
+    Atomic.set t.tail (tail + need);
     t.prod.enqueued <- t.prod.enqueued + 1;
     t.prod.enq_bytes <- t.prod.enq_bytes + len;
     t.prod.was_full <- 0;
@@ -458,8 +464,10 @@ let[@sds.hot] enqueue_batch ?(flags = 0) t srcs =
     for j = 0 to !i - 1 do
       Span.stamp_pub t.span ~seq:(t.prod.enqueued + j)
     done;
-    Atomic.set t.tail !tail;
+    (* Spend before publish, as in [try_enqueue]: the consumer must never
+       observe a published record whose credit spend hasn't landed. *)
     ignore (Atomic.fetch_and_add t.credits (tail0 - !tail));
+    Atomic.set t.tail !tail;
     t.prod.enqueued <- t.prod.enqueued + !i;
     t.prod.enq_bytes <- t.prod.enq_bytes + !bytes;
     t.prod.batches <- t.prod.batches + 1;
@@ -496,8 +504,9 @@ let[@sds.hot] try_enqueue_descs ?(flags = 0) t entries ~n =
     done;
     write_header t tail len (flags lor flag_desc);
     Span.stamp_pub t.span ~seq:t.prod.enqueued;
-    Atomic.set t.tail (tail + need);
+    (* Spend before publish (see [try_enqueue]). *)
     ignore (Atomic.fetch_and_add t.credits (-need));
+    Atomic.set t.tail (tail + need);
     t.prod.enqueued <- t.prod.enqueued + 1;
     t.prod.enq_bytes <- t.prod.enq_bytes + len;
     t.prod.was_full <- 0;

@@ -1,0 +1,72 @@
+(* Domain slot registry for the real-domain backend.
+
+   Every participating domain gets a small stable slot id (0 .. max_slots-1)
+   used as its token-holder identity ([Sds_proto.Token_proto] packs it into
+   the token word) and as the index of its parking spot: one
+   [Sds_notify.Waiter] per slot, so any peer that makes a condition true for
+   domain [d] can wake exactly [d] ([Waiter] allows one logical waiter and
+   many notifiers — the per-domain waiter is that one waiter).
+
+   The waiter array is immutable and fully built at module initialization in
+   whichever domain first touches this module; [Domain.spawn]'s
+   happens-before edge publishes it to every domain spawned afterwards. *)
+
+module Waiter = Sds_notify.Waiter
+
+let max_slots = 64
+
+let () = assert (max_slots <= Sds_proto.Token_proto.max_id)
+
+let waiters = Array.init max_slots (fun _ -> Waiter.create ())
+
+let mu = Mutex.create ()
+let taken = Array.make max_slots false
+
+(* The calling domain's slot; -1 while unassigned. *)
+let slot_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+let alloc_slot () =
+  Mutex.lock mu;
+  let s = ref (-1) in
+  (try
+     for i = 0 to max_slots - 1 do
+       if !s < 0 && not taken.(i) then begin
+         taken.(i) <- true;
+         s := i
+       end
+     done
+   with e ->
+     Mutex.unlock mu;
+     raise e);
+  Mutex.unlock mu;
+  if !s < 0 then failwith "Rt_dom: out of domain slots";
+  !s
+
+let release_slot s =
+  Mutex.lock mu;
+  taken.(s) <- false;
+  Mutex.unlock mu
+
+let self () =
+  let s = Domain.DLS.get slot_key in
+  if s >= 0 then s
+  else begin
+    let s = alloc_slot () in
+    Domain.DLS.set slot_key s;
+    s
+  end
+
+let waiter s = waiters.(s)
+
+(* Spawn a domain with a slot held for its lifetime.  The slot is released
+   (and becomes reusable) when the body returns, even on exceptions. *)
+let spawn f =
+  Domain.spawn (fun () ->
+      let s = self () in
+      Fun.protect
+        ~finally:(fun () ->
+          Domain.DLS.set slot_key (-1);
+          release_slot s)
+        f)
+
+let available_cores () = Domain.recommended_domain_count ()

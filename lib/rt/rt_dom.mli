@@ -1,0 +1,21 @@
+(** Domain slot registry for the real-domain backend: a small stable slot
+    id per domain (the token-holder identity) plus one {!Sds_notify.Waiter}
+    parking spot per slot, so peers can wake a specific domain. *)
+
+val max_slots : int
+
+val self : unit -> int
+(** The calling domain's slot, allocated on first call (domain-local). *)
+
+val waiter : int -> Sds_notify.Waiter.t
+(** Slot [s]'s parking spot.  Only domain [s] waits on it; anyone may
+    notify it. *)
+
+val spawn : (unit -> 'a) -> 'a Domain.t
+(** [Domain.spawn] with a slot held for the domain's lifetime and released
+    on exit. *)
+
+val available_cores : unit -> int
+(** [Domain.recommended_domain_count ()] — the parallelism actually
+    available, used to scale throughput expectations on time-shared
+    machines. *)

@@ -1,0 +1,40 @@
+(** Real-domain monitor: §4.5.2 prefork accept dispatch on actual domains,
+    through the same {!Sds_proto.Dispatch_core} policy as the simulator's
+    monitor (round-robin with backlog capacity + idle-worker stealing).
+
+    Lifecycle: [create ~workers], each worker domain calls
+    [register ~index], the caller barriers on [registered] = [workers],
+    then clients [connect] and workers [accept] until [close_listener]. *)
+
+type t
+type worker
+
+val create :
+  ?ring_size:int -> ?pool_pages:int -> ?capacity:int -> workers:int -> unit -> t
+(** A listener dispatching to [workers] worker domains; [capacity] bounds
+    each per-worker accept backlog (default 128). *)
+
+val register : t -> index:int -> worker
+(** Called from worker domain [index]'s own domain; binds its {!Rt_dom}
+    slot for wakeups. *)
+
+val workers : t -> int
+val registered : t -> int
+val accepted : t -> int
+
+val pending : t -> int -> int
+(** Worker [i]'s current backlog length (lock-free mirror). *)
+
+val served : worker -> int
+val stolen : worker -> int
+(** Connections this worker accepted, and of those, how many it stole. *)
+
+val connect : t -> dom:int -> Rt_sock.t
+(** Create a connection, dispatch the server end to a worker backlog, wake
+    that worker, return the client end.  All workers must be registered. *)
+
+val accept : t -> index:int -> Rt_sock.t option
+(** Blocking accept for worker [index]: own backlog, else steal from the
+    longest sibling, else park.  [None] once closed and fully drained. *)
+
+val close_listener : t -> unit

@@ -1,0 +1,340 @@
+(* Real-domain sockets: the §4.2 per-connection queue pair on actual OCaml
+   domains, wired through the existing ring + notify + pagepool stack.
+
+   One connection = two SPSC rings (one per direction) + one staging
+   [Pagepool] per direction for the §4.6 descriptor path + four
+   [Rt_token]s (a send and a recv token per endpoint).  Small payloads
+   travel inline in ring records; payloads >= [zc_threshold] are staged
+   into pool pages and cross the ring as page-descriptor records — an
+   ownership handoff, no payload byte through the ring.
+
+   Records are stream chunks.  A zero-length record flagged [flag_fin]
+   carries EOF.  The receiver returns the ring's batched credits and, on
+   descriptor records, releases the pages after landing the payload.
+
+   Every endpoint pair registers in a process-wide registry: the
+   [rt_conn] flight-recorder section shows owners, ring occupancy and byte
+   counts per connection — the "ring-pair registry per domain pair". *)
+
+module R = Sds_ring.Spsc_ring
+module Pp = Sds_vm.Pagepool
+module Batch_ctl = Sds_proto.Batch_ctl
+module Obs = Sds_obs.Obs
+
+let flag_fin = 0x200
+let max_inline = 8 * 1024
+
+(* §4.6 copy/zero-copy crossover, same resting point as [Copy_policy]. *)
+let zc_threshold = 16 * 1024
+
+(* Pages per descriptor record: bounds one record at 32 KiB of payload, so
+   receive buffers stay small; larger sends split into several records. *)
+let max_desc_per_record = 8
+
+let m_sends = Obs.Metrics.counter "rt.sends"
+let m_recvs = Obs.Metrics.counter "rt.recvs"
+let m_desc_sends = Obs.Metrics.counter "rt.desc_sends"
+let m_pool_fallbacks = Obs.Metrics.counter "rt.pool_fallbacks"
+
+type dir = { ring : R.t; pool : Pp.t }
+
+type t = {
+  tx : dir;
+  rx : dir;
+  send_tok : Rt_token.t;
+  recv_tok : Rt_token.t;
+  batch : Batch_ctl.t;
+  stage : int array;  (** send-side descriptor staging, token-guarded *)
+  pages : int array;  (** page ids being staged, token-guarded *)
+  descs : int array;  (** recv-side descriptor scratch, token-guarded *)
+  mutable bytes_sent : int;  (** guarded by [send_tok] *)
+  mutable bytes_received : int;  (** guarded by [recv_tok] *)
+  mutable fin_rx : bool;  (** guarded by [recv_tok] *)
+  mutable fin_tx : bool;  (** guarded by [send_tok] *)
+  cid : int;
+  peer_slot : int;
+}
+
+(* ---- connection registry (flight recorder / tests) ---- *)
+
+let reg_mu = Mutex.create ()
+let reg : t Weak.t = Weak.create 1024
+let cid_counter = ref 0
+
+let register t =
+  Mutex.lock reg_mu;
+  (try
+     let placed = ref false in
+     for i = 0 to Weak.length reg - 1 do
+       if (not !placed) && Weak.get reg i = None then begin
+         Weak.set reg i (Some t);
+         placed := true
+       end
+     done
+   with e ->
+     Mutex.unlock reg_mu;
+     raise e);
+  Mutex.unlock reg_mu
+
+let render_conns () =
+  let b = Buffer.create 256 in
+  Mutex.lock reg_mu;
+  for i = 0 to Weak.length reg - 1 do
+    match Weak.get reg i with
+    | None -> ()
+    | Some t ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "conn#%d peer_slot=%d tx_used=%d rx_used=%d sent=%d received=%d fin_tx=%b fin_rx=%b\n"
+           t.cid t.peer_slot (R.used t.tx.ring) (R.used t.rx.ring) t.bytes_sent
+           t.bytes_received t.fin_tx t.fin_rx)
+  done;
+  Mutex.unlock reg_mu;
+  Buffer.contents b
+
+let () = Sds_obs.Flight.register_state "rt_conn" render_conns
+
+(* ---- construction ---- *)
+
+let endpoint ~ring_size ~pool_pages ~owner ~peer_slot ~tx_ring ~tx_pool ~rx_ring ~rx_pool =
+  ignore ring_size;
+  ignore pool_pages;
+  incr cid_counter;
+  let t =
+    {
+      tx = { ring = tx_ring; pool = tx_pool };
+      rx = { ring = rx_ring; pool = rx_pool };
+      send_tok = Rt_token.create ~name:"send" ~holder:owner ();
+      recv_tok = Rt_token.create ~name:"recv" ~holder:owner ();
+      batch = Batch_ctl.create ();
+      stage = Array.make max_desc_per_record 0;
+      pages = Array.make max_desc_per_record 0;
+      descs = Array.make max_desc_per_record 0;
+      bytes_sent = 0;
+      bytes_received = 0;
+      fin_rx = false;
+      fin_tx = false;
+      cid = !cid_counter;
+      peer_slot;
+    }
+  in
+  register t;
+  t
+
+(* A connected endpoint pair: [a]'s tx ring is [b]'s rx ring and vice
+   versa; each direction's staging pool is shared by its sender (alloc +
+   blit) and receiver (blit + release). *)
+let pair ?(ring_size = 64 * 1024) ?(pool_pages = 512) ~a_owner ~b_owner () =
+  let ab = R.create ~size:ring_size () in
+  let ba = R.create ~size:ring_size () in
+  let pool_ab = Pp.create ~pages:pool_pages () in
+  let pool_ba = Pp.create ~pages:pool_pages () in
+  let a =
+    endpoint ~ring_size ~pool_pages ~owner:a_owner ~peer_slot:b_owner ~tx_ring:ab
+      ~tx_pool:pool_ab ~rx_ring:ba ~rx_pool:pool_ba
+  in
+  let b =
+    endpoint ~ring_size ~pool_pages ~owner:b_owner ~peer_slot:a_owner ~tx_ring:ba
+      ~tx_pool:pool_ba ~rx_ring:ab ~rx_pool:pool_ab
+  in
+  (a, b)
+
+let bytes_sent t = t.bytes_sent
+let bytes_received t = t.bytes_received
+
+(* ---- send ---- *)
+
+(* Return the ring's batched credits owed by the consumer side. *)
+let[@inline] return_pending ring =
+  let c = R.take_credit_return ring in
+  if c > 0 then R.return_credits ring c
+
+(* Stage [len] bytes from [buf] into pool pages and enqueue them as one
+   descriptor record.  False when the pool is exhausted (caller falls back
+   to the inline-copy path — the Libra fallback). *)
+let send_desc_record t buf ~off ~len =
+  let h = Pp.domain_handle t.tx.pool in
+  let npages = (len + Pp.page_size - 1) / Pp.page_size in
+  let got = ref 0 in
+  let ok = ref true in
+  while !ok && !got < npages do
+    let p = Pp.alloc h in
+    if p = Pp.no_page then ok := false
+    else begin
+      t.pages.(!got) <- p;
+      incr got
+    end
+  done;
+  if not !ok then begin
+    for i = 0 to !got - 1 do
+      Pp.release h t.pages.(i)
+    done;
+    Obs.Metrics.incr m_pool_fallbacks;
+    false
+  end
+  else begin
+    for i = 0 to npages - 1 do
+      let chunk_off = i * Pp.page_size in
+      let chunk = min Pp.page_size (len - chunk_off) in
+      Pp.blit_from_bytes t.tx.pool ~src:buf ~src_off:(off + chunk_off) ~page:t.pages.(i)
+        ~off:0 ~len:chunk;
+      t.stage.(i) <- R.desc_entry ~page:t.pages.(i) ~off:0 ~len:chunk
+    done;
+    while not (R.try_enqueue_descs t.tx.ring t.stage ~n:npages) do
+      R.wait_tx t.tx.ring ~len:(8 * npages)
+    done;
+    Obs.Metrics.incr m_desc_sends;
+    true
+  end
+
+let send_locked t buf ~off ~len =
+  if t.fin_tx then invalid_arg "Rt_sock.send: after close";
+  let pos = ref off in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let sent =
+      if !remaining >= zc_threshold then begin
+        let chunk = min !remaining (max_desc_per_record * Pp.page_size) in
+        if send_desc_record t buf ~off:!pos ~len:chunk then chunk else 0
+      end
+      else 0
+    in
+    let sent =
+      if sent > 0 then sent
+      else begin
+        (* Inline copy path (small payload, or pool exhausted). *)
+        let chunk = min !remaining max_inline in
+        while not (R.try_enqueue t.tx.ring buf ~off:!pos ~len:chunk) do
+          R.wait_tx t.tx.ring ~len:chunk
+        done;
+        chunk
+      end
+    in
+    pos := !pos + sent;
+    remaining := !remaining - sent
+  done;
+  t.bytes_sent <- t.bytes_sent + len;
+  Obs.Metrics.incr m_sends
+
+let send t ~dom buf ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then invalid_arg "Rt_sock.send";
+  Rt_token.with_held t.send_tok ~dom (fun () -> send_locked t buf ~off ~len)
+
+(* Vectored small-message send under one token hold: each enqueue_batch is
+   bounded by the shared §4.5 [Batch_ctl] budget; the in-flight batch is
+   drained before the operation boundary, where a posted takeover is
+   served. *)
+let send_burst t ~dom srcs ~n =
+  if n < 0 || n > Array.length srcs then invalid_arg "Rt_sock.send_burst";
+  Rt_token.with_held t.send_tok ~dom (fun () ->
+      if t.fin_tx then invalid_arg "Rt_sock.send_burst: after close";
+      let sent = ref 0 in
+      let bytes = ref 0 in
+      while !sent < n do
+        let want = min (Batch_ctl.budget t.batch) (n - !sent) in
+        let attempt =
+          if !sent = 0 && want = n && want = Array.length srcs then srcs
+          else Array.sub srcs !sent want
+        in
+        let k = R.enqueue_batch t.tx.ring attempt in
+        Batch_ctl.observe t.batch ~sent:k ~attempted:want ~pressure:(!sent + want < n);
+        if k = 0 then begin
+          let _, _, l = srcs.(!sent) in
+          R.wait_tx t.tx.ring ~len:l
+        end
+        else
+          for i = !sent to !sent + k - 1 do
+            let _, _, l = srcs.(i) in
+            bytes := !bytes + l
+          done;
+        sent := !sent + k
+      done;
+      t.bytes_sent <- t.bytes_sent + !bytes;
+      Obs.Metrics.incr m_sends)
+
+(* ---- recv ---- *)
+
+(* Receive the next stream chunk into [dst]; 0 on EOF.  [dst] must hold a
+   whole record: >= [max_inline] for inline records, >= the payload of one
+   descriptor record (<= [max_desc_per_record] pages) on connections
+   carrying zero-copy traffic. *)
+let recv_locked t dst ~off =
+  if t.fin_rx then 0
+  else begin
+    let ring = t.rx.ring in
+    let rec go () =
+      let p = R.peek_packed ring in
+      if p = R.no_msg then begin
+        R.wait_rx ring;
+        go ()
+      end
+      else if R.is_desc_packed p then begin
+        let q = R.try_dequeue_descs ring ~entries:t.descs in
+        if q = R.no_msg then go ()
+        else begin
+          let cnt = R.desc_count_packed q in
+          let h = Pp.domain_handle t.rx.pool in
+          let pos = ref off in
+          for i = 0 to cnt - 1 do
+            let e = t.descs.(i) in
+            let elen = R.desc_len e in
+            Pp.blit_to_bytes t.rx.pool ~page:(R.desc_page e) ~off:(R.desc_off e) ~dst
+              ~dst_off:!pos ~len:elen;
+            pos := !pos + elen;
+            Pp.release h (R.desc_page e)
+          done;
+          return_pending ring;
+          !pos - off
+        end
+      end
+      else if R.packed_flags p land flag_fin <> 0 then begin
+        ignore (R.try_dequeue_packed ring ~dst ~dst_off:off);
+        t.fin_rx <- true;
+        return_pending ring;
+        0
+      end
+      else begin
+        let q = R.try_dequeue_packed ring ~dst ~dst_off:off in
+        if q = R.no_msg then go ()
+        else begin
+          return_pending ring;
+          R.packed_len q
+        end
+      end
+    in
+    let n = go () in
+    if n > 0 then begin
+      t.bytes_received <- t.bytes_received + n;
+      Obs.Metrics.incr m_recvs
+    end;
+    n
+  end
+
+let recv t ~dom dst ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length dst then invalid_arg "Rt_sock.recv";
+  Rt_token.with_held t.recv_tok ~dom (fun () -> recv_locked t dst ~off)
+
+(* ---- shutdown ---- *)
+
+let fin_scratch = Bytes.create 0
+
+let close t ~dom =
+  Rt_token.with_held t.send_tok ~dom (fun () ->
+      if not t.fin_tx then begin
+        t.fin_tx <- true;
+        while not (R.try_enqueue ~flags:flag_fin t.tx.ring fin_scratch ~off:0 ~len:0) do
+          R.wait_tx t.tx.ring ~len:0
+        done
+      end);
+  Rt_token.release t.send_tok ~dom;
+  Rt_token.release t.recv_tok ~dom
+
+(* Cooperative-hold contract: a domain done operating this endpoint hands
+   its tokens back so a later owner takes them without arbitration. *)
+let release_tokens t ~dom =
+  Rt_token.release t.send_tok ~dom;
+  Rt_token.release t.recv_tok ~dom
+
+let send_token t = t.send_tok
+let recv_token t = t.recv_tok
+let at_eof t = t.fin_rx

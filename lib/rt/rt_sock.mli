@@ -1,0 +1,59 @@
+(** Real-domain sockets: one connection = an SPSC ring pair + a staging
+    {!Sds_vm.Pagepool} per direction + per-direction {!Rt_token}s.
+
+    Payloads below the §4.6 crossover travel inline in ring records;
+    larger ones are staged into pool pages and cross as page-descriptor
+    records.  Stream semantics: [send] may split into several records,
+    [recv] returns one record's payload per call, a zero-length
+    [flag_fin] record carries EOF.  Every pair registers in the [rt_conn]
+    flight-recorder section. *)
+
+type t
+
+val max_inline : int
+(** Largest inline record payload (8 KiB); [recv] buffers must hold it. *)
+
+val zc_threshold : int
+(** Payload size at which sends switch to the descriptor path (16 KiB). *)
+
+val max_desc_per_record : int
+(** Pages per descriptor record; bounds one record's payload at
+    [max_desc_per_record * Pagepool.page_size] bytes. *)
+
+val flag_fin : int
+(** Record flag carrying EOF. *)
+
+val pair :
+  ?ring_size:int -> ?pool_pages:int -> a_owner:int -> b_owner:int -> unit -> t * t
+(** A connected endpoint pair; owners are {!Rt_dom} slots holding each
+    endpoint's tokens initially ([-1] = tokens start free, taken by the
+    first operator — used for dispatched server ends). *)
+
+val send : t -> dom:int -> Bytes.t -> off:int -> len:int -> unit
+(** Stream [len] bytes as one token-held operation (blocking on ring
+    credits).  Chunks >= [zc_threshold] take the descriptor path, falling
+    back to inline copies when the pool is exhausted. *)
+
+val send_burst : t -> dom:int -> (Bytes.t * int * int) array -> n:int -> unit
+(** Vectored small-message send under one token hold; each ring batch is
+    bounded by the shared {!Sds_proto.Batch_ctl} budget, and a takeover
+    posted meanwhile is served at the operation boundary. *)
+
+val recv : t -> dom:int -> Bytes.t -> off:int -> len:int -> int
+(** Next stream chunk into [dst]; 0 at EOF.  The buffer must hold a whole
+    record ([max_inline], or one descriptor record's payload on
+    connections carrying zero-copy traffic). *)
+
+val close : t -> dom:int -> unit
+(** Enqueue EOF, then release both of this endpoint's tokens (the
+    cooperative-hold contract). *)
+
+val release_tokens : t -> dom:int -> unit
+(** Hand back both tokens without sending EOF — for ownership transfer,
+    and for receivers done with a connection. *)
+
+val at_eof : t -> bool
+val bytes_sent : t -> int
+val bytes_received : t -> int
+val send_token : t -> Rt_token.t
+val recv_token : t -> Rt_token.t

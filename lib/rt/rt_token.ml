@@ -1,0 +1,224 @@
+(* Real-domain token handoff (§4.2) over the shared protocol core.
+
+   The packed protocol word from [Sds_proto.Token_proto] lives in one
+   [Atomic.t]; every transition the simulator commits with a plain store is
+   committed here with a CAS.  On top of that sit the two things only a real
+   multicore backend needs:
+
+   - The optimistic same-domain fast path: [fast_owner] is a plain (non
+     atomic) field caching the holder's slot.  Domain [d] only ever writes
+     the value [d] into it (after becoming holder through an atomic
+     transition) or -1 (before publishing a grant), so the one relaxed read
+     [fast_owner = dom] can only pass for the domain that actually holds the
+     token — a stale read fails towards the slow path, never towards a
+     mutual-exclusion violation.  This keeps the held-by-me hot path at one
+     plain compare on entry plus one atomic load at the operation boundary.
+
+   - Takeover arbitration through [Sds_notify] waiters: the requester CASes
+     itself into the request slot (request), the holder finishes its
+     in-flight batch (drain), publishes [Token_proto.grant] (the release
+     fence), and notifies the requester's per-domain waiter (resume).
+     [waitmask] tracks which slots are parked on this token so the grant
+     wakes exactly the domains that asked.
+
+   Holds are cooperative: a grant happens at an operation boundary, so a
+   domain that stops operating on a socket must [release] its tokens (the
+   socket layer does this at EOF/close).  A holder that parks forever
+   without releasing is a protocol violation — the flight-recorder state
+   provider below exists to show exactly who it was. *)
+
+module P = Sds_proto.Token_proto
+module Waiter = Sds_notify.Waiter
+module Obs = Sds_obs.Obs
+
+let m_handoffs = Obs.Metrics.counter "token.handoffs"
+let m_direct_takes = Obs.Metrics.counter "token.direct_takes"
+let h_takeover = Obs.Metrics.histogram "token.takeover_ns"
+
+type t = {
+  state : int Atomic.t;  (** the shared protocol word *)
+  waitmask : int Atomic.t;  (** slots parked waiting for this token *)
+  mutable fast_owner : int;  (** plain holder cache; see header comment *)
+  mutable inflight : int;  (** holder-written: operations currently open *)
+  mutable handoffs : int;  (** holder-written: grants served *)
+  name : string;
+  uid : int;
+}
+
+(* ---- flight-recorder registry (weak: tokens die with their sockets) ---- *)
+
+let reg_mu = Mutex.create ()
+let reg : t Weak.t = Weak.create 512
+let uid_counter = ref 0
+
+let register t =
+  Mutex.lock reg_mu;
+  (try
+     let placed = ref false in
+     for i = 0 to Weak.length reg - 1 do
+       if (not !placed) && Weak.get reg i = None then begin
+         Weak.set reg i (Some t);
+         placed := true
+       end
+     done
+   with e ->
+     Mutex.unlock reg_mu;
+     raise e);
+  Mutex.unlock reg_mu
+
+let render_state () =
+  let b = Buffer.create 256 in
+  Mutex.lock reg_mu;
+  for i = 0 to Weak.length reg - 1 do
+    match Weak.get reg i with
+    | None -> ()
+    | Some t ->
+      let s = Atomic.get t.state in
+      Buffer.add_string b
+        (Printf.sprintf "%s#%d holder=%d req=%d inflight=%d handoffs=%d waitmask=%#x\n"
+           t.name t.uid
+           (if P.is_free s then -1 else P.holder s)
+           (if P.has_request s then P.requester s else -1)
+           t.inflight t.handoffs (Atomic.get t.waitmask))
+  done;
+  Mutex.unlock reg_mu;
+  Buffer.contents b
+
+let () = Sds_obs.Flight.register_state "rt_token" render_state
+
+(* [holder = -1] creates the token free: the first operating domain takes
+   it with one CAS.  Used for dispatched endpoints whose eventual owner is
+   unknown at creation (a stolen connection lands on a different worker
+   than the dispatcher picked). *)
+let create ?(name = "token") ~holder () =
+  if holder < -1 || holder > P.max_id then invalid_arg "Rt_token.create";
+  incr uid_counter;
+  let state = if holder < 0 then P.free else P.held ~holder in
+  let t =
+    { state = Atomic.make state; waitmask = Atomic.make 0; fast_owner = holder;
+      inflight = 0; handoffs = 0; name; uid = !uid_counter }
+  in
+  register t;
+  t
+
+let holder t =
+  let s = Atomic.get t.state in
+  if P.is_free s then -1 else P.holder s
+
+let handoffs t = t.handoffs
+
+(* ---- waitmask helpers (slow path only) ---- *)
+
+let rec mask_set a bit =
+  let m = Atomic.get a in
+  if m land bit = 0 && not (Atomic.compare_and_set a m (m lor bit)) then mask_set a bit
+
+let rec mask_clear a bit =
+  let m = Atomic.get a in
+  if m land bit <> 0 && not (Atomic.compare_and_set a m (m land lnot bit)) then
+    mask_clear a bit
+
+(* Wake every slot currently registered on the token.  Bits stay set; each
+   waiter clears its own on exit, so a spurious notify is the worst case. *)
+let wake_waiters t =
+  let m = ref (Atomic.get t.waitmask) in
+  while !m <> 0 do
+    let bit = !m land (- !m) in
+    let rec idx b i = if b land 1 = 1 then i else idx (b lsr 1) (i + 1) in
+    Waiter.notify (Rt_dom.waiter (idx bit 0));
+    m := !m lxor bit
+  done
+
+(* ---- the handoff itself (holder side) ---- *)
+
+(* Drain is over (the operation closed); publish the release fence and wake
+   the requester.  CAS loop: the request slot can gain a requester between
+   our load and the store, never lose one. *)
+let rec grant_now t ~dom =
+  let s = Atomic.get t.state in
+  if P.should_release s ~id:dom then begin
+    t.fast_owner <- -1;
+    if Atomic.compare_and_set t.state s (P.grant s) then begin
+      t.handoffs <- t.handoffs + 1;
+      Obs.Metrics.incr m_handoffs;
+      Obs.Trace.emit_n Obs.Trace.Token_takeover (P.requester s);
+      wake_waiters t
+    end
+    else grant_now t ~dom
+  end
+
+(* Operation boundary: one atomic load; the grant path is the cold side. *)
+let[@inline] boundary t ~dom =
+  if P.should_release (Atomic.get t.state) ~id:dom then grant_now t ~dom
+
+(* ---- acquire (requester side) ---- *)
+
+let rec acquire_slow t ~dom =
+  let s = Atomic.get t.state in
+  match P.acquire s ~id:dom with
+  | P.Fast -> ()
+  | P.Take s' ->
+    if Atomic.compare_and_set t.state s s' then Obs.Metrics.incr m_direct_takes
+    else acquire_slow t ~dom
+  | P.Post s' ->
+    if Atomic.compare_and_set t.state s s' then begin
+      (* Request posted: park until the holder's release fence (or until
+         the token frees entirely), then re-run the transition. *)
+      let bit = 1 lsl dom in
+      mask_set t.waitmask bit;
+      Waiter.wait (Rt_dom.waiter dom) ~ready:(fun () ->
+          let s = Atomic.get t.state in
+          P.is_held_by s ~id:dom || P.is_free s);
+      mask_clear t.waitmask bit;
+      acquire_slow t ~dom
+    end
+    else acquire_slow t ~dom
+  | P.Wait ->
+    (* Someone else's request is in flight; wait for the slot to clear. *)
+    let bit = 1 lsl dom in
+    mask_set t.waitmask bit;
+    Waiter.wait (Rt_dom.waiter dom) ~ready:(fun () ->
+        let s = Atomic.get t.state in
+        P.is_held_by s ~id:dom || P.is_free s || not (P.has_request s));
+    mask_clear t.waitmask bit;
+    acquire_slow t ~dom
+
+(* Cold takeover entry: measures request → resume as [token.takeover_ns]. *)
+let[@inline never] acquire_cold t ~dom =
+  let t0 = Sds_obs.Span.now () in
+  acquire_slow t ~dom;
+  t.fast_owner <- dom;
+  Obs.Metrics.observe h_takeover (Sds_obs.Span.now () - t0)
+
+let acquire t ~dom = if t.fast_owner <> dom then acquire_cold t ~dom
+
+(* ---- the operation window ---- *)
+
+let with_held t ~dom f =
+  if t.fast_owner <> dom then acquire_cold t ~dom;
+  t.inflight <- t.inflight + 1;
+  match f () with
+  | r ->
+    t.inflight <- t.inflight - 1;
+    boundary t ~dom;
+    r
+  | exception e ->
+    t.inflight <- t.inflight - 1;
+    boundary t ~dom;
+    raise e
+
+(* ---- explicit relinquish (EOF / close / ownership transfer) ---- *)
+
+let rec release t ~dom =
+  let s = Atomic.get t.state in
+  if P.is_held_by s ~id:dom then begin
+    t.fast_owner <- -1;
+    if Atomic.compare_and_set t.state s (P.release s ~id:dom) then begin
+      if P.has_request s then begin
+        t.handoffs <- t.handoffs + 1;
+        Obs.Metrics.incr m_handoffs
+      end;
+      wake_waiters t
+    end
+    else release t ~dom
+  end

@@ -1,0 +1,38 @@
+(** Real-domain token handoff (§4.2) over the shared
+    {!Sds_proto.Token_proto} state machine.
+
+    One token per socket-queue direction.  The held-by-me fast path is one
+    plain compare on entry plus one atomic load at the operation boundary;
+    takeover runs request → drain → release-fence → resume through
+    {!Sds_notify.Waiter} parking.  Holds are cooperative: grants happen at
+    operation boundaries, so a domain done with a socket must [release]
+    (the socket layer does at EOF/close).  Every token registers with the
+    flight recorder ([rt_token] state section: holder, pending requester,
+    in-flight count). *)
+
+type t
+
+val create : ?name:string -> holder:int -> unit -> t
+(** [holder] is the owning domain's {!Rt_dom} slot; [-1] creates the token
+    free (first operator takes it with one CAS) — for dispatched endpoints
+    whose eventual owner is unknown at creation. *)
+
+val holder : t -> int
+(** Racy snapshot of the holding slot; -1 when free. *)
+
+val handoffs : t -> int
+(** Grants served to a pending requester (holder-written; racy read). *)
+
+val acquire : t -> dom:int -> unit
+(** Make [dom] the holder: free on the held-by-[dom] fast path, otherwise
+    the takeover protocol (observed in the [token.takeover_ns] histogram). *)
+
+val with_held : t -> dom:int -> (unit -> 'a) -> 'a
+(** Run [f] as one operation under the token: acquire if needed, run, then
+    serve any takeover posted meanwhile at the operation boundary.
+    Allocation-free on the held-by-[dom] fast path. *)
+
+val release : t -> dom:int -> unit
+(** Relinquish (EOF/close/ownership transfer): grants to a pending
+    requester, otherwise frees the token.  No-op when [dom] is not the
+    holder. *)

@@ -86,4 +86,15 @@ let () =
       ignore (R.try_enqueue_descs r send_entries ~n:1);
       ignore (R.try_dequeue_descs ~auto_credit:true r ~entries);
       ignore (Pp.get_int_le pool (Pp.page_base (R.desc_page entries.(0))));
-      Pp.release ph (R.desc_page entries.(0)))
+      Pp.release ph (R.desc_page entries.(0)));
+  (* §4.2 token same-domain fast path: one plain-field compare, no atomics,
+     no closure — 0 minor words/op with obs enabled is what makes the
+     uncontended real-domain data path free. *)
+  let module Rt_dom = Sds_rt.Rt_dom in
+  let module Rt_token = Sds_rt.Rt_token in
+  let dom = Rt_dom.self () in
+  let tok = Rt_token.create ~name:"probe" ~holder:dom () in
+  let noop = fun () -> () in
+  measure "Rt_token.with_held (fast path, obs on)" iters (fun () ->
+      Rt_token.with_held tok ~dom noop);
+  measure "Rt_token.acquire (held by me)" iters (fun () -> Rt_token.acquire tok ~dom)

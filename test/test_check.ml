@@ -294,6 +294,16 @@ let test_mutation_release_early () =
   Alcotest.(check bool) "releasing the page before the payload read is caught" true
     (o.races <> [] || o.assert_failures <> [])
 
+let test_mutation_token_unfenced () =
+  let o = Interleave.check (Models.token_handoff ~fence_atomic:false ()) in
+  Alcotest.(check bool) "dropping the grant's release fence races on socket state" true
+    (o.races <> [])
+
+let test_mutation_token_early_grant () =
+  let o = Interleave.check (Models.token_handoff ~drain_before_grant:false ()) in
+  Alcotest.(check bool) "granting before the drain is caught" true
+    (o.races <> [] || o.assert_failures <> [])
+
 let test_mutations_all_caught () =
   List.iter
     (fun (name, p) ->
@@ -345,6 +355,8 @@ let suite =
     Alcotest.test_case "mutation: late header trips assert" `Quick test_mutation_header_late;
     Alcotest.test_case "mutation: no-recheck loses wakeup" `Quick test_mutation_no_recheck;
     Alcotest.test_case "mutation: early release is use-after-free" `Quick test_mutation_release_early;
+    Alcotest.test_case "mutation: unfenced token grant races" `Quick test_mutation_token_unfenced;
+    Alcotest.test_case "mutation: token grant before drain" `Quick test_mutation_token_early_grant;
     Alcotest.test_case "mutation: all variants caught" `Quick test_mutations_all_caught;
     Alcotest.test_case "het-map" `Quick test_hmap;
   ]

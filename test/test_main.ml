@@ -19,4 +19,5 @@ let () =
       ("obs", Test_obs.suite);
       ("span", Test_span.suite);
       ("check", Test_check.suite);
+      ("rt", Test_rt.suite);
     ]

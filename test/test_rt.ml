@@ -1,0 +1,512 @@
+(* The real-domain backend: shared protocol cores (Token_proto, Batch_ctl,
+   Dispatch_core), the §4.2 token handoff on actual OCaml domains, the
+   ring+pagepool socket layer, and the §4.5.2 prefork monitor — including
+   the sim-vs-rt equivalence check that both backends drive the SAME
+   dispatch policy code. *)
+
+module P = Sds_proto.Token_proto
+module B = Sds_proto.Batch_ctl
+module D = Sds_proto.Dispatch_core
+module Rt_dom = Sds_rt.Rt_dom
+module Rt_token = Sds_rt.Rt_token
+module Rt_sock = Sds_rt.Rt_sock
+module Rt_monitor = Sds_rt.Rt_monitor
+module Rt_prefork = Sds_rt.Rt_prefork
+module Obs = Sds_obs.Obs
+
+(* ---- shared protocol cores ---- *)
+
+let test_token_proto () =
+  let s = P.held ~holder:3 in
+  Alcotest.(check bool) "held" true (P.is_held_by s ~id:3);
+  Alcotest.(check bool) "not held by other" false (P.is_held_by s ~id:4);
+  Alcotest.(check bool) "no request yet" false (P.has_request s);
+  (* Same-holder acquire is the fast path. *)
+  (match P.acquire s ~id:3 with
+  | P.Fast -> ()
+  | _ -> Alcotest.fail "holder re-acquire must be Fast");
+  (* A free token is taken directly. *)
+  (match P.acquire P.free ~id:7 with
+  | P.Take s' -> Alcotest.(check bool) "taken" true (P.is_held_by s' ~id:7)
+  | _ -> Alcotest.fail "free token must be Take");
+  (* A held token gets a posted request; the slot then makes others Wait. *)
+  let s' =
+    match P.acquire s ~id:5 with
+    | P.Post s' ->
+      Alcotest.(check int) "requester recorded" 5 (P.requester s');
+      Alcotest.(check bool) "still held" true (P.is_held_by s' ~id:3);
+      s'
+    | _ -> Alcotest.fail "first contender must Post"
+  in
+  (match P.acquire s' ~id:6 with
+  | P.Wait -> ()
+  | _ -> Alcotest.fail "second contender must Wait");
+  (* The release fence: grant moves holdership to the requester. *)
+  Alcotest.(check bool) "should_release" true (P.should_release s' ~id:3);
+  let g = P.grant s' in
+  Alcotest.(check bool) "granted" true (P.is_held_by g ~id:5);
+  Alcotest.(check bool) "request slot cleared" false (P.has_request g);
+  (* Release without a pending request frees the token. *)
+  Alcotest.(check bool) "release frees" true (P.is_free (P.release s ~id:3));
+  (* Release with a pending request grants instead. *)
+  Alcotest.(check bool) "release grants" true (P.is_held_by (P.release s' ~id:3) ~id:5);
+  (* Fork-time seize forces holdership, preserving a stranger's request. *)
+  Alcotest.(check bool) "seize" true (P.is_held_by (P.seize s' ~id:9) ~id:9);
+  Alcotest.(check int) "seize keeps request" 5 (P.requester (P.seize s' ~id:9))
+
+let test_batch_ctl () =
+  let c = B.create ~min_b:4 ~initial:32 ~max_b:256 () in
+  Alcotest.(check int) "starts at initial" 32 (B.budget c);
+  (* Full acceptance with no backlog: rest at the initial budget. *)
+  B.observe c ~sent:32 ~attempted:32 ~pressure:false;
+  Alcotest.(check int) "full acceptance rests at initial" 32 (B.budget c);
+  (* Partial acceptance: no change. *)
+  B.observe c ~sent:10 ~attempted:32 ~pressure:false;
+  Alcotest.(check int) "partial acceptance keeps budget" 32 (B.budget c);
+  (* Only an observed ring-full (zero progress) halves. *)
+  B.observe c ~sent:0 ~attempted:32 ~pressure:false;
+  Alcotest.(check int) "ring-full halves" 16 (B.budget c);
+  B.observe c ~sent:0 ~attempted:16 ~pressure:false;
+  B.observe c ~sent:0 ~attempted:8 ~pressure:false;
+  B.observe c ~sent:0 ~attempted:4 ~pressure:false;
+  Alcotest.(check int) "floor at min" 4 (B.budget c);
+  (* Recovery climbs back toward initial on full acceptance... *)
+  B.observe c ~sent:4 ~attempted:4 ~pressure:false;
+  Alcotest.(check int) "recovers toward initial" 8 (B.budget c);
+  B.observe c ~sent:8 ~attempted:8 ~pressure:false;
+  B.observe c ~sent:16 ~attempted:16 ~pressure:false;
+  B.observe c ~sent:32 ~attempted:32 ~pressure:false;
+  Alcotest.(check int) "rests at initial again" 32 (B.budget c);
+  (* ...and grows past it only under caller backlog pressure. *)
+  B.observe c ~sent:32 ~attempted:32 ~pressure:true;
+  Alcotest.(check int) "pressure grows past initial" 64 (B.budget c);
+  B.observe c ~sent:64 ~attempted:64 ~pressure:true;
+  B.observe c ~sent:128 ~attempted:128 ~pressure:true;
+  Alcotest.(check int) "capped at max" 256 (B.budget c);
+  B.observe c ~sent:256 ~attempted:256 ~pressure:false;
+  Alcotest.(check int) "no pressure rests back at initial" 32 (B.budget c);
+  B.reset c;
+  Alcotest.(check int) "reset" 32 (B.budget c)
+
+let test_dispatch_core () =
+  (* Round-robin over equal backlogs is a deterministic cycle. *)
+  let lens = [| 0; 0; 0; 0 |] in
+  let rr = ref 0 in
+  let picks =
+    List.init 8 (fun _ ->
+        match D.pick ~n:4 ~rr:!rr ~length:(fun i -> lens.(i)) ~capacity:(fun _ -> 8) with
+        | Some i ->
+          rr := (i + 1) mod 4;
+          i
+        | None -> Alcotest.fail "pick must succeed with room")
+  in
+  Alcotest.(check (list int)) "round-robin cycle" [ 0; 1; 2; 3; 0; 1; 2; 3 ] picks;
+  (* Full backlogs are skipped. *)
+  let lens = [| 8; 0; 8; 1 |] in
+  (match D.pick ~n:4 ~rr:0 ~length:(fun i -> lens.(i)) ~capacity:(fun _ -> 8) with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "must skip full worker 0");
+  (* All full: None. *)
+  (match D.pick ~n:2 ~rr:0 ~length:(fun _ -> 8) ~capacity:(fun _ -> 8) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "all-full pick must be None");
+  (* Steal from the strictly longest sibling; ties break to earlier index. *)
+  let lens = [| 0; 3; 5; 5 |] in
+  (match D.steal_victim ~n:4 ~self:0 ~length:(fun i -> lens.(i)) with
+  | Some 2 -> ()
+  | _ -> Alcotest.fail "must steal from earliest longest backlog");
+  (match D.steal_victim ~n:4 ~self:2 ~length:(fun i -> lens.(i)) with
+  | Some 3 -> ()
+  | _ -> Alcotest.fail "must exclude self");
+  match D.steal_victim ~n:3 ~self:1 ~length:(fun _ -> 0) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "empty siblings must be None"
+
+(* ---- Rt_token on real domains ---- *)
+
+let test_token_fast_path () =
+  let dom = Rt_dom.self () in
+  let tok = Rt_token.create ~name:"fast" ~holder:dom () in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    Rt_token.with_held tok ~dom (fun () -> incr hits)
+  done;
+  Alcotest.(check int) "every op ran" 10_000 !hits;
+  Alcotest.(check int) "same-domain ops never hand off" 0 (Rt_token.handoffs tok);
+  Alcotest.(check int) "still held" dom (Rt_token.holder tok)
+
+let test_token_free_start () =
+  let tok = Rt_token.create ~name:"free" ~holder:(-1) () in
+  Alcotest.(check int) "starts free" (-1) (Rt_token.holder tok);
+  let dom = Rt_dom.self () in
+  Rt_token.with_held tok ~dom (fun () -> ());
+  Alcotest.(check int) "first operator took it" dom (Rt_token.holder tok)
+
+(* Two domains churn one token; the plainly-shared counter is correct only
+   if with_held provides mutual exclusion across the takeovers (the grant
+   is the release fence that publishes the counter writes). *)
+let test_token_two_domain_handoff () =
+  let tok = Rt_token.create ~name:"pair" ~holder:(-1) () in
+  let counter = ref 0 in
+  let expected = Atomic.make 0 in
+  let ops = 20_000 in
+  let churn () =
+    let dom = Rt_dom.self () in
+    let mine = ref 0 in
+    for _ = 1 to ops do
+      Rt_token.with_held tok ~dom (fun () -> incr counter);
+      incr mine
+    done;
+    (* On a single-core box one domain can run its whole churn before the
+       other is ever scheduled — the latecomer then takes a *free* token
+       and no handoff happens.  Keep operating until a takeover has been
+       served: while we hold, the peer's acquire must go through a grant,
+       and if the peer holds, our own with_held forces one. *)
+    while Rt_token.handoffs tok = 0 do
+      Rt_token.with_held tok ~dom (fun () -> incr counter);
+      incr mine
+    done;
+    (* Cooperative-hold contract: done with the token, hand it back. *)
+    Rt_token.release tok ~dom;
+    ignore (Atomic.fetch_and_add expected !mine)
+  in
+  let a = Rt_dom.spawn churn in
+  let b = Rt_dom.spawn churn in
+  Domain.join a;
+  Domain.join b;
+  Alcotest.(check int) "no lost updates across takeovers" (Atomic.get expected) !counter;
+  Alcotest.(check bool) "takeovers actually happened" true (Rt_token.handoffs tok > 0)
+
+(* A holder that stops operating must release; the release serves a
+   pending requester without the holder ever running another op. *)
+let test_token_release_grants () =
+  let dom = Rt_dom.self () in
+  let tok = Rt_token.create ~name:"coop" ~holder:dom () in
+  let resumed = Atomic.make false in
+  let requester =
+    Rt_dom.spawn (fun () ->
+        let d = Rt_dom.self () in
+        Rt_token.acquire tok ~dom:d;
+        Atomic.set resumed true)
+  in
+  (* Give the requester time to post its takeover and park; the main
+     domain runs no further ops, so only release can serve it. *)
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "requester is blocked on an idle holder" false (Atomic.get resumed);
+  Rt_token.release tok ~dom;
+  Domain.join requester;
+  Alcotest.(check bool) "release served the pending requester" true (Atomic.get resumed)
+
+(* The §4.2 soak the issue asks for: 4 domains, 500k token-guarded ops.
+   Every boundary with a pending request grants, so contending domains
+   ping-pong holdership; how often they actually contend is up to the OS
+   scheduler (a single-core box serializes domains in long slices), so the
+   handoff assertion is existence, made deterministic the same way as the
+   two-domain test: late finishers keep operating until a takeover has
+   been served. *)
+let test_token_soak_4dom () =
+  let tok = Rt_token.create ~name:"soak" ~holder:(-1) () in
+  let counter = ref 0 in
+  let expected = Atomic.make 0 in
+  let domains = 4 in
+  let ops = 125_000 in
+  let churn () =
+    let dom = Rt_dom.self () in
+    let mine = ref 0 in
+    for _ = 1 to ops do
+      Rt_token.with_held tok ~dom (fun () -> incr counter);
+      incr mine
+    done;
+    while Rt_token.handoffs tok = 0 do
+      Rt_token.with_held tok ~dom (fun () -> incr counter);
+      incr mine
+    done;
+    Rt_token.release tok ~dom;
+    ignore (Atomic.fetch_and_add expected !mine)
+  in
+  let ds = Array.init domains (fun _ -> Rt_dom.spawn churn) in
+  Array.iter Domain.join ds;
+  Alcotest.(check bool) "at least 500k ops ran" true (Atomic.get expected >= domains * ops);
+  Alcotest.(check int) "zero lost updates" (Atomic.get expected) !counter;
+  Alcotest.(check bool) "takeovers happened" true (Rt_token.handoffs tok > 0)
+
+(* ---- Rt_sock ---- *)
+
+let test_sock_inline_loopback () =
+  let dom = Rt_dom.self () in
+  let a, b = Rt_sock.pair ~a_owner:dom ~b_owner:dom () in
+  let msg = Bytes.of_string "hello, real domains" in
+  let n_msgs = 100 in
+  for _ = 1 to n_msgs do
+    Rt_sock.send a ~dom msg ~off:0 ~len:(Bytes.length msg)
+  done;
+  Rt_sock.close a ~dom;
+  let dst = Bytes.create Rt_sock.max_inline in
+  let got = ref 0 in
+  let rec drain () =
+    let n = Rt_sock.recv b ~dom dst ~off:0 ~len:(Bytes.length dst) in
+    if n > 0 then begin
+      Alcotest.(check string) "payload intact" (Bytes.to_string msg)
+        (Bytes.sub_string dst 0 n);
+      got := !got + n;
+      drain ()
+    end
+  in
+  drain ();
+  Alcotest.(check int) "every byte arrived" (n_msgs * Bytes.length msg) !got;
+  Alcotest.(check bool) "EOF latched" true (Rt_sock.at_eof b);
+  Alcotest.(check int) "recv after EOF stays 0" 0
+    (Rt_sock.recv b ~dom dst ~off:0 ~len:(Bytes.length dst));
+  Alcotest.(check int) "bytes_sent" (n_msgs * Bytes.length msg) (Rt_sock.bytes_sent a);
+  Alcotest.(check int) "bytes_received" (n_msgs * Bytes.length msg) (Rt_sock.bytes_received b)
+
+(* Payloads above the crossover go through pagepool descriptor records;
+   the stream must reassemble exactly, across a real domain boundary. *)
+let test_sock_desc_path () =
+  let dom = Rt_dom.self () in
+  let payload = Rt_sock.zc_threshold + 4097 in
+  let msgs = 50 in
+  let a, b = Rt_sock.pair ~a_owner:dom ~b_owner:(-1) () in
+  let receiver =
+    Rt_dom.spawn (fun () ->
+        let d = Rt_dom.self () in
+        let dst = Bytes.create (Rt_sock.max_desc_per_record * 4096) in
+        let total = ref 0 in
+        let sum = ref 0 in
+        let rec go () =
+          let n = Rt_sock.recv b ~dom:d dst ~off:0 ~len:(Bytes.length dst) in
+          if n > 0 then begin
+            for i = 0 to n - 1 do
+              sum := !sum + Char.code (Bytes.get dst i)
+            done;
+            total := !total + n;
+            go ()
+          end
+        in
+        go ();
+        (!total, !sum))
+  in
+  let src = Bytes.create payload in
+  for i = 0 to payload - 1 do
+    Bytes.set src i (Char.chr (i land 0x7F))
+  done;
+  let expected_one = ref 0 in
+  for i = 0 to payload - 1 do
+    expected_one := !expected_one + (i land 0x7F)
+  done;
+  for _ = 1 to msgs do
+    Rt_sock.send a ~dom src ~off:0 ~len:payload
+  done;
+  Rt_sock.close a ~dom;
+  let total, sum = Domain.join receiver in
+  Alcotest.(check int) "every byte crossed the descriptor path" (msgs * payload) total;
+  Alcotest.(check int) "payload bytes intact" (msgs * !expected_one) sum
+
+let test_sock_send_burst () =
+  let dom = Rt_dom.self () in
+  let a, b = Rt_sock.pair ~a_owner:dom ~b_owner:dom () in
+  let payload = 64 in
+  let buf = Bytes.make payload 'z' in
+  let n = 1000 in
+  let entries = Array.make 100 (buf, 0, payload) in
+  let sent = ref 0 in
+  while !sent < n do
+    let k = min 100 (n - !sent) in
+    Rt_sock.send_burst a ~dom entries ~n:k;
+    sent := !sent + k;
+    (* Interleave draining so the burst never wedges on ring credits. *)
+    let dst = Bytes.create Rt_sock.max_inline in
+    let continue = ref true in
+    while !continue do
+      if Rt_sock.bytes_received b >= !sent * payload then continue := false
+      else if Rt_sock.recv b ~dom dst ~off:0 ~len:(Bytes.length dst) = 0 then continue := false
+    done
+  done;
+  Alcotest.(check int) "burst bytes all received" (n * payload) (Rt_sock.bytes_received b)
+
+(* ---- Rt_monitor / Rt_prefork ---- *)
+
+let test_prefork_echo () =
+  let workers = 2 and conns = 4 and msgs = 50 and payload = 256 in
+  let s = Rt_prefork.run ~workers ~conns ~msgs_per_conn:msgs ~payload ~echo:true () in
+  Alcotest.(check int) "every connection served once" conns (Rt_prefork.total_served s);
+  Alcotest.(check int) "every byte arrived exactly once" (conns * msgs * payload)
+    s.Rt_prefork.total_bytes
+
+let test_prefork_invariants () =
+  let workers = 4 and conns = 24 and msgs = 200 and payload = 64 in
+  let s = Rt_prefork.run ~workers ~conns ~msgs_per_conn:msgs ~payload () in
+  Alcotest.(check int) "conns served" conns (Rt_prefork.total_served s);
+  Alcotest.(check int) "bytes exact" (conns * msgs * payload) s.Rt_prefork.total_bytes;
+  Alcotest.(check int) "per-worker served sums" conns (Array.fold_left ( + ) 0 s.Rt_prefork.served);
+  Array.iter
+    (fun b -> Alcotest.(check bool) "no negative byte counts" true (b >= 0))
+    s.Rt_prefork.bytes
+
+(* Descriptor-path traffic through the full prefork stack. *)
+let test_prefork_zero_copy () =
+  let workers = 2 and conns = 2 and msgs = 40 in
+  let payload = Rt_sock.zc_threshold in
+  let s = Rt_prefork.run ~workers ~conns ~msgs_per_conn:msgs ~payload () in
+  Alcotest.(check int) "16KiB payloads all arrive" (conns * msgs * payload)
+    s.Rt_prefork.total_bytes
+
+(* An idle worker must steal from a busy sibling's backlog (§4.5.2): park
+   worker 1 without accepting and let worker 0 drain everything. *)
+let test_monitor_steal () =
+  let mon = Rt_monitor.create ~workers:2 () in
+  let release_w1 = Atomic.make false in
+  let w1 =
+    Rt_dom.spawn (fun () ->
+        ignore (Rt_monitor.register mon ~index:1);
+        while not (Atomic.get release_w1) do
+          Unix.sleepf 0.001
+        done)
+  in
+  let conns = 6 in
+  let served = Atomic.make 0 in
+  let stolen = Atomic.make 0 in
+  let w0 =
+    Rt_dom.spawn (fun () ->
+        let w = Rt_monitor.register mon ~index:0 in
+        let d = Rt_dom.self () in
+        let buf = Bytes.create Rt_sock.max_inline in
+        let rec serve () =
+          match Rt_monitor.accept mon ~index:0 with
+          | None -> ()
+          | Some sock ->
+            while Rt_sock.recv sock ~dom:d buf ~off:0 ~len:(Bytes.length buf) > 0 do
+              ()
+            done;
+            Rt_sock.release_tokens sock ~dom:d;
+            Atomic.incr served;
+            serve ()
+        in
+        serve ();
+        Atomic.set stolen (Rt_monitor.stolen w))
+  in
+  while Rt_monitor.registered mon < 2 do
+    Domain.cpu_relax ()
+  done;
+  let dom = Rt_dom.self () in
+  for _ = 1 to conns do
+    let sock = Rt_monitor.connect mon ~dom in
+    Rt_sock.close sock ~dom
+  done;
+  (* Round-robin put half the backlog on the parked worker 1; worker 0
+     can only reach [conns] by stealing those. *)
+  while Atomic.get served < conns do
+    Unix.sleepf 0.001
+  done;
+  Rt_monitor.close_listener mon;
+  Domain.join w0;
+  Atomic.set release_w1 true;
+  Domain.join w1;
+  Alcotest.(check int) "every connection served by worker 0" conns (Atomic.get served);
+  Alcotest.(check bool) "some of them were stolen from worker 1" true (Atomic.get stolen > 0)
+
+(* ---- flight-recorder state providers ---- *)
+
+let test_flight_providers () =
+  let dom = Rt_dom.self () in
+  let tok = Rt_token.create ~name:"flighttok" ~holder:dom () in
+  Rt_token.with_held tok ~dom (fun () -> ());
+  let a, _b = Rt_sock.pair ~a_owner:dom ~b_owner:dom () in
+  Rt_sock.send a ~dom (Bytes.make 8 'f') ~off:0 ~len:8;
+  let dump = Sds_obs.Flight.render ~reason:"test" () in
+  let has sub =
+    let n = String.length dump and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub dump i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "rt_token section present" true (has "rt_token");
+  Alcotest.(check bool) "token line shows holder" true (has "flighttok#");
+  Alcotest.(check bool) "rt_conn section present" true (has "rt_conn");
+  Alcotest.(check bool) "rt_monitor section present" true (has "rt_monitor");
+  (* The registries hold tokens/socks weakly; keep them live past the
+     render or the GC erases their lines from the dump. *)
+  Alcotest.(check int) "token still held" dom (Rt_token.holder tok);
+  Rt_sock.close a ~dom
+
+(* ---- sim-vs-rt equivalence (the tentpole acceptance check) ----
+
+   The same prefork workload shape — W workers, C connections, one 8-byte
+   echo per connection — through the simulator backend and the real-domain
+   backend.  Both must satisfy identical §4.5.2 invariants, and both must
+   have gone through the one shared [Dispatch_core] policy, observed here
+   by the shared monitor.dispatch.rr counter advancing by exactly C on
+   each side. *)
+
+let test_sim_rt_equivalence () =
+  let module L = Socksdirect.Libsd in
+  let module Prefork = Sds_apps.Prefork_server in
+  let workers = 4 and conns_per_worker = 3 in
+  let conns = workers * conns_per_worker in
+  let payload = 8 in
+  (* -- simulator backend -- *)
+  let rr0 = Obs.Metrics.counter_value "monitor.dispatch.rr" in
+  let w = Helpers.make_world () in
+  let h = Helpers.add_host w in
+  let server = Prefork.create h ~port:9300 ~workers in
+  let ready = ref false in
+  Prefork.start server ~engine:w.Helpers.engine ~conns_per_worker
+    ~handler:Prefork.echo_handler ~on_ready:(fun () -> ready := true);
+  let sim_client_bytes = ref 0 in
+  Helpers.run w (fun () ->
+      Helpers.wait_for ready;
+      let ctx = L.init h in
+      let th = L.create_thread ctx ~core:30 () in
+      let buf = Bytes.create payload in
+      for _ = 1 to conns do
+        let fd = L.socket th in
+        L.connect th fd ~dst:h ~port:9300;
+        ignore (L.send th fd (Bytes.make payload 'e') ~off:0 ~len:payload);
+        let got = ref 0 in
+        while !got < payload do
+          let n = L.recv th fd buf ~off:!got ~len:(payload - !got) in
+          if n = 0 then failwith "eq-client: eof";
+          got := !got + n
+        done;
+        sim_client_bytes := !sim_client_bytes + !got;
+        L.close th fd
+      done;
+      Sds_sim.Proc.sleep_ns 1_000_000);
+  let sim_served = Prefork.served server in
+  let rr1 = Obs.Metrics.counter_value "monitor.dispatch.rr" in
+  (* -- real-domain backend, identical workload shape -- *)
+  let rt =
+    Rt_prefork.run ~workers ~conns ~msgs_per_conn:1 ~payload ~echo:true ()
+  in
+  let rr2 = Obs.Metrics.counter_value "monitor.dispatch.rr" in
+  (* Identical §4.5.2 invariants on both backends. *)
+  Alcotest.(check int) "sim served every connection" conns
+    (Array.fold_left ( + ) 0 sim_served);
+  Alcotest.(check int) "rt served every connection" conns (Rt_prefork.total_served rt);
+  Alcotest.(check int) "sim echoed every byte" (conns * payload) !sim_client_bytes;
+  Alcotest.(check int) "rt received every byte" (conns * payload) rt.Rt_prefork.total_bytes;
+  (* Both backends drove the SAME shared dispatch policy: the one
+     monitor.dispatch.rr series advanced by exactly [conns] each time. *)
+  Alcotest.(check int) "sim dispatched through Dispatch_core" conns (rr1 - rr0);
+  Alcotest.(check int) "rt dispatched through Dispatch_core" conns (rr2 - rr1)
+
+let suite =
+  [
+    Alcotest.test_case "proto: token transitions" `Quick test_token_proto;
+    Alcotest.test_case "proto: batch controller" `Quick test_batch_ctl;
+    Alcotest.test_case "proto: dispatch policy" `Quick test_dispatch_core;
+    Alcotest.test_case "token: same-domain fast path" `Quick test_token_fast_path;
+    Alcotest.test_case "token: free-start direct take" `Quick test_token_free_start;
+    Alcotest.test_case "token: two-domain handoff" `Quick test_token_two_domain_handoff;
+    Alcotest.test_case "token: release grants pending requester" `Quick test_token_release_grants;
+    Alcotest.test_case "token: 4-domain 500k-op takeover soak" `Slow test_token_soak_4dom;
+    Alcotest.test_case "sock: inline loopback + EOF" `Quick test_sock_inline_loopback;
+    Alcotest.test_case "sock: descriptor path cross-domain" `Quick test_sock_desc_path;
+    Alcotest.test_case "sock: vectored burst send" `Quick test_sock_send_burst;
+    Alcotest.test_case "prefork: echo smoke" `Quick test_prefork_echo;
+    Alcotest.test_case "prefork: dispatch invariants" `Quick test_prefork_invariants;
+    Alcotest.test_case "prefork: zero-copy payloads" `Quick test_prefork_zero_copy;
+    Alcotest.test_case "monitor: idle worker steals" `Quick test_monitor_steal;
+    Alcotest.test_case "flight: rt state providers" `Quick test_flight_providers;
+    Alcotest.test_case "equivalence: sim and rt share the protocol core" `Quick
+      test_sim_rt_equivalence;
+  ]
