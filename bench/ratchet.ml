@@ -48,6 +48,15 @@ let watched =
     ("token takeover p99", 0, 10.0);
   ]
 
+(* Absolute bars, checked against the fresh run only: per-message stamp
+   overheads are paired-difference medians near zero, where a ratio
+   against the baseline is meaningless (a 0.3 → 0.9 ns move is a 200%
+   "regression" of nothing).  The row must be present and under the bar.
+   The span row predates the §4.3 work; the heartbeat row guards the
+   liveness tax [Rt_dom.beat] puts on every fast-path operation. *)
+let absolute_bars =
+  [ ("ring1core span overhead", 64, 2.0); ("ring1core heartbeat overhead", 64, 2.0) ]
+
 (* ---- line-oriented field extraction ---- *)
 
 let find_sub s sub =
@@ -174,7 +183,17 @@ let () =
               f.ns_per_msg b.ns_per_msg ((ratio -. 1.0) *. 100.)
         end)
     watched;
-  (* 3. §4.6 invariant: zero-copy stream >= 2x forced-copy MB/s at 64 KiB *)
+  (* 3. absolute bars: stamp overheads stay under their ns/msg ceilings *)
+  List.iter
+    (fun (name, payload, bar) ->
+      match lookup fresh name payload with
+      | None -> fail "%s %dB: missing from fresh run" name payload
+      | Some f ->
+        if f.ns_per_msg > bar then
+          fail "%s %dB: %.2f ns/msg over the %.1f ns absolute bar" name payload f.ns_per_msg bar
+        else Fmt.pr "ok   %-26s %6dB  %9.2f ns/msg (absolute bar %.1f)@." name payload f.ns_per_msg bar)
+    absolute_bars;
+  (* 4. §4.6 invariant: zero-copy stream >= 2x forced-copy MB/s at 64 KiB *)
   (match (lookup fresh "ring2core stream" 65536, lookup fresh "ring2core stream copy" 65536) with
   | Some zc, Some cp ->
     if zc.mb_per_sec < 2.0 *. cp.mb_per_sec then
@@ -187,4 +206,5 @@ let () =
     Fmt.pr "ratchet: %d failure(s)@." !failures;
     exit 1
   end;
-  Fmt.pr "ratchet: all %d watched rows within %.0f%%@." (List.length watched) (tolerance *. 100.)
+  Fmt.pr "ratchet: all %d watched rows within %.0f%%, %d absolute bars held@."
+    (List.length watched) (tolerance *. 100.) (List.length absolute_bars)

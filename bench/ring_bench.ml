@@ -365,6 +365,56 @@ let span_overhead ?(ring_size = 1 lsl 20) ?(payload = 64) ?(msgs = 200_000) ?(re
     ok = overhead <= 2.0;
   }
 
+(* ---- heartbeat-stamp overhead ----
+
+   The §4.3 liveness machinery taxes every fast-path operation with one
+   [Rt_dom.beat] — a plain store into the slot's padded heartbeat cell.
+   Same paired-median protocol as [span_overhead]: each rep times the 64B
+   enq+deq loop with and without the beat, alternating order, and the
+   estimate is the median paired difference.  The acceptance bar is
+   <= 2 ns/msg — being watchable by the reaper must stay in store-buffer
+   noise. *)
+let heartbeat_overhead ?(ring_size = 1 lsl 20) ?(payload = 64) ?(msgs = 200_000) ?(reps = 25) () =
+  let r = R.create ~size:ring_size () in
+  let src = Bytes.create payload in
+  let dst = Bytes.create payload in
+  let slot = Rt_dom.self () in
+  let run ~beat =
+    let t0 = Unix.gettimeofday () in
+    if beat then
+      for seq = 0 to msgs - 1 do
+        stamp src seq payload;
+        Rt_dom.beat slot;
+        ignore (R.try_enqueue r src ~off:0 ~len:payload);
+        ignore (R.try_dequeue_packed ~auto_credit:true r ~dst ~dst_off:0)
+      done
+    else
+      for seq = 0 to msgs - 1 do
+        stamp src seq payload;
+        ignore (R.try_enqueue r src ~off:0 ~len:payload);
+        ignore (R.try_dequeue_packed ~auto_credit:true r ~dst ~dst_off:0)
+      done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int msgs
+  in
+  let diffs =
+    Array.init reps (fun i ->
+        let first_on = i land 1 = 1 in
+        let a = run ~beat:first_on in
+        let b = run ~beat:(not first_on) in
+        if first_on then a -. b else b -. a)
+  in
+  Array.sort compare diffs;
+  let overhead = diffs.(reps / 2) in
+  {
+    name = "ring1core heartbeat overhead";
+    payload;
+    msgs = reps * msgs;
+    ns_per_msg = overhead;
+    msgs_per_sec = 0.;
+    mb_per_sec = 0.;
+    ok = overhead <= 2.0;
+  }
+
 (* ---- single-domain loopback (enq+deq on one core) ---- *)
 
 let single_domain_throughput ?(ring_size = 1 lsl 20) ~payload ~msgs () =
@@ -613,6 +663,8 @@ let run_all ?(copy_mode = Cp.Adaptive) () =
   pp_result adaptive;
   let span_oh = span_overhead () in
   pp_result span_oh;
+  let hb_oh = heartbeat_overhead () in
+  pp_result hb_oh;
   Fmt.pr "-- ringNcore: real-domain prefork data plane (%d core(s) available) --@."
     (Rt_dom.available_cores ());
   let prefork = run_prefork () in
@@ -621,7 +673,7 @@ let run_all ?(copy_mode = Cp.Adaptive) () =
   pp_result takeover;
   let all =
     cross @ pool_rows @ [ pp; wake ] @ single
-    @ [ batched; adaptive; span_oh ]
+    @ [ batched; adaptive; span_oh; hb_oh ]
     @ prefork @ [ takeover ]
   in
   if List.for_all (fun r -> r.ok) all then Fmt.pr "all checksums ok@."

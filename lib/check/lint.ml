@@ -37,6 +37,12 @@
                          name must follow the [layer.noun] convention:
                          lowercase dot-separated segments, e.g.
                          ["ring.enqueues"], ["span.wake"].
+   - [fault-confined]    [Sds_fault.inject] call sites may appear only in
+                         the allowlisted crash-recovery modules, and inside
+                         [@sds.hot] functions only under the zero-cost
+                         [if Sds_fault.armed () then ...] gate — chaos
+                         hooks must never grow into the general tree or
+                         put an unconditional call on a fast path.
 
    Any rule can be locally silenced with [@sds.allow "rule-slug"] on an
    expression; the suppression covers the subtree.  The pass is purely
@@ -56,9 +62,11 @@ type config = {
   atomic_allow : string list;  (** files allowed to touch [Atomic] *)
   obj_allow : string list;  (** files allowed to touch [Obj] *)
   bigarray_allow : string list;  (** files allowed unsafe Bigarray access (hot only) *)
+  fault_allow : string list;  (** files allowed to call [Sds_fault.inject] *)
   atomic_dirs : string list;  (** scopes of the atomic-confined rule *)
   obj_dirs : string list;
   bigarray_dirs : string list;  (** scopes of the bigarray-unsafe rule *)
+  fault_dirs : string list;  (** scopes of the fault-confined rule *)
   compare_dirs : string list;  (** bare [compare] flagged here *)
   data_path_dirs : string list;  (** structural [=]/[<>] flagged here *)
   mli_dirs : string list;  (** [.mli] parity enforced here *)
@@ -75,16 +83,29 @@ let default =
         "lib/ring/spsc_ring.ml";
         "lib/notify/waiter.ml";
         "lib/vm/pagepool.ml";
-        (* The real-domain backend: the token word and the dispatcher's
-           backlog mirrors are the audited cross-domain state. *)
+        (* The real-domain backend: the token word, the dispatcher's
+           backlog mirrors, the liveness epochs, and the connections'
+           poison flags are the audited cross-domain state. *)
         "lib/rt/rt_token.ml";
         "lib/rt/rt_monitor.ml";
+        "lib/rt/rt_dom.ml";
+        "lib/rt/rt_sock.ml";
+        (* The chaos gate: a single relaxed flag read on the armed path. *)
+        "lib/fault/sds_fault.ml";
       ];
     obj_allow = [ "lib/het/hmap.ml" ];
     bigarray_allow = [ "lib/vm/pagepool.ml"; "lib/ring/spsc_ring.ml" ];
+    fault_allow =
+      [
+        "lib/fault/sds_fault.ml";
+        "lib/rt/rt_token.ml";
+        "lib/rt/rt_sock.ml";
+        "lib/rt/rt_monitor.ml";
+      ];
     atomic_dirs = [ "lib"; "bin"; "bench"; "examples" ];
     obj_dirs = [ "lib"; "bin"; "bench"; "examples"; "test" ];
     bigarray_dirs = [ "lib"; "bin"; "bench"; "examples" ];
+    fault_dirs = [ "lib"; "bin"; "bench"; "examples" ];
     compare_dirs = [ "lib" ];
     data_path_dirs =
       [ "lib/ring"; "lib/notify"; "lib/transport"; "lib/core"; "lib/proto"; "lib/rt" ];
@@ -102,10 +123,20 @@ let rule_mli = "mli-parity"
 let rule_hot = "hot-alloc"
 let rule_bigarray = "bigarray-unsafe"
 let rule_metric = "metric-registration"
+let rule_fault = "fault-confined"
 let rule_parse = "parse-error"
 
 let all_rules =
-  [ rule_atomic; rule_compare; rule_obj; rule_mli; rule_hot; rule_bigarray; rule_metric ]
+  [
+    rule_atomic;
+    rule_compare;
+    rule_obj;
+    rule_mli;
+    rule_hot;
+    rule_bigarray;
+    rule_metric;
+    rule_fault;
+  ]
 
 (* ---- path scoping ---- *)
 
@@ -150,8 +181,12 @@ let lint_source ~config ~path ~source =
   let check_compare = in_any path config.compare_dirs in
   let check_struct_eq = in_any path config.data_path_dirs in
   let check_metric = in_any path config.metric_dirs && not (is_allowed path config.metric_allow) in
+  let check_fault = in_any path config.fault_dirs in
+  let fault_allowed = is_allowed path config.fault_allow in
   (* Nesting depth in [fun]/[function] bodies: 0 = module top level. *)
   let fun_depth = ref 0 in
+  (* Inside the then-branch of [if Sds_fault.armed () then ...]. *)
+  let fault_gate = ref 0 in
   let add ~loc rule message =
     if not (List.mem rule !suppressed) then begin
       let p = loc.Location.loc_start in
@@ -193,6 +228,20 @@ let lint_source ~config ~path ~source =
       | _ -> ())
     | Some "Obj" when check_obj ->
       add ~loc rule_obj "Obj.* outside the designated safe module (lib/het/hmap.ml)"
+    | Some "Sds_fault"
+      when check_fault
+           && (match List.rev (Longident.flatten lid) with
+              | "inject" :: _ -> true
+              | _ -> false) ->
+      if not fault_allowed then
+        add ~loc rule_fault
+          "Sds_fault.inject outside the crash-recovery allowlist (lib/fault, lib/rt); chaos \
+           hooks live only where the recovery protocol is audited"
+      else if !hot > 0 && !cold = 0 && !fault_gate = 0 then
+        add ~loc rule_fault
+          "ungated Sds_fault.inject inside an [@sds.hot] function; wrap it as \
+           [if Sds_fault.armed () then Sds_fault.inject ...] so the disarmed fast path \
+           pays one flag read"
     | Some (("Printf" | "Format") as m) when !hot > 0 && !cold = 0 ->
       add ~loc rule_hot (Printf.sprintf "%s.* formats (and allocates) inside an [@sds.hot] function" m)
     | Some "List" when !hot > 0 && !cold = 0 ->
@@ -250,6 +299,20 @@ let lint_source ~config ~path ~source =
       | _ -> ()
     end
   in
+  (* Does this guard expression test [Sds_fault.armed ()]?  Sees through
+     the common composed forms ([armed () && more], [not (...)],
+     parentheses/constraints). *)
+  let rec mentions_armed e =
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+      match Longident.flatten txt with
+      | [ "Sds_fault"; "armed" ] -> true
+      | _ -> false)
+    | Pexp_apply (f, args) ->
+      mentions_armed f || List.exists (fun (_, a) -> mentions_armed a) args
+    | Pexp_constraint (e', _) -> mentions_armed e'
+    | _ -> false
+  in
   (* Syntactically structured operand: comparing one with polymorphic =
      walks the structure at runtime. *)
   let is_structural e =
@@ -295,6 +358,12 @@ let lint_source ~config ~path ~source =
           incr fun_depth;
           default_it.expr it e;
           decr fun_depth
+        | Pexp_ifthenelse (cond, then_, else_) when mentions_armed cond ->
+          it.Ast_iterator.expr it cond;
+          incr fault_gate;
+          it.Ast_iterator.expr it then_;
+          decr fault_gate;
+          Option.iter (it.Ast_iterator.expr it) else_
         | _ -> default_it.expr it e)
   in
   (* [let[@sds.hot] f p1 p2 = body]: the curried parameter chain is the
@@ -337,6 +406,9 @@ let lint_source ~config ~path ~source =
       add ~loc rule_atomic "aliasing/opening Atomic outside the allowlisted lock-free modules"
     | "Obj" :: _ when check_obj ->
       add ~loc rule_obj "aliasing/opening Obj outside the designated safe module"
+    | "Sds_fault" :: _ when check_fault && not fault_allowed ->
+      add ~loc rule_fault
+        "aliasing/opening Sds_fault outside the crash-recovery allowlist"
     | _ -> ()
   in
   let module_expr it me =

@@ -17,6 +17,9 @@
       only at module top level (never inside a function, least of all an
       [@sds.hot] one), with literal names following the lowercase
       dot-separated [layer.noun] convention.
+    - ["fault-confined"]: [Sds_fault.inject] call sites only in the
+      allowlisted crash-recovery modules, and inside [@sds.hot] functions
+      only under the [if Sds_fault.armed () then ...] zero-cost gate.
     - ["parse-error"]: the file does not parse (always reported).
 
     Suppress any rule locally with [(e [@sds.allow "rule-slug"])]. *)
@@ -33,9 +36,11 @@ type config = {
   atomic_allow : string list;
   obj_allow : string list;
   bigarray_allow : string list;
+  fault_allow : string list;
   atomic_dirs : string list;
   obj_dirs : string list;
   bigarray_dirs : string list;
+  fault_dirs : string list;
   compare_dirs : string list;
   data_path_dirs : string list;
   mli_dirs : string list;

@@ -203,6 +203,62 @@ let token_handoff ?(fence_atomic = true) ?(drain_before_grant = true) () =
       [ { name = "holder"; body = holder }; { name = "requester"; body = requester } ];
   }
 
+(* ---- §4.3 crash takeover (lib/rt/rt_token.ml seize path) ----
+
+   A holder dies mid-handoff: it wrote token-guarded socket state and then
+   crashed *before* publishing the grant, leaving a requester posted.  The
+   reaper (the [Rt_dom.on_death] hook / [try_seize]) observes the death
+   ([alive] = 0, standing in for the epoch parity check) and commits the
+   seize with an atomic transition — the seize fence — handing the token
+   to the posted requester, which then reads the dead holder's writes.
+
+   Encoding mirrors [token_handoff]: [tok] = 1 "held by 1", 9 "held by 1,
+   requested by 2", 2 "held by 2".  [alive] is holder 1's liveness epoch
+   bit; the crash is the atomic [alive] := 0 (exactly what
+   [Rt_dom.declare_dead]'s epoch CAS publishes), after which the holder
+   executes nothing further — a crash is silence, not cleanup.
+
+   The CAS from the observed word is load-bearing twice over: it orders
+   the dead holder's plain writes before the survivor's reads (the
+   happens-before edge runs holder-store → alive:=0 → reaper's CAS →
+   requester's resume), and it arbitrates racing seizers.
+   [seize_fence = false] publishes the seize with a plain store — the
+   requester's resume then races with the holder's dying write, and the
+   checker must report it. *)
+
+let token_crash_recovery ?(seize_fence = true) () =
+  let seize =
+    if seize_fence then [ Cas ("tok", Int 9, Int 2, "won") ]
+    else [ Plain_store ("tok", Int 2) ]
+  in
+  let holder =
+    [
+      Plain_store ("data", Int 1);  (* the dying incarnation's last write *)
+      Block_until (Rel (Eq, Var "tok", Int 9));
+      Store ("alive", Int 0);  (* declare_dead's epoch retire; then silence *)
+    ]
+  in
+  let reaper = [ Block_until (Rel (Eq, Var "alive", Int 0)) ] @ seize in
+  let requester =
+    [
+      Cas ("tok", Int 1, Int 9, "posted");
+      Assert (Rel (Eq, Reg "posted", Int 1), "takeover request CAS failed against a held token");
+      Block_until (Rel (Eq, Var "tok", Int 2));
+      Plain_load ("data", "d");
+      Assert (Rel (Eq, Reg "d", Int 1), "survivor resumed without the dead holder's writes");
+      Plain_store ("data", Int 2);
+    ]
+  in
+  {
+    globals = [ ("tok", 1); ("data", 0); ("alive", 1) ];
+    threads =
+      [
+        { name = "holder"; body = holder };
+        { name = "reaper"; body = reaper };
+        { name = "requester"; body = requester };
+      ];
+  }
+
 (* The checks `dune runtest` gates on, plus their pinned mutations. *)
 let all =
   [
@@ -210,6 +266,7 @@ let all =
     ("park-notify", park_notify ());
     ("desc-handoff", desc_handoff ());
     ("token-handoff", token_handoff ());
+    ("token-crash-recovery", token_crash_recovery ());
   ]
 
 let mutations =
@@ -220,4 +277,5 @@ let mutations =
     ("desc-handoff-release-early", desc_handoff ~release_before_read:true ());
     ("token-handoff-unfenced", token_handoff ~fence_atomic:false ());
     ("token-handoff-early-grant", token_handoff ~drain_before_grant:false ());
+    ("token-crash-unfenced-seize", token_crash_recovery ~seize_fence:false ());
   ]

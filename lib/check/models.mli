@@ -28,6 +28,13 @@ val token_handoff :
     with the in-flight operation still open (expect the stale-read
     assertion). *)
 
+val token_crash_recovery : ?seize_fence:bool -> unit -> Interleave.program
+(** §4.3 crash takeover: a holder dies between draining and granting with
+    a requester posted; the reaper seizes the token for the survivor.
+    [~seize_fence:false] commits the seize with a plain store instead of
+    the CAS (expect a race between the dead holder's last write and the
+    survivor's resume). *)
+
 val all : (string * Interleave.program) list
 (** Correct protocols, by name — each must satisfy [Interleave.ok]. *)
 

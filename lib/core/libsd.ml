@@ -37,6 +37,7 @@ let h_send_size = Obs.Metrics.histogram "libsd.send_size"
 
 exception Connection_refused
 exception Broken_pipe
+exception Connection_reset
 exception Bad_fd of int
 
 type config = {
@@ -575,6 +576,7 @@ let send th fd buf ~off ~len =
   | K (kproc, kfd) -> Kernel.send kproc kfd buf ~off ~len
   | Ep _ -> invalid_arg "libsd.send: epoll fd"
   | U s ->
+    if s.Sock.reset then raise Broken_pipe;
     if s.Sock.fin_sent then raise Broken_pipe;
     (match s.Sock.state with
     | Sock.Established -> ()
@@ -696,6 +698,13 @@ let rec recv th fd buf ~off ~len =
   | Ep _ -> invalid_arg "libsd.recv: epoll fd"
   | U s ->
     Token.with_held s.Sock.recv_token ~tid:th.tid (fun () ->
+        (* Reset beats everything, including buffered data: ECONNRESET
+           semantics, the same drop Linux performs. *)
+        if s.Sock.reset then begin
+          s.Sock.partial <- None;
+          Queue.clear s.Sock.incoming;
+          raise Connection_reset
+        end;
         match s.Sock.partial with
         | Some (b, consumed) ->
           let avail = Bytes.length b - consumed in
@@ -708,7 +717,7 @@ let rec recv th fd buf ~off ~len =
           take
         | None -> (
           match next_msg th s with
-          | None -> 0 (* EOF *)
+          | None -> if s.Sock.reset then raise Connection_reset else 0 (* EOF *)
           | Some msg ->
             if handle_control s msg then recv_again th fd buf ~off ~len s
             else begin
@@ -720,12 +729,13 @@ let rec recv th fd buf ~off ~len =
             end))
 
 and recv_again th fd buf ~off ~len (s : Sock.t) =
-  if Sock.is_eof s then 0
+  if s.Sock.reset then raise Connection_reset
+  else if Sock.is_eof s then 0
   else
     (* Control message consumed; keep waiting for data without recursion
        through the token (we already hold it). *)
     match next_msg th s with
-    | None -> 0
+    | None -> if s.Sock.reset then raise Connection_reset else 0
     | Some msg ->
       if handle_control s msg then recv_again th fd buf ~off ~len s
       else begin
@@ -1184,4 +1194,21 @@ let simulate_crash ctx =
           List.iter (fun f -> f ()) peer.Sock.deliver_hooks
         | None -> ())
       | K _ | Ep _ -> ());
+  Zerocopy.unregister_pool ~uid:ctx.uid
+
+(* The hard flavour (§4.3): no drain, no graceful EOF.  Peers observe a
+   reset — blocked receivers wake with [Connection_reset], senders get
+   [Broken_pipe] — and the monitor releases the dead pid's port binds so
+   a restarted server can bind again. *)
+let simulate_abort ctx =
+  Fd_table.iter ctx.fds (fun _ e ->
+      match e with
+      | U s -> (
+        s.Sock.refs <- 0;
+        s.Sock.state <- Sock.Shut;
+        match s.Sock.peer_sock with
+        | Some peer -> Sock.mark_reset peer
+        | None -> ())
+      | K _ | Ep _ -> ());
+  Monitor.request ctx.monitor (Monitor.Died { d_pid = ctx.uid });
   Zerocopy.unregister_pool ~uid:ctx.uid

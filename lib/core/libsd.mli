@@ -15,6 +15,12 @@ module Fd_table = Sds_kernel.Fd_table
 
 exception Connection_refused
 exception Broken_pipe
+
+exception Connection_reset
+(** The peer died abnormally (ECONNRESET): raised by [recv] — dropping any
+    buffered data, reset semantics — on a socket whose peer [simulate_abort]ed;
+    [send] raises [Broken_pipe] (EPIPE) instead. *)
+
 exception Bad_fd of int
 exception Would_block
 
@@ -70,6 +76,12 @@ val migrate : process_ctx -> to_host:Host.t -> unit
 val simulate_crash : process_ctx -> unit
 (** Abnormal death: peers observe hangup-then-EOF after draining what was
     already sent (§4.5.4). *)
+
+val simulate_abort : process_ctx -> unit
+(** The hard flavour of [simulate_crash] (§4.3): no drain — peers observe a
+    reset ([Connection_reset] on recv, [Broken_pipe] on send), and the
+    monitor releases the dead pid's port binds so a restarted server can
+    bind the same port. *)
 
 (* ---- sockets ---- *)
 

@@ -72,6 +72,9 @@ type request =
   | Steal of { st_port : int; st_for : int; st_reply : syn_entry option -> unit }
   | Fork_pair of { fp_secret : int; fp_reply : bool -> unit }
   | Wake of { w_fn : unit -> unit }  (** interrupt-mode wakeup relay (§4.4) *)
+  | Died of { d_pid : int }
+      (** abnormal process death: release every port the pid still owned so
+          a restarted server can bind again (§4.3 crash cleanup) *)
 
 type t = {
   host : Host.t;
@@ -186,6 +189,17 @@ and handle t req =
     Obs.Metrics.incr m_wakes;
     Obs.Trace.emit Obs.Trace.Wake;
     w_fn ()
+  | Died { d_pid } ->
+    (* Crash cleanup (§4.3): the dead process can never Close its binds,
+       so the monitor releases them — a restarted server binds the same
+       port without EADDRINUSE. *)
+    let stale =
+      Hashtbl.fold (fun port pid acc -> if pid = d_pid then port :: acc else acc)
+        t.bound_ports []
+    in
+    List.iter (Hashtbl.remove t.bound_ports) stale;
+    Log.info (fun m ->
+        m "h%d: pid %d died, released %d port(s)" (Host.id t.host) d_pid (List.length stale))
 
 (* Dispatch a SYN to a listener thread round-robin, skipping full
    backlogs (§4.5.2); the pick is the shared [Dispatch_core] policy. *)

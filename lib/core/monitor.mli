@@ -42,6 +42,9 @@ type request =
   | Steal of { st_port : int; st_for : int; st_reply : syn_entry option -> unit }
   | Fork_pair of { fp_secret : int; fp_reply : bool -> unit }
   | Wake of { w_fn : unit -> unit }  (** interrupt-mode wakeup relay (§4.4) *)
+  | Died of { d_pid : int }
+      (** abnormal process death: release every port the pid still owned so
+          a restarted server can bind again (§4.3 crash cleanup) *)
 
 type t
 

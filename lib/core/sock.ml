@@ -87,6 +87,7 @@ type t = {
   mutable peer_sock : t option;  (** simulator-side pairing, for migration *)
   mutable fin_sent : bool;
   mutable fin_seen : bool;
+  mutable reset : bool;  (** peer died abnormally: ECONNRESET semantics *)
   mutable bytes_sent : int;
   mutable bytes_received : int;
   mutable zerocopy_sends : int;
@@ -121,6 +122,7 @@ let create host ~cost ~tid ?copy_mode () =
     peer_sock = None;
     fin_sent = false;
     fin_seen = false;
+    reset = false;
     bytes_sent = 0;
     bytes_received = 0;
     zerocopy_sends = 0;
@@ -144,6 +146,17 @@ let deliver t msg =
 
 let add_deliver_hook t f = t.deliver_hooks <- f :: t.deliver_hooks
 
+(* Abnormal peer death (§4.5.4 hard flavour): unlike FIN, a reset drops
+   buffered data and surfaces as ECONNRESET/EPIPE.  Wakes sleepers and
+   epoll watchers like a delivery would, so nobody stays parked. *)
+let mark_reset t =
+  if not t.reset then begin
+    t.reset <- true;
+    t.fin_seen <- true;
+    Waitq.broadcast t.rx_wq;
+    List.iter (fun f -> f ()) t.deliver_hooks
+  end
+
 (* Data ready for recv without touching the transport? *)
 let has_buffered t = t.partial <> None || not (Queue.is_empty t.incoming)
 
@@ -160,7 +173,7 @@ let poll_rx t =
   | Some (Rx_kernel _) | None -> not (Queue.is_empty t.incoming)
 
 let readable t =
-  has_buffered t
+  t.reset || has_buffered t
   ||
   match t.rx with
   | Some (Rx_chan chan) -> Shm_chan.pending chan > 0

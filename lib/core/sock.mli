@@ -74,6 +74,7 @@ type t = {
   mutable peer_sock : t option;  (** simulator-side pairing, for migration *)
   mutable fin_sent : bool;
   mutable fin_seen : bool;
+  mutable reset : bool;  (** peer died abnormally: ECONNRESET semantics *)
   mutable bytes_sent : int;
   mutable bytes_received : int;
   mutable zerocopy_sends : int;
@@ -91,6 +92,11 @@ val deliver : t -> Msg.t -> unit
 (** Commit a completed inbound message (NIC sink / SHM poll path). *)
 
 val add_deliver_hook : t -> (unit -> unit) -> unit
+
+val mark_reset : t -> unit
+(** Abnormal peer death: sets [reset] (ECONNRESET semantics — buffered
+    data is dropped by the libsd layer), wakes [rx_wq] sleepers and epoll
+    watchers.  Idempotent. *)
 
 val has_buffered : t -> bool
 

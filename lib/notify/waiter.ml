@@ -62,6 +62,7 @@ type t = {
 let c_spin_wins = Obs.Metrics.counter "notify.spin_wins"
 let c_parks = Obs.Metrics.counter "notify.parks"
 let c_wakes = Obs.Metrics.counter "notify.wakes"
+let c_wait_timeouts = Obs.Metrics.counter "notify.wait_timeouts"
 let h_wake_latency = Obs.Metrics.histogram "notify.wake_latency_ns"
 
 let create ?min_spin ?max_spin ?backoff_rounds ?adaptive ?(spin = 512) () =
@@ -158,6 +159,60 @@ let wait t ~ready =
       end
     in
     loop ()
+  end
+
+(* Deadline-bounded wait: the crash-recovery fallback path.  Stdlib
+   [Condition] has no timed wait, so past the spin phase this never
+   commits an unbounded condvar park — it naps with exponentially growing
+   [Thread.delay]s (50 µs doubling to a 2 ms cap) and re-polls [ready] and
+   the deadline between naps.  Consequences, both deliberate:
+
+   - no notify edge is required for progress: a peer that dies without
+     ever calling [notify] cannot wedge a [wait_until] caller past the
+     deadline (exactly the property [Rt_token]'s dead-holder seize needs);
+   - determinism: with a non-adaptive policy ([~adaptive:false], the sim
+     configuration) the spin budget is fixed, so the observable spin
+     sequence is identical run to run — the sim stays deterministic, and
+     the nap schedule only engages on the real-time fallback path the sim
+     never takes.
+
+   Returns [true] the moment [ready ()] holds, [false] once the deadline
+   (a [Span.monotonic_ns] timestamp) passes — counted in
+   [notify.wait_timeouts]. *)
+let wait_until t ~deadline_ns ~ready =
+  if ready () then true
+  else begin
+    let pol = t.policy in
+    Policy.begin_wait pol;
+    let rec loop nap =
+      if ready () then begin
+        Obs.Metrics.incr c_spin_wins;
+        Policy.on_success pol;
+        true
+      end
+      else if Sds_obs.Span.monotonic_ns () >= deadline_ns then begin
+        Obs.Metrics.incr c_wait_timeouts;
+        false
+      end
+      else begin
+        let u = Policy.poll pol in
+        if u > 0 then begin
+          for _ = 1 to u do
+            Domain.cpu_relax ()
+          done;
+          loop nap
+        end
+        else begin
+          Obs.Metrics.incr c_parks;
+          Policy.on_park pol;
+          Thread.delay nap;
+          Policy.on_wake pol;
+          Policy.begin_wait pol;
+          loop (Float.min (nap *. 2.) 0.002)
+        end
+      end
+    in
+    loop 5e-5
   end
 
 (* Wait until one of [n] sources is ready; returns its index.  The scan

@@ -63,6 +63,20 @@ val wait : t -> ready:(unit -> bool) -> unit
     backoff, then park; the spin budget adapts to whether spinning pays.
     [ready] must become true only through peers that then call [notify]. *)
 
+val wait_until : t -> deadline_ns:int -> ready:(unit -> bool) -> bool
+(** Deadline-bounded [wait]: true the moment [ready ()] holds, false once
+    the deadline (a {!Sds_obs.Span.monotonic_ns} timestamp) passes —
+    counted in the [notify.wait_timeouts] metric.  Past the spin phase it
+    naps with exponential backoff ([Thread.delay], 50 µs doubling to a
+    2 ms cap) instead of committing an unbounded condvar park, so progress
+    needs {e no} notify edge — a peer that dies without notifying cannot
+    wedge the caller past the deadline.  The crash-recovery fallback path
+    of {!Sds_rt.Rt_token}.  With a non-adaptive policy ([~adaptive:false],
+    the simulator's configuration) the spin budget is fixed and the
+    observable spin sequence identical run to run, so the sim stays
+    deterministic; the wall-clock nap schedule engages only on this
+    real-time fallback path, which the sim never takes. *)
+
 val wait_any : t -> n:int -> ready:(int -> bool) -> int
 (** Block until some source [i < n] has [ready i]; returns [i].  Scans
     round-robin from one past the last serviced source, so continuously

@@ -111,6 +111,31 @@ let register_state name fn =
   providers := (name, fn) :: List.filter (fun (n, _) -> n <> name) !providers;
   Mutex.unlock providers_mu
 
+(* ---- heartbeat providers ----------------------------------------------- *)
+
+(* Named monotone counters the watchdog samples alongside its [progress]
+   closure: a provider returns one (name, value) sample per watched entity
+   (e.g. one per enrolled Rt_dom slot).  An entity that disappears from
+   the provider's output is simply dropped — providers are expected to
+   stop reporting entities whose silence is legitimate (parked, exited). *)
+let hb_providers : (string * (unit -> (string * int) list)) list ref = ref []
+
+let register_heartbeats name fn =
+  Mutex.lock providers_mu;
+  hb_providers := (name, fn) :: List.filter (fun (n, _) -> n <> name) !hb_providers;
+  Mutex.unlock providers_mu
+
+(* Flattened "provider/entity" samples; provider exceptions drop the
+   provider for that sample round only. *)
+let heartbeat_samples () =
+  let ps = Mutex.lock providers_mu; let p = !hb_providers in Mutex.unlock providers_mu; p in
+  List.concat_map
+    (fun (pname, fn) ->
+      match fn () with
+      | samples -> List.map (fun (n, v) -> (pname ^ "/" ^ n, v)) samples
+      | exception _ -> [])
+    ps
+
 (* ---- rendering / dumping ----------------------------------------------- *)
 
 let dump_schema = "sds-flight/1"
@@ -273,12 +298,29 @@ type watchdog = {
 (* Sample [progress] every [interval_s]; after [stalls] consecutive
    unchanged samples, dump with the given reason and stop watching.  The
    progress closure should be a cheap monotone observation (messages
-   consumed, engine events executed). *)
-let watchdog ?path ?(reason = "deadlock") ~interval_s ~stalls ~progress () =
+   consumed, engine events executed).
+
+   With [watch_heartbeats] (the default), every registered heartbeat
+   sample is watched the same way: a named entity whose value stays
+   unchanged for [stalls] consecutive rounds — while the entity keeps
+   being reported, i.e. its silence is not legitimate — fires a dump with
+   the stalled name in the reason.  Entities that stop being reported are
+   forgotten (a parked or exited domain is not a stall).  Slot epochs
+   reach the dump through the [rt_dom] state provider. *)
+let watchdog ?path ?(reason = "deadlock") ?(watch_heartbeats = true) ~interval_s ~stalls
+    ~progress () =
   let w = { w_stop = false; w_fired = None; w_mu = Mutex.create (); w_thread = None } in
+  let fire r =
+    let p = dump_to_file ?path ~reason:r () in
+    Mutex.lock w.w_mu;
+    w.w_fired <- Some p;
+    Mutex.unlock w.w_mu
+  in
   let body () =
     let last = ref (progress ()) in
     let stalled = ref 0 in
+    (* name -> (last value, consecutive unchanged rounds) *)
+    let hb : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
     let running = ref true in
     while !running do
       Thread.delay interval_s;
@@ -292,12 +334,31 @@ let watchdog ?path ?(reason = "deadlock") ~interval_s ~stalls ~progress () =
         else begin
           Stdlib.incr stalled;
           if !stalled >= stalls then begin
-            let p = dump_to_file ?path ~reason () in
-            Mutex.lock w.w_mu;
-            w.w_fired <- Some p;
-            Mutex.unlock w.w_mu;
+            fire reason;
             running := false
           end
+        end;
+        if !running && watch_heartbeats then begin
+          let samples = heartbeat_samples () in
+          let seen = Hashtbl.create 16 in
+          List.iter
+            (fun (name, v) ->
+              Hashtbl.replace seen name ();
+              let stale =
+                match Hashtbl.find_opt hb name with
+                | Some (prev, n) when prev = v -> n + 1
+                | _ -> 0
+              in
+              Hashtbl.replace hb name (v, stale);
+              if stale >= stalls && !running then begin
+                fire (Printf.sprintf "heartbeat-stall: %s" name);
+                running := false
+              end)
+            samples;
+          (* forget entities no longer reported (parked / exited) *)
+          Hashtbl.iter
+            (fun name _ -> if not (Hashtbl.mem seen name) then Hashtbl.remove hb name)
+            (Hashtbl.copy hb)
         end
       end
     done

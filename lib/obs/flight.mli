@@ -46,6 +46,18 @@ val register_state : string -> (unit -> string) -> unit
     state (ring cursors, waiter park flags, pool occupancy); evaluated
     only at dump time. *)
 
+val register_heartbeats : string -> (unit -> (string * int) list) -> unit
+(** Register (or replace) a named heartbeat provider: monotone (name,
+    value) samples, one per watched entity (e.g. one per enrolled
+    {!Sds_rt.Rt_dom} slot).  The watchdog samples every provider each
+    round and fires on any entity whose value stalls while still being
+    reported; providers should omit entities whose silence is legitimate
+    (parked, exited). *)
+
+val heartbeat_samples : unit -> (string * int) list
+(** One flattened ["provider/entity"] sample round (providers that raise
+    are skipped for the round). *)
+
 (** {1 Dumping} *)
 
 val dump_schema : string
@@ -80,13 +92,18 @@ type watchdog
 val watchdog :
   ?path:string ->
   ?reason:string ->
+  ?watch_heartbeats:bool ->
   interval_s:float ->
   stalls:int ->
   progress:(unit -> int) ->
   unit ->
   watchdog
 (** Sample [progress] every [interval_s] seconds; after [stalls]
-    consecutive unchanged samples, dump and stop watching. *)
+    consecutive unchanged samples, dump and stop watching.  Unless
+    [watch_heartbeats:false], every registered heartbeat entity is watched
+    the same way — a stalled-but-still-reported entity dumps with
+    ["heartbeat-stall: <name>"] as the reason (slot epochs reach the dump
+    via the [rt_dom] state section). *)
 
 val watchdog_fired : watchdog -> string option
 (** Path of the dump if the watchdog has fired. *)

@@ -9,7 +9,25 @@
 
    The waiter array is immutable and fully built at module initialization in
    whichever domain first touches this module; [Domain.spawn]'s
-   happens-before edge publishes it to every domain spawned afterwards. *)
+   happens-before edge publishes it to every domain spawned afterwards.
+
+   Liveness (§4.3 crash compatibility): each slot carries an *epoch*
+   counter — odd while a domain incarnation holds the slot, even while the
+   slot is free or its holder is dead.  Slots are reused, so an epoch value
+   names one incarnation: protocol state stamped with (slot, epoch) can be
+   checked for liveness with [alive_at] and is immune to a new domain
+   landing on the same slot id.  A domain dies in one of two ways:
+
+   - the [died] hook: [spawn] wraps the body so an escaping exception
+     declares the slot dead *before* the slot is released — peers recover
+     immediately, no silence window;
+   - the reaper ([Rt_monitor.start_reaper]): an [enroll]ed slot whose
+     heartbeat word stops advancing for a bounded silence window while the
+     domain is not legitimately parked is declared dead out-of-band.
+
+   [declare_dead] is idempotent (one CAS decides) and runs the registered
+   death hooks exactly once per incarnation; the hooks are how rt_token
+   seizes tokens, rt_sock poisons rings and the pagepool reclaims pages. *)
 
 module Waiter = Sds_notify.Waiter
 
@@ -22,6 +40,21 @@ let waiters = Array.init max_slots (fun _ -> Waiter.create ())
 let mu = Mutex.create ()
 let taken = Array.make max_slots false
 
+(* Per-slot liveness epoch: even = free/dead, odd = live.  Bumped under
+   [mu] on allocation and release, and by the lock-free [declare_dead] CAS
+   on crash (which is why the cells are atomics, not [mu]-guarded ints). *)
+let epochs = Array.init max_slots (fun _ -> Atomic.make 0)
+
+(* Per-slot heartbeat word, bumped by [beat] on every fast-path operation.
+   Plain stores into cells padded [hb_stride] words apart: a heartbeat is a
+   monotone racy-read signal for the reaper and the flight watchdog, never
+   a synchronization point, so one unfenced store is the whole cost. *)
+let hb_stride = 8
+let heartbeats = Array.make (max_slots * hb_stride) 0
+
+(* Slots that promised to keep beating (workers under a reaper's watch). *)
+let enrolled = Array.init max_slots (fun _ -> Atomic.make false)
+
 (* The calling domain's slot; -1 while unassigned. *)
 let slot_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
 
@@ -32,6 +65,8 @@ let alloc_slot () =
      for i = 0 to max_slots - 1 do
        if !s < 0 && not taken.(i) then begin
          taken.(i) <- true;
+         (* even -> odd: this incarnation's epoch *)
+         Atomic.set epochs.(i) (Atomic.get epochs.(i) + 1);
          s := i
        end
      done
@@ -45,6 +80,13 @@ let alloc_slot () =
 let release_slot s =
   Mutex.lock mu;
   taken.(s) <- false;
+  Atomic.set enrolled.(s) false;
+  (* odd -> even, unless [declare_dead] already retired this incarnation.
+     Either way, protocol state stamped with the old odd epoch now fails
+     [alive_at] — a domain that exited without releasing its tokens is
+     seizable exactly like a crashed one. *)
+  let e = Atomic.get epochs.(s) in
+  if e land 1 = 1 then Atomic.set epochs.(s) (e + 1);
   Mutex.unlock mu
 
 let self () =
@@ -58,8 +100,60 @@ let self () =
 
 let waiter s = waiters.(s)
 
+(* ---- liveness ---------------------------------------------------------- *)
+
+let epoch s = Atomic.get epochs.(s)
+let slot_live s = Atomic.get epochs.(s) land 1 = 1
+
+(* Is the incarnation that recorded [epoch] for slot [s] still alive?
+   False for a retired epoch (crash, exit, reuse) and for any even stamp. *)
+let[@inline] alive_at s ~epoch = epoch land 1 = 1 && Atomic.get epochs.(s) = epoch
+
+let[@inline] [@sds.hot] beat s =
+  let i = s * hb_stride in
+  Array.unsafe_set heartbeats i (Array.unsafe_get heartbeats i + 1)
+
+let heartbeat s = heartbeats.(s * hb_stride)
+
+let enroll () =
+  let s = self () in
+  Atomic.set enrolled.(s) true;
+  s
+
+let is_enrolled s = Atomic.get enrolled.(s)
+
+(* ---- death hooks ------------------------------------------------------- *)
+
+let hooks_mu = Mutex.create ()
+let death_hooks : (int -> unit) list ref = ref []
+
+let on_death f =
+  Mutex.lock hooks_mu;
+  death_hooks := f :: !death_hooks;
+  Mutex.unlock hooks_mu
+
+(* Retire slot [s]'s current incarnation and run the recovery hooks.  The
+   odd->even CAS is the arbitration: exactly one caller (the dying domain's
+   own unwind, or the reaper) wins and runs the hooks; everyone else sees
+   [false].  The epoch is bumped *before* the hooks run, so every liveness
+   check a hook performs already sees the slot dead. *)
+let declare_dead s =
+  let e = Atomic.get epochs.(s) in
+  if e land 1 = 1 && Atomic.compare_and_set epochs.(s) e (e + 1) then begin
+    Atomic.set enrolled.(s) false;
+    let hooks = Mutex.lock hooks_mu; let h = !death_hooks in Mutex.unlock hooks_mu; h in
+    List.iter (fun f -> try f s with _ -> ()) (List.rev hooks);
+    (* Anything parked on a per-slot waiter re-checks its condition on
+       wake; liveness conditions just changed for all of them. *)
+    Array.iter Waiter.notify waiters;
+    true
+  end
+  else false
+
 (* Spawn a domain with a slot held for its lifetime.  The slot is released
-   (and becomes reusable) when the body returns, even on exceptions. *)
+   (and becomes reusable) when the body returns, even on exceptions — but
+   an *escaping exception* first declares the slot dead (the [died] hook),
+   so peers recover before the slot can be reused. *)
 let spawn f =
   Domain.spawn (fun () ->
       let s = self () in
@@ -67,6 +161,38 @@ let spawn f =
         ~finally:(fun () ->
           Domain.DLS.set slot_key (-1);
           release_slot s)
-        f)
+        (fun () ->
+          try f ()
+          with e ->
+            ignore (declare_dead s);
+            raise e))
 
 let available_cores () = Domain.recommended_domain_count ()
+
+(* ---- observability ------------------------------------------------------ *)
+
+(* Slot table for the flight recorder: epochs included so a postmortem can
+   match token/page stamps against incarnations. *)
+let render_slots () =
+  let b = Buffer.create 256 in
+  for s = 0 to max_slots - 1 do
+    let e = Atomic.get epochs.(s) in
+    if e > 0 then
+      Buffer.add_string b
+        (Printf.sprintf "slot=%d epoch=%d live=%b enrolled=%b heartbeat=%d parked=%b\n" s e
+           (e land 1 = 1) (Atomic.get enrolled.(s)) (heartbeat s) (Waiter.parked waiters.(s)))
+  done;
+  Buffer.contents b
+
+let () = Sds_obs.Flight.register_state "rt_dom" render_slots
+
+(* Heartbeat feed for [Flight.watchdog]: one named sample per enrolled live
+   slot, so a stalled (but not parked) worker triggers a dump. *)
+let () =
+  Sds_obs.Flight.register_heartbeats "rt_dom" (fun () ->
+      let out = ref [] in
+      for s = max_slots - 1 downto 0 do
+        if slot_live s && Atomic.get enrolled.(s) && not (Waiter.parked waiters.(s)) then
+          out := (Printf.sprintf "slot%d" s, heartbeat s) :: !out
+      done;
+      !out)

@@ -1,6 +1,14 @@
 (** Domain slot registry for the real-domain backend: a small stable slot
     id per domain (the token-holder identity) plus one {!Sds_notify.Waiter}
-    parking spot per slot, so peers can wake a specific domain. *)
+    parking spot per slot, so peers can wake a specific domain.
+
+    Liveness (§4.3): each slot carries an epoch counter — odd while an
+    incarnation holds it, even while free or dead — plus a heartbeat word
+    bumped on every fast-path operation.  Protocol state stamped with
+    (slot, epoch) survives slot reuse: {!alive_at} is false for any retired
+    incarnation.  {!declare_dead} retires an incarnation exactly once and
+    runs the registered death hooks (token seizure, ring poisoning, page
+    reclamation). *)
 
 val max_slots : int
 
@@ -13,9 +21,51 @@ val waiter : int -> Sds_notify.Waiter.t
 
 val spawn : (unit -> 'a) -> 'a Domain.t
 (** [Domain.spawn] with a slot held for the domain's lifetime and released
-    on exit. *)
+    on exit.  An exception escaping the body (including
+    {!Sds_fault.Crash}) first declares the slot dead — the [died] hook —
+    so peers recover before the slot is reused. *)
 
 val available_cores : unit -> int
 (** [Domain.recommended_domain_count ()] — the parallelism actually
     available, used to scale throughput expectations on time-shared
     machines. *)
+
+(** {1 Liveness epochs} *)
+
+val epoch : int -> int
+(** Slot [s]'s current epoch (odd = live incarnation, even = free/dead). *)
+
+val slot_live : int -> bool
+
+val alive_at : int -> epoch:int -> bool
+(** Is the incarnation that recorded [epoch] for this slot still alive?
+    False once the slot crashed, exited or was reused. *)
+
+val declare_dead : int -> bool
+(** Retire slot [s]'s current incarnation: bump its epoch to even, run
+    every registered death hook once, wake all parked slots so they
+    re-check liveness.  Idempotent — one CAS decides; [false] if the slot
+    was not live.  Called by the [spawn] died hook and by the
+    {!Rt_monitor} reaper. *)
+
+val on_death : (int -> unit) -> unit
+(** Register a recovery hook, run (in registration order, exceptions
+    swallowed) with the dead slot id by the winning {!declare_dead}.
+    Hooks observe the slot already dead. *)
+
+(** {1 Heartbeats} *)
+
+val beat : int -> unit
+(** Bump slot [s]'s heartbeat word: one plain store into a padded cell —
+    the per-operation cost of being watchable by the reaper. *)
+
+val heartbeat : int -> int
+(** Racy read of the heartbeat word. *)
+
+val enroll : unit -> int
+(** Promise that the calling domain keeps beating while runnable; returns
+    its slot.  Enrolled slots are watched by the {!Rt_monitor} reaper and
+    fed to {!Sds_obs.Flight.register_heartbeats} (parked slots are exempt
+    — parking is legitimate silence).  Cleared on slot release/death. *)
+
+val is_enrolled : int -> bool

@@ -25,6 +25,7 @@ let h_dispatch_backlog = Obs.Metrics.histogram "monitor.dispatch.backlog"
 
 type worker = {
   w_slot : int;  (** the worker domain's {!Rt_dom} slot *)
+  w_epoch : int;  (** that slot's epoch at registration (liveness stamp) *)
   w_backlog : Rt_sock.t Queue.t;  (** guarded by [w_mu] *)
   w_mu : Mutex.t;
   w_pending : int Atomic.t;  (** lock-free [Queue.length] mirror *)
@@ -63,12 +64,18 @@ let registered t = Atomic.get t.l_registered
 let accepted t = Atomic.get t.l_accepted
 
 (* Called from the worker's own domain; worker index [i] is fixed by the
-   caller so dispatch order is stable regardless of registration races. *)
+   caller so dispatch order is stable regardless of registration races.
+
+   A replacement worker may re-register the index of a *dead* predecessor
+   (the restart path after a crash or a reap): the dead worker's
+   undrained backlog transfers to the replacement so no dispatched
+   connection is orphaned.  Re-registering a live index still raises. *)
 let register t ~index =
   let slot = Rt_dom.self () in
   let w =
     {
       w_slot = slot;
+      w_epoch = Rt_dom.epoch slot;
       w_backlog = Queue.create ();
       w_mu = Mutex.create ();
       w_pending = Atomic.make 0;
@@ -78,13 +85,29 @@ let register t ~index =
   in
   Mutex.lock t.l_mu;
   (match t.l_workers.(index) with
-  | Some _ ->
+  | Some old when Rt_dom.alive_at old.w_slot ~epoch:old.w_epoch ->
     Mutex.unlock t.l_mu;
     invalid_arg "Rt_monitor.register: index taken"
+  | Some old ->
+    (* Inherit the dead predecessor's backlog (poisoned connections are
+       dropped on the floor here; live ones get served). *)
+    Mutex.lock old.w_mu;
+    Queue.iter
+      (fun s ->
+        if not (Rt_sock.poisoned s) then begin
+          Queue.push s w.w_backlog;
+          Atomic.incr w.w_pending
+        end)
+      old.w_backlog;
+    Queue.clear old.w_backlog;
+    Atomic.set old.w_pending 0;
+    Mutex.unlock old.w_mu;
+    t.l_workers.(index) <- Some w;
+    Mutex.unlock t.l_mu
   | None ->
     t.l_workers.(index) <- Some w;
-    Mutex.unlock t.l_mu);
-  Atomic.incr t.l_registered;
+    Mutex.unlock t.l_mu;
+    Atomic.incr t.l_registered);
   w
 
 let worker_exn t i =
@@ -131,6 +154,10 @@ let connect t ~dom =
     Rt_sock.pair ~ring_size:t.l_ring_size ~pool_pages:t.l_pool_pages ~a_owner:dom
       ~b_owner:(-1) ()
   in
+  (* Chaos site: die after creating the pair, before the backlog push —
+     the fork-storm shape: a connection exists that no worker will ever
+     see, and the client end must fail with [Peer_dead], not hang. *)
+  if Sds_fault.armed () then Sds_fault.inject "rt_monitor.connect";
   Mutex.lock w.w_mu;
   Queue.push server_end w.w_backlog;
   Atomic.incr w.w_pending;
@@ -215,6 +242,11 @@ let accept t ~index =
   in
   match go () with
   | Some s ->
+    Rt_sock.claim s ~dom:w.w_slot;
+    (* Chaos site: die between popping a connection and serving it — the
+       monitor-restart shape: the connection is in nobody's backlog and
+       recovery must poison it rather than strand the client. *)
+    if Sds_fault.armed () then Sds_fault.inject "rt_monitor.accept";
     w.w_served <- w.w_served + 1;
     Some s
   | None -> None
@@ -272,3 +304,78 @@ let create ?ring_size ?pool_pages ?capacity ~workers () =
   let t = listener ?ring_size ?pool_pages ?capacity ~workers () in
   track t;
   t
+
+(* ---- liveness reaper (§4.3) --------------------------------------------
+
+   Out-of-band death detection for crashes the [died] hook cannot catch
+   (a wedged domain, a killed thread): a background thread samples every
+   [enroll]ed live slot's heartbeat word each round and declares a slot
+   dead after [stalls] consecutive unchanged samples.  Slots parked on
+   their own waiter are exempt — parking is legitimate silence (a worker
+   waiting in [accept] beats nothing); the bound therefore only covers
+   slots that promised to be runnable.  Process-wide singleton: one
+   reaper serves every listener. *)
+
+let m_reaped = Obs.Metrics.counter "fault.reaped"
+
+let reaper_mu = Mutex.create ()
+let reaper : (Thread.t * bool Atomic.t) option ref = ref None
+
+let reaper_round ~stalls ~last ~miss =
+  for s = 0 to Rt_dom.max_slots - 1 do
+    if
+      Rt_dom.slot_live s && Rt_dom.is_enrolled s
+      && not (Waiter.parked (Rt_dom.waiter s))
+    then begin
+      let hb = Rt_dom.heartbeat s in
+      if hb = last.(s) then begin
+        miss.(s) <- miss.(s) + 1;
+        if miss.(s) >= stalls then begin
+          if Rt_dom.declare_dead s then Obs.Metrics.incr m_reaped;
+          miss.(s) <- 0
+        end
+      end
+      else begin
+        last.(s) <- hb;
+        miss.(s) <- 0
+      end
+    end
+    else begin
+      (* Not watched this round (free, unenrolled or parked): restart the
+         silence window from scratch when it next becomes watchable. *)
+      last.(s) <- Rt_dom.heartbeat s;
+      miss.(s) <- 0
+    end
+  done
+
+let start_reaper ?(interval_s = 0.005) ?(stalls = 8) () =
+  if interval_s <= 0. || stalls < 1 then invalid_arg "Rt_monitor.start_reaper";
+  Mutex.lock reaper_mu;
+  (match !reaper with
+  | Some _ -> ()
+  | None ->
+    let stop = Atomic.make false in
+    let th =
+      Thread.create
+        (fun () ->
+          let last = Array.make Rt_dom.max_slots (-1) in
+          let miss = Array.make Rt_dom.max_slots 0 in
+          while not (Atomic.get stop) do
+            Thread.delay interval_s;
+            if not (Atomic.get stop) then reaper_round ~stalls ~last ~miss
+          done)
+        ()
+    in
+    reaper := Some (th, stop));
+  Mutex.unlock reaper_mu
+
+let stop_reaper () =
+  Mutex.lock reaper_mu;
+  let r = !reaper in
+  reaper := None;
+  Mutex.unlock reaper_mu;
+  match r with
+  | Some (th, stop) ->
+    Atomic.set stop true;
+    Thread.join th
+  | None -> ()

@@ -16,7 +16,10 @@ val create :
 
 val register : t -> index:int -> worker
 (** Called from worker domain [index]'s own domain; binds its {!Rt_dom}
-    slot for wakeups. *)
+    slot for wakeups.  Re-registering an index whose previous worker
+    incarnation is dead is the restart path: the replacement inherits the
+    predecessor's undrained (unpoisoned) backlog.  Re-registering a live
+    index raises. *)
 
 val workers : t -> int
 val registered : t -> int
@@ -38,3 +41,16 @@ val accept : t -> index:int -> Rt_sock.t option
     longest sibling, else park.  [None] once closed and fully drained. *)
 
 val close_listener : t -> unit
+
+(** {1 Liveness reaper (§4.3)} *)
+
+val start_reaper : ?interval_s:float -> ?stalls:int -> unit -> unit
+(** Start the process-wide reaper (idempotent): every [interval_s]
+    (default 5 ms) it samples each {!Rt_dom.enroll}ed live slot's
+    heartbeat, and after [stalls] (default 8) consecutive unchanged
+    samples — while the slot is not parked on its own waiter —
+    {!Rt_dom.declare_dead}s it (counted as [fault.reaped]).  The silence
+    window is therefore bounded by [interval_s * (stalls + 1)]. *)
+
+val stop_reaper : unit -> unit
+(** Stop and join the reaper; no-op when not running. *)

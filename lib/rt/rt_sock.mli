@@ -6,9 +6,21 @@
     records.  Stream semantics: [send] may split into several records,
     [recv] returns one record's payload per call, a zero-length
     [flag_fin] record carries EOF.  Every pair registers in the [rt_conn]
-    flight-recorder section. *)
+    flight-recorder section.
+
+    Crash compatibility (§4.3): when a domain involved in a connection
+    dies, the pair is poisoned — blocking operations on the surviving end
+    raise {!Peer_dead} instead of hanging (EPIPE on send, ECONNRESET on
+    recv), and the dead incarnation's in-flight staging pages are
+    reclaimed.  Receivers adopt descriptor pages before use, so adoption
+    and reclamation arbitrate atomically per page. *)
 
 type t
+
+exception Peer_dead
+(** The connection was poisoned by a peer crash.  Send-side it is EPIPE,
+    recv-side ECONNRESET; any buffered data is dropped (reset
+    semantics). *)
 
 val max_inline : int
 (** Largest inline record payload (8 KiB); [recv] buffers must hold it. *)
@@ -52,8 +64,23 @@ val release_tokens : t -> dom:int -> unit
 (** Hand back both tokens without sending EOF — for ownership transfer,
     and for receivers done with a connection. *)
 
+val claim : t -> dom:int -> unit
+(** Declare [dom] involved in this endpoint without an operation (an
+    acceptor that just popped it): if [dom] dies before its first
+    send/recv, crash recovery still poisons the pair. *)
+
 val at_eof : t -> bool
 val bytes_sent : t -> int
 val bytes_received : t -> int
 val send_token : t -> Rt_token.t
 val recv_token : t -> Rt_token.t
+
+(** {1 Crash recovery} *)
+
+val poison : t -> unit
+(** Declare the pair dead and kick every parked waiter on its rings and
+    tokens; blocking operations on either end raise {!Peer_dead} from
+    then on.  Idempotent.  Called automatically by the {!Rt_dom.on_death}
+    hook for connections the dead slot was involved in. *)
+
+val poisoned : t -> bool

@@ -2,17 +2,18 @@
 
    The packed protocol word from [Sds_proto.Token_proto] lives in one
    [Atomic.t]; every transition the simulator commits with a plain store is
-   committed here with a CAS.  On top of that sit the two things only a real
+   committed here with a CAS.  On top of that sit the things only a real
    multicore backend needs:
 
    - The optimistic same-domain fast path: [fast_owner] is a plain (non
      atomic) field caching the holder's slot.  Domain [d] only ever writes
      the value [d] into it (after becoming holder through an atomic
-     transition) or -1 (before publishing a grant), so the one relaxed read
-     [fast_owner = dom] can only pass for the domain that actually holds the
-     token — a stale read fails towards the slow path, never towards a
-     mutual-exclusion violation.  This keeps the held-by-me hot path at one
-     plain compare on entry plus one atomic load at the operation boundary.
+     transition) or -1 (before publishing a grant or seizing), so the one
+     relaxed read [fast_owner = dom] can only pass for the domain that
+     actually holds the token — a stale read fails towards the slow path,
+     never towards a mutual-exclusion violation.  This keeps the held-by-me
+     hot path at one plain compare on entry plus one atomic load at the
+     operation boundary.
 
    - Takeover arbitration through [Sds_notify] waiters: the requester CASes
      itself into the request slot (request), the holder finishes its
@@ -20,6 +21,17 @@
      fence), and notifies the requester's per-domain waiter (resume).
      [waitmask] tracks which slots are parked on this token so the grant
      wakes exactly the domains that asked.
+
+   - Crash liveness (§4.3): the state word carries the holder's [Rt_dom]
+     epoch in bits above the protocol fields, so "who holds it" and "is
+     that incarnation alive" are one atomic read.  A requester that finds
+     the stamped epoch retired [try_seize]s the token with a CAS (the
+     seize fence) instead of parking forever; as a second line of defence
+     every park is bounded ([Waiter.wait_until] with exponential backoff),
+     so even a missed wake degenerates into a liveness re-check, never a
+     hang.  [Rt_dom.on_death] additionally walks the live-token registry
+     and grants or frees anything the dead incarnation held, waking the
+     pending requester immediately.
 
    Holds are cooperative: a grant happens at an operation boundary, so a
    domain that stops operating on a socket must [release] its tokens (the
@@ -33,10 +45,51 @@ module Obs = Sds_obs.Obs
 
 let m_handoffs = Obs.Metrics.counter "token.handoffs"
 let m_direct_takes = Obs.Metrics.counter "token.direct_takes"
+let m_seized = Obs.Metrics.counter "token.seized_dead"
 let h_takeover = Obs.Metrics.histogram "token.takeover_ns"
 
+(* ---- epoch stamping ----------------------------------------------------
+
+   [Token_proto] uses the low [2 * id_bits] bits (holder + requester); we
+   stamp 16 bits of the holder's [Rt_dom] epoch directly above them.  The
+   stamp travels with every transition — Take/seize stamp the taker's own
+   epoch, a grant stamps the *requester's* current epoch (if the requester
+   died between posting and the grant, its even epoch makes the token
+   immediately seizable by anyone), free clears the stamp.
+
+   Truncation to 16 bits means liveness comparisons are modulo 2^16: a
+   false "still alive" would need the same slot to die and be reallocated
+   exactly 2^15 times between stamp and check.  Parity (odd = live)
+   survives truncation, so a dead stamp is always detected. *)
+
+let epoch_shift = 2 * P.id_bits
+let epoch_bits = 16
+let epoch_mask = (1 lsl epoch_bits) - 1
+let proto_mask = (1 lsl epoch_shift) - 1
+
+let () = assert (epoch_shift + epoch_bits < Sys.int_size)
+
+let[@inline] proto s = s land proto_mask
+let[@inline] stamped_epoch s = (s lsr epoch_shift) land epoch_mask
+let[@inline] compose w ~epoch = ((epoch land epoch_mask) lsl epoch_shift) lor (w land proto_mask)
+
+(* Current (truncated) epoch of a slot; out-of-range ids — allowed by
+   [Token_proto] but impossible as real domains — read as retired. *)
+let[@inline] epoch_of slot =
+  if slot >= 0 && slot < Rt_dom.max_slots then Rt_dom.epoch slot land epoch_mask else 0
+
+let[@inline] live_at slot ~e16 =
+  e16 land 1 = 1
+  && slot >= 0 && slot < Rt_dom.max_slots
+  && Rt_dom.epoch slot land epoch_mask = e16
+
+(* Is the full state word [s] held by a retired incarnation? *)
+let[@inline] holder_dead_word s =
+  let p = proto s in
+  (not (P.is_free p)) && not (live_at (P.holder p) ~e16:(stamped_epoch s))
+
 type t = {
-  state : int Atomic.t;  (** the shared protocol word *)
+  state : int Atomic.t;  (** protocol word + holder-epoch stamp *)
   waitmask : int Atomic.t;  (** slots parked waiting for this token *)
   mutable fast_owner : int;  (** plain holder cache; see header comment *)
   mutable inflight : int;  (** holder-written: operations currently open *)
@@ -44,6 +97,13 @@ type t = {
   name : string;
   uid : int;
 }
+
+(* Bounded-park fallback window: a parked requester re-checks liveness (and
+   attempts a seize) at least this often even if every notify is lost. *)
+let wait_timeout_ns = ref 50_000_000
+let set_wait_timeout_ns ns =
+  if ns <= 0 then invalid_arg "Rt_token.set_wait_timeout_ns";
+  wait_timeout_ns := ns
 
 (* ---- flight-recorder registry (weak: tokens die with their sockets) ---- *)
 
@@ -74,11 +134,14 @@ let render_state () =
     | None -> ()
     | Some t ->
       let s = Atomic.get t.state in
+      let p = proto s in
       Buffer.add_string b
-        (Printf.sprintf "%s#%d holder=%d req=%d inflight=%d handoffs=%d waitmask=%#x\n"
+        (Printf.sprintf
+           "%s#%d holder=%d epoch=%d dead=%b req=%d inflight=%d handoffs=%d waitmask=%#x\n"
            t.name t.uid
-           (if P.is_free s then -1 else P.holder s)
-           (if P.has_request s then P.requester s else -1)
+           (if P.is_free p then -1 else P.holder p)
+           (stamped_epoch s) (holder_dead_word s)
+           (if P.has_request p then P.requester p else -1)
            t.inflight t.handoffs (Atomic.get t.waitmask))
   done;
   Mutex.unlock reg_mu;
@@ -93,7 +156,10 @@ let () = Sds_obs.Flight.register_state "rt_token" render_state
 let create ?(name = "token") ~holder () =
   if holder < -1 || holder > P.max_id then invalid_arg "Rt_token.create";
   incr uid_counter;
-  let state = if holder < 0 then P.free else P.held ~holder in
+  let state =
+    if holder < 0 then compose P.free ~epoch:0
+    else compose (P.held ~holder) ~epoch:(epoch_of holder)
+  in
   let t =
     { state = Atomic.make state; waitmask = Atomic.make 0; fast_owner = holder;
       inflight = 0; handoffs = 0; name; uid = !uid_counter }
@@ -102,8 +168,10 @@ let create ?(name = "token") ~holder () =
   t
 
 let holder t =
-  let s = Atomic.get t.state in
-  if P.is_free s then -1 else P.holder s
+  let p = proto (Atomic.get t.state) in
+  if P.is_free p then -1 else P.holder p
+
+let holder_dead t = holder_dead_word (Atomic.get t.state)
 
 let handoffs t = t.handoffs
 
@@ -129,19 +197,83 @@ let wake_waiters t =
     m := !m lxor bit
   done
 
+let kick = wake_waiters
+
+(* ---- crash recovery (seize fence) ---- *)
+
+(* Take a token whose stamped holder incarnation is retired.  The CAS from
+   the observed dead-stamped word is the seize fence: it can only succeed
+   against the exact word we proved dead, so a live holder (or a racing
+   seizer) always wins the race instead of us.  [fast_owner] is cleared
+   first — the dead slot id may be reallocated, and a stale cache hit for
+   the new incarnation would bypass acquire entirely. *)
+let rec try_seize t ~dom =
+  let s = Atomic.get t.state in
+  let p = proto s in
+  if P.is_free p || P.holder p = dom then false
+  else if live_at (P.holder p) ~e16:(stamped_epoch s) then false
+  else begin
+    t.fast_owner <- -1;
+    let next = compose (P.seize p ~id:dom) ~epoch:(epoch_of dom) in
+    if Atomic.compare_and_set t.state s next then begin
+      Obs.Metrics.incr m_seized;
+      Obs.Trace.emit_n Obs.Trace.Token_takeover dom;
+      wake_waiters t;
+      true
+    end
+    else try_seize t ~dom
+  end
+
+(* Death-hook reap: grant anything the dead incarnation held to its pending
+   requester (stamping the requester's epoch), or free it.  Runs on
+   whichever domain won [Rt_dom.declare_dead]; registered at module
+   initialization so it is in place before any real-domain traffic. *)
+let rec reap_token t =
+  let s = Atomic.get t.state in
+  if holder_dead_word s then begin
+    t.fast_owner <- -1;
+    let p = proto s in
+    let next =
+      if P.has_request p then compose (P.grant p) ~epoch:(epoch_of (P.requester p))
+      else compose P.free ~epoch:0
+    in
+    if Atomic.compare_and_set t.state s next then begin
+      Obs.Metrics.incr m_seized;
+      wake_waiters t
+    end
+    else reap_token t
+  end
+
+let reap_dead _slot =
+  (* Snapshot the registry, then work unlocked: reaping wakes waiters and
+     never blocks, but holding [reg_mu] across CAS loops is pointless. *)
+  let live = ref [] in
+  Mutex.lock reg_mu;
+  for i = 0 to Weak.length reg - 1 do
+    match Weak.get reg i with Some t -> live := t :: !live | None -> ()
+  done;
+  Mutex.unlock reg_mu;
+  List.iter reap_token !live
+
+let () = Rt_dom.on_death reap_dead
+
 (* ---- the handoff itself (holder side) ---- *)
 
 (* Drain is over (the operation closed); publish the release fence and wake
    the requester.  CAS loop: the request slot can gain a requester between
-   our load and the store, never lose one. *)
+   our load and the store, never lose one.  The grant stamps the
+   *requester's* epoch — the token's liveness now tracks its new holder. *)
 let rec grant_now t ~dom =
   let s = Atomic.get t.state in
-  if P.should_release s ~id:dom then begin
+  let p = proto s in
+  if P.should_release p ~id:dom then begin
+    if Sds_fault.armed () then Sds_fault.inject "rt_token.grant";
     t.fast_owner <- -1;
-    if Atomic.compare_and_set t.state s (P.grant s) then begin
+    let next = compose (P.grant p) ~epoch:(epoch_of (P.requester p)) in
+    if Atomic.compare_and_set t.state s next then begin
       t.handoffs <- t.handoffs + 1;
       Obs.Metrics.incr m_handoffs;
-      Obs.Trace.emit_n Obs.Trace.Token_takeover (P.requester s);
+      Obs.Trace.emit_n Obs.Trace.Token_takeover (P.requester p);
       wake_waiters t
     end
     else grant_now t ~dom
@@ -149,39 +281,55 @@ let rec grant_now t ~dom =
 
 (* Operation boundary: one atomic load; the grant path is the cold side. *)
 let[@inline] boundary t ~dom =
-  if P.should_release (Atomic.get t.state) ~id:dom then grant_now t ~dom
+  if P.should_release (proto (Atomic.get t.state)) ~id:dom then grant_now t ~dom
 
 (* ---- acquire (requester side) ---- *)
 
+(* Bounded park: wait for [ready] (which always includes "the stamped
+   holder is dead"), and on timeout attempt the seize directly — progress
+   does not depend on any notify arriving. *)
+let park_bounded t ~dom ~ready =
+  let bit = 1 lsl dom in
+  mask_set t.waitmask bit;
+  let deadline_ns = Sds_obs.Span.now () + !wait_timeout_ns in
+  let woke = Waiter.wait_until (Rt_dom.waiter dom) ~deadline_ns ~ready in
+  mask_clear t.waitmask bit;
+  if not woke && holder_dead_word (Atomic.get t.state) then
+    ignore (try_seize t ~dom)
+
 let rec acquire_slow t ~dom =
   let s = Atomic.get t.state in
-  match P.acquire s ~id:dom with
-  | P.Fast -> ()
-  | P.Take s' ->
-    if Atomic.compare_and_set t.state s s' then Obs.Metrics.incr m_direct_takes
-    else acquire_slow t ~dom
-  | P.Post s' ->
-    if Atomic.compare_and_set t.state s s' then begin
-      (* Request posted: park until the holder's release fence (or until
-         the token frees entirely), then re-run the transition. *)
-      let bit = 1 lsl dom in
-      mask_set t.waitmask bit;
-      Waiter.wait (Rt_dom.waiter dom) ~ready:(fun () ->
+  if holder_dead_word s && try_seize t ~dom then ()
+  else begin
+    let p = proto s in
+    match P.acquire p ~id:dom with
+    | P.Fast -> ()
+    | P.Take p' ->
+      if Atomic.compare_and_set t.state s (compose p' ~epoch:(epoch_of dom)) then
+        Obs.Metrics.incr m_direct_takes
+      else acquire_slow t ~dom
+    | P.Post p' ->
+      (* Keep the holder's epoch stamp: only the holder field's liveness is
+         tracked, and posting a request does not change the holder. *)
+      if Atomic.compare_and_set t.state s (compose p' ~epoch:(stamped_epoch s)) then begin
+        (* Request posted: park until the holder's release fence (or until
+           the token frees entirely, or the holder dies), then re-run. *)
+        park_bounded t ~dom ~ready:(fun () ->
+            let s = Atomic.get t.state in
+            let p = proto s in
+            P.is_held_by p ~id:dom || P.is_free p || holder_dead_word s);
+        acquire_slow t ~dom
+      end
+      else acquire_slow t ~dom
+    | P.Wait ->
+      (* Someone else's request is in flight; wait for the slot to clear. *)
+      park_bounded t ~dom ~ready:(fun () ->
           let s = Atomic.get t.state in
-          P.is_held_by s ~id:dom || P.is_free s);
-      mask_clear t.waitmask bit;
+          let p = proto s in
+          P.is_held_by p ~id:dom || P.is_free p || holder_dead_word s
+          || not (P.has_request p));
       acquire_slow t ~dom
-    end
-    else acquire_slow t ~dom
-  | P.Wait ->
-    (* Someone else's request is in flight; wait for the slot to clear. *)
-    let bit = 1 lsl dom in
-    mask_set t.waitmask bit;
-    Waiter.wait (Rt_dom.waiter dom) ~ready:(fun () ->
-        let s = Atomic.get t.state in
-        P.is_held_by s ~id:dom || P.is_free s || not (P.has_request s));
-    mask_clear t.waitmask bit;
-    acquire_slow t ~dom
+  end
 
 (* Cold takeover entry: measures request → resume as [token.takeover_ns]. *)
 let[@inline never] acquire_cold t ~dom =
@@ -196,6 +344,9 @@ let acquire t ~dom = if t.fast_owner <> dom then acquire_cold t ~dom
 
 let with_held t ~dom f =
   if t.fast_owner <> dom then acquire_cold t ~dom;
+  (* The liveness heartbeat: one plain store per operation (§4.3), so the
+     reaper can tell a crashed worker from a busy one. *)
+  Rt_dom.beat dom;
   t.inflight <- t.inflight + 1;
   match f () with
   | r ->
@@ -211,10 +362,16 @@ let with_held t ~dom f =
 
 let rec release t ~dom =
   let s = Atomic.get t.state in
-  if P.is_held_by s ~id:dom then begin
+  let p = proto s in
+  if P.is_held_by p ~id:dom then begin
     t.fast_owner <- -1;
-    if Atomic.compare_and_set t.state s (P.release s ~id:dom) then begin
-      if P.has_request s then begin
+    let p' = P.release p ~id:dom in
+    let next =
+      if P.has_request p then compose p' ~epoch:(epoch_of (P.requester p))
+      else compose p' ~epoch:0
+    in
+    if Atomic.compare_and_set t.state s next then begin
+      if P.has_request p then begin
         t.handoffs <- t.handoffs + 1;
         Obs.Metrics.incr m_handoffs
       end;

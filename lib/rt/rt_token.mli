@@ -6,9 +6,16 @@
     takeover runs request → drain → release-fence → resume through
     {!Sds_notify.Waiter} parking.  Holds are cooperative: grants happen at
     operation boundaries, so a domain done with a socket must [release]
-    (the socket layer does at EOF/close).  Every token registers with the
-    flight recorder ([rt_token] state section: holder, pending requester,
-    in-flight count). *)
+    (the socket layer does at EOF/close).
+
+    Crash liveness (§4.3): the state word is stamped with the holder's
+    {!Rt_dom} epoch, so a requester that finds the stamped incarnation
+    retired seizes the token with a CAS ([try_seize]) instead of parking
+    forever; every park is additionally bounded
+    ({!Sds_notify.Waiter.wait_until} + exponential backoff), and an
+    {!Rt_dom.on_death} hook grants or frees everything a dead incarnation
+    held.  Every token registers with the flight recorder ([rt_token]
+    state section: holder, epoch, pending requester, in-flight count). *)
 
 type t
 
@@ -36,3 +43,25 @@ val release : t -> dom:int -> unit
 (** Relinquish (EOF/close/ownership transfer): grants to a pending
     requester, otherwise frees the token.  No-op when [dom] is not the
     holder. *)
+
+(** {1 Crash recovery} *)
+
+val holder_dead : t -> bool
+(** Is the token held by a retired incarnation (crashed/exited holder)?
+    Racy snapshot; [false] when free. *)
+
+val try_seize : t -> dom:int -> bool
+(** Seize a dead-held token for [dom] (the seize fence: a CAS against the
+    exact word proved dead, preserving any other slot's pending request).
+    [false] when the token is free, already ours, or the holder is alive.
+    Counted as [token.seized_dead]. *)
+
+val kick : t -> unit
+(** Wake every slot parked on this token so it re-checks its condition —
+    used when poisoning a connection whose waiters must now fail with
+    [Peer_dead]. *)
+
+val set_wait_timeout_ns : int -> unit
+(** Bound on any single park in the acquire slow path (default 50 ms):
+    the fallback liveness window when a notify is lost.  Raises on a
+    non-positive value. *)

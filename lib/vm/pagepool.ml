@@ -32,13 +32,20 @@ let m_releases = Obs.Metrics.counter "pool.releases"
 let m_refills = Obs.Metrics.counter "pool.refills"
 let m_spills = Obs.Metrics.counter "pool.spills"
 let m_exhausted = Obs.Metrics.counter "pool.exhausted"
+let m_reclaimed = Obs.Metrics.counter "pool.reclaimed_pages"
 let g_pages = Obs.Metrics.gauge "pool.pages"
 let g_in_use = Obs.Metrics.gauge "pool.pages_in_use"
+
+(* Owner-cell sentinels: [-1] = unowned (free, or allocated without an
+   owner id), [-2] = mid-reclamation marker (see [reclaim_owner]). *)
+let no_owner = -1
+let reclaiming = -2
 
 type handle = {
   pool : t;
   ids : int array;  (* private free-page cache, a stack *)
   mutable top : int;
+  mutable owner : int;  (* stamped into pages this handle allocates *)
 }
 
 and t = {
@@ -46,6 +53,7 @@ and t = {
   npages : int;
   rc : int Atomic.t array;
   _rc_pads : int array array;  (* keep-alive: spacers interleaved at build time *)
+  owners : int Atomic.t array;  (* per-page owner stamp; crash reclamation *)
   mu : Mutex.t;
   free : int array;  (* global free stack, guarded by [mu] *)
   mutable free_top : int;
@@ -88,12 +96,17 @@ let create ?(pages = default_pages) () =
     pads.(i) <- Array.make 7 0
   done;
   Obs.Metrics.gauge_add g_pages pages;
+  let owners = Array.make pages (Atomic.make no_owner) in
+  for i = 0 to pages - 1 do
+    owners.(i) <- Atomic.make no_owner
+  done;
   let t =
     {
       data;
       npages = pages;
       rc;
       _rc_pads = pads;
+      owners;
       mu = Mutex.create ();
       free = Array.init pages (fun i -> pages - 1 - i);
       free_top = pages;
@@ -115,7 +128,7 @@ let handle t =
     Mutex.unlock t.mu;
     invalid_arg "Pagepool.handle: too many handles"
   end;
-  let h = { pool = t; ids = Array.make cache_cap 0; top = 0 } in
+  let h = { pool = t; ids = Array.make cache_cap 0; top = 0; owner = no_owner } in
   t.handles.(t.nhandles) <- Some h;
   t.nhandles <- t.nhandles + 1;
   Mutex.unlock t.mu;
@@ -169,6 +182,14 @@ let spill h =
 
 let no_page = -1
 
+(* Stamp the handle with a crash-recovery owner id (an [Rt_dom] slot).
+   Pages allocated through a stamped handle carry the id in their owner
+   cell until the last release, so [reclaim_owner] can find them if the
+   owner dies mid-flight. *)
+let set_owner h owner =
+  if owner < 0 then invalid_arg "Pagepool.set_owner: negative owner";
+  if h.owner <> owner then h.owner <- owner
+
 let[@sds.hot] alloc h =
   if h.top = 0 && refill h = 0 then begin
     Obs.Metrics.incr m_exhausted;
@@ -178,6 +199,10 @@ let[@sds.hot] alloc h =
     h.top <- h.top - 1;
     let page = Array.unsafe_get h.ids h.top in
     Atomic.set h.pool.rc.(page) 1;
+    (* Owner stamp after rc: the page only matters to a reclaimer once
+       rc > 0, and the reclaimer re-checks rc after winning the owner
+       cell, so the two plain-ordered stores cannot leak a page. *)
+    Atomic.set h.pool.owners.(page) h.owner;
     Obs.Metrics.incr m_allocs;
     Obs.Metrics.gauge_add g_in_use 1;
     page
@@ -211,6 +236,10 @@ let[@sds.hot] release h page =
   Obs.Metrics.incr m_releases;
   Obs.Metrics.gauge_add g_in_use (-1);
   if old = 1 then begin
+    (* Clear the owner stamp *before* recycling, so a page sitting in a
+       cache with rc = 0 can never match a dead owner and be pushed to
+       the global free stack a second time by [reclaim_owner]. *)
+    Atomic.set t.owners.(page) no_owner;
     if h.top = cache_cap then spill h;
     Array.unsafe_set h.ids h.top page;
     h.top <- h.top + 1
@@ -228,11 +257,77 @@ let release_global t page =
   Obs.Metrics.incr m_releases;
   Obs.Metrics.gauge_add g_in_use (-1);
   if old = 1 then begin
+    Atomic.set t.owners.(page) no_owner;
     Mutex.lock t.mu;
     t.free.(t.free_top) <- page;
     t.free_top <- t.free_top + 1;
     Mutex.unlock t.mu
   end
+
+(* ---- crash reclamation (§4.3) ------------------------------------------ *)
+
+let owner t page =
+  check_page t page "Pagepool.owner: bad page id";
+  let o = Atomic.get t.owners.(page) in
+  if o < 0 then no_owner else o
+
+(* Transfer ownership of an in-flight page to [owner] — the receiver side
+   of a descriptor handoff calls this before touching the payload, so a
+   crash of the *sender* after publication can no longer reclaim the page
+   out from under the survivor.  Fails (false) iff a reclaimer already
+   claimed the page ([reclaiming] marker) or the page is free. *)
+let try_adopt t ~page ~owner =
+  if owner < 0 then invalid_arg "Pagepool.try_adopt: negative owner";
+  check_page t page "Pagepool.try_adopt: bad page id";
+  let rec go () =
+    let o = Atomic.get t.owners.(page) in
+    if o = reclaiming then false
+    else if Atomic.get t.rc.(page) <= 0 then false
+    else if o = owner then true
+    else if Atomic.compare_and_set t.owners.(page) o owner then true
+    else go ()
+  in
+  go ()
+
+(* Every page still stamped with [owner] (racy snapshot, debugging aid). *)
+let owned_pages t ~owner =
+  if owner < 0 then invalid_arg "Pagepool.owned_pages: negative owner";
+  let out = ref [] in
+  for page = t.npages - 1 downto 0 do
+    if Atomic.get t.owners.(page) = owner && Atomic.get t.rc.(page) > 0 then
+      out := page :: !out
+  done;
+  !out
+
+(* Force-free every page a dead owner still holds.  Races against
+   survivors adopting in-flight pages: the owner-cell CAS to the
+   [reclaiming] marker is the arbitration — exactly one of adopter and
+   reclaimer wins each page.  The rc exchange (not decrement) forgets any
+   extra refs the dead incarnation held via [incref]; survivors must have
+   adopted before taking their own ref.  Idempotent: a second call finds
+   no pages stamped with [owner].  Returns the number of pages freed. *)
+let reclaim_owner t ~owner =
+  if owner < 0 then invalid_arg "Pagepool.reclaim_owner: negative owner";
+  let freed = ref 0 in
+  for page = 0 to t.npages - 1 do
+    if
+      Atomic.get t.owners.(page) = owner
+      && Atomic.compare_and_set t.owners.(page) owner reclaiming
+    then begin
+      let rc = Atomic.exchange t.rc.(page) 0 in
+      if rc > 0 then begin
+        incr freed;
+        Obs.Metrics.incr m_reclaimed;
+        Obs.Metrics.gauge_add g_in_use (-1);
+        Mutex.lock t.mu;
+        t.free.(t.free_top) <- page;
+        t.free_top <- t.free_top + 1;
+        Mutex.unlock t.mu
+      end;
+      Atomic.set t.owners.(page) no_owner
+    end
+  done;
+  !freed
 
 (* ---- occupancy --------------------------------------------------------- *)
 

@@ -65,6 +65,39 @@ val incref : t -> int -> unit
 
 val refcount : t -> int -> int
 
+(** {1 Crash reclamation (§4.3)}
+
+    Each page carries an owner cell stamped at allocation time with the
+    allocating handle's owner id (an {!Sds_rt.Rt_dom} slot).  When that
+    incarnation dies, [reclaim_owner] force-frees every page it still
+    holds; survivors protect in-flight pages they received by [try_adopt]ing
+    them before use.  The owner cell CAS is the arbitration — exactly one
+    of adopter and reclaimer wins each page. *)
+
+val no_owner : int
+(** [-1]: the unowned stamp (free pages, or handles never given an id). *)
+
+val set_owner : handle -> int -> unit
+(** Stamp [handle] so its future allocations carry this owner id. *)
+
+val owner : t -> int -> int
+(** Racy read of a page's owner stamp ([no_owner] if unowned or being
+    reclaimed). *)
+
+val try_adopt : t -> page:int -> owner:int -> bool
+(** Atomically re-stamp a live page with a new owner.  [false] iff the
+    page was already reclaimed (or is free) — the payload must then be
+    treated as lost. *)
+
+val owned_pages : t -> owner:int -> int list
+(** Racy snapshot of live pages stamped with [owner] (debugging aid). *)
+
+val reclaim_owner : t -> owner:int -> int
+(** Force-free every live page still stamped with [owner]; returns the
+    count freed (bumping [pool.reclaimed_pages]).  Idempotent; must only
+    be called for an owner whose incarnation is dead
+    ({!Sds_rt.Rt_dom.alive_at} is false). *)
+
 (** {1 Pressure} *)
 
 val free_pages : t -> int

@@ -138,6 +138,39 @@ let test_metric_rule () =
   check_rules "suppression works here too" ~path:"lib/core/x.ml"
     "let f () = (Obs.Metrics.counter \"x\" [@sds.allow \"metric-registration\"])" []
 
+(* ---- fault-confined ---- *)
+
+let test_fault_rule () =
+  Alcotest.(check bool)
+    "fault-confined is a registered rule" true
+    (List.mem "fault-confined" Lint.all_rules);
+  check_rules "inject outside the crash-recovery allowlist is flagged"
+    ~path:"lib/transport/x.ml" "let f () = Sds_fault.inject \"shm.site\""
+    [ "fault-confined" ];
+  check_rules "aliasing Sds_fault outside the allowlist is an escape hatch, flagged"
+    ~path:"lib/core/x.ml" "module F = Sds_fault\nlet f () = F.inject \"x.y\""
+    [ "fault-confined" ];
+  check_rules "allowlisted file, cold context: bare inject passes"
+    ~path:"lib/rt/rt_token.ml" "let f () = Sds_fault.inject \"rt_token.grant\"" [];
+  check_rules "allowlisted file, hot function, armed-gated inject passes"
+    ~path:"lib/rt/rt_sock.ml"
+    "let[@sds.hot] f () = if Sds_fault.armed () then Sds_fault.inject \"rt_sock.mid_publish\""
+    [];
+  check_rules "the gate condition may be compound" ~path:"lib/rt/rt_sock.ml"
+    "let[@sds.hot] f n = if n > 0 && Sds_fault.armed () then Sds_fault.inject \"rt_sock.s\""
+    [];
+  check_rules "ungated inject inside [@sds.hot] is flagged even when allowlisted"
+    ~path:"lib/rt/rt_sock.ml"
+    "let[@sds.hot] f () = Sds_fault.inject \"rt_sock.mid_publish\"" [ "fault-confined" ];
+  check_rules "an unrelated if does not count as the gate" ~path:"lib/rt/rt_sock.ml"
+    "let[@sds.hot] f n = if n > 0 then Sds_fault.inject \"rt_sock.s\"" [ "fault-confined" ];
+  check_rules "armed/disarm/fired_sites are not injection points"
+    ~path:"lib/transport/x.ml" "let f () = Sds_fault.armed ()" [];
+  check_rules "tests may inject ad hoc" ~path:"test/t.ml"
+    "let f () = Sds_fault.inject \"anything\"" [];
+  check_rules "suppression works here too" ~path:"lib/core/x.ml"
+    "let f () = (Sds_fault.inject \"x.y\" [@sds.allow \"fault-confined\"])" []
+
 (* ---- parse errors surface, not crash ---- *)
 
 let test_parse_error () =
@@ -346,6 +379,7 @@ let suite =
     Alcotest.test_case "lint: hot-alloc" `Quick test_hot_rule;
     Alcotest.test_case "lint: bigarray-unsafe" `Quick test_bigarray_rule;
     Alcotest.test_case "lint: metric-registration" `Quick test_metric_rule;
+    Alcotest.test_case "lint: fault-confined" `Quick test_fault_rule;
     Alcotest.test_case "lint: parse errors" `Quick test_parse_error;
     Alcotest.test_case "lint: mli parity over a tree" `Quick test_mli_parity;
     Alcotest.test_case "lint: repository is clean" `Quick test_repo_clean;

@@ -20,4 +20,5 @@ let () =
       ("span", Test_span.suite);
       ("check", Test_check.suite);
       ("rt", Test_rt.suite);
+      ("fault", Test_fault.suite);
     ]
