@@ -6,6 +6,8 @@
      sdlint FILE.ml ...         lint specific files (repo-relative paths)
      sdlint --rule SLUG         restrict to one rule (repeatable)
      sdlint --list-rules        print the rule slugs and exit
+     sdlint --format github     emit ::error workflow commands (CI
+                                annotations); default is human-readable
 
    Exit status: 0 when clean, 1 on any violation, 2 on usage error. *)
 
@@ -17,6 +19,7 @@ let () =
   let files : string list ref = ref [] in
   let list_rules = ref false in
   let quiet = ref false in
+  let format = ref "human" in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR repo root to lint (default: .)");
@@ -25,6 +28,9 @@ let () =
         "SLUG restrict to this rule (repeatable)" );
       ("--list-rules", Arg.Set list_rules, " print rule slugs and exit");
       ("--quiet", Arg.Set quiet, " print only the summary line");
+      ( "--format",
+        Arg.Symbol ([ "human"; "github" ], fun f -> format := f),
+        " output format: human (default) or github (::error annotations)" );
     ]
   in
   let usage = "sdlint [--root DIR] [--rule SLUG]... [FILE.ml ...]" in
@@ -62,11 +68,15 @@ let () =
     | [] -> violations
     | rs -> List.filter (fun (v : Lint.violation) -> List.mem v.rule rs) violations
   in
-  if not !quiet then List.iter (fun v -> print_endline (Lint.to_string v)) violations;
+  let render = if !format = "github" then Lint.to_github else Lint.to_string in
+  if not !quiet then List.iter (fun v -> print_endline (render v)) violations;
+  (* The summary stays on the human channel; workflow commands must be the
+     only thing a github-format run prints. *)
   match List.length violations with
   | 0 ->
-    print_endline "sdlint: clean";
+    if !format = "human" then print_endline "sdlint: clean";
     exit 0
   | n ->
-    Printf.printf "sdlint: %d violation%s\n" n (if n = 1 then "" else "s");
+    if !format = "human" then
+      Printf.printf "sdlint: %d violation%s\n" n (if n = 1 then "" else "s");
     exit 1

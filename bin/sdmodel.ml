@@ -1,0 +1,170 @@
+(* sdmodel — extracted-model inspector and golden drift gate
+   (docs/static-analysis.md).
+
+   The protocol models checked by Sds_check.Interleave are extracted from
+   the annotated real sources ([@sds.model] regions); this tool renders
+   those extractions and pins them to committed goldens so any change to
+   an annotated hot path shows up as reviewable model drift in CI.
+
+   Usage:
+     sdmodel print [NAME...]      render extracted programs (all by default)
+     sdmodel list                 print the model names and exit
+     sdmodel check                diff extractions against test/golden/
+     sdmodel check --update       rewrite the goldens from the current code
+       --root DIR                 repo root (default: .)
+       --golden-dir DIR           golden directory (default: test/golden)
+       --dump-dir DIR             on drift, write the current renders here
+                                  (CI uploads them as an artifact)
+
+   Exit status: 0 clean, 1 on drift or a missing golden, 2 on a usage
+   error or an extraction failure (an annotated region the specs no
+   longer classify). *)
+
+module I = Sds_check.Interleave
+module M = Sds_check.Models
+module E = Sds_check.Extract
+
+let usage () =
+  prerr_endline
+    "usage: sdmodel [--root DIR] [--golden-dir DIR] [--dump-dir DIR]\n\
+    \               {print [NAME...] | list | check [--update]}";
+  exit 2
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc s)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  go dir
+
+(* First differing line, for a readable drift report. *)
+let first_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go n = function
+    | x :: xs, y :: ys when x = y -> go (n + 1) (xs, ys)
+    | x :: _, y :: _ -> Some (n, x, y)
+    | x :: _, [] -> Some (n, x, "<end of golden>")
+    | [], y :: _ -> Some (n, "<end of golden>", y)
+    | [], [] -> None
+  in
+  go 1 (la, lb)
+
+let () =
+  let root = ref "." in
+  let golden_dir = ref None in
+  let dump_dir = ref None in
+  let update = ref false in
+  let cmd = ref None in
+  let names : string list ref = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--root" :: d :: rest -> root := d; parse rest
+    | "--golden-dir" :: d :: rest -> golden_dir := Some d; parse rest
+    | "--dump-dir" :: d :: rest -> dump_dir := Some d; parse rest
+    | "--update" :: rest -> update := true; parse rest
+    | ("--help" | "-help" | "-h") :: _ -> usage ()
+    | a :: _ when String.length a > 0 && a.[0] = '-' ->
+      Printf.eprintf "sdmodel: unknown option %s\n" a;
+      usage ()
+    | a :: rest ->
+      (match !cmd with None -> cmd := Some a | Some _ -> names := a :: !names);
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let golden_dir =
+    match !golden_dir with
+    | Some d -> d
+    | None -> Filename.concat !root (Filename.concat "test" "golden")
+  in
+  let models =
+    try M.extracted ~root:!root
+    with E.Error msg ->
+      Printf.eprintf "sdmodel: extraction failed: %s\n" msg;
+      exit 2
+  in
+  match !cmd with
+  | Some "list" ->
+    List.iter (fun (n, _) -> print_endline n) models;
+    exit 0
+  | Some "print" ->
+    let wanted =
+      match List.rev !names with
+      | [] -> models
+      | ns ->
+        List.map
+          (fun n ->
+            match List.assoc_opt n models with
+            | Some p -> (n, p)
+            | None ->
+              Printf.eprintf "sdmodel: unknown model %S (try: sdmodel list)\n" n;
+              exit 2)
+          ns
+    in
+    List.iter
+      (fun (n, p) -> Printf.printf "--- %s ---\n%s" n (I.render_program p))
+      wanted;
+    exit 0
+  | Some "check" ->
+    if !names <> [] then usage ();
+    let drift = ref 0 in
+    List.iter
+      (fun (name, p) ->
+        let rendered = I.render_program p in
+        let path = Filename.concat golden_dir (name ^ ".golden") in
+        if !update then begin
+          mkdir_p golden_dir;
+          write_file path rendered;
+          Printf.printf "sdmodel: wrote %s\n" path
+        end
+        else if not (Sys.file_exists path) then begin
+          incr drift;
+          Printf.printf "sdmodel: DRIFT %-22s no golden at %s\n" name path
+        end
+        else begin
+          let golden = read_file path in
+          if golden <> rendered then begin
+            incr drift;
+            (match first_diff golden rendered with
+            | Some (line, g, r) ->
+              Printf.printf
+                "sdmodel: DRIFT %-22s first difference at line %d\n\
+                \  golden:    %s\n  extracted: %s\n"
+                name line g r
+            | None -> Printf.printf "sdmodel: DRIFT %-22s differs\n" name)
+          end
+          else Printf.printf "sdmodel: ok    %s\n" name
+        end;
+        match !dump_dir with
+        | Some d when not !update ->
+          mkdir_p d;
+          write_file (Filename.concat d (name ^ ".extracted")) rendered
+        | _ -> ())
+      models;
+    if !update then exit 0
+    else if !drift > 0 then begin
+      Printf.printf
+        "sdmodel: %d model%s drifted from the goldens.\n\
+         If the hot-path change is intentional, regenerate with\n\
+        \  dune exec bin/sdmodel.exe -- check --update\n\
+         and commit the golden diff for review.\n"
+        !drift
+        (if !drift = 1 then "" else "s");
+      exit 1
+    end
+    else begin
+      print_endline "sdmodel: goldens match the annotated sources";
+      exit 0
+    end
+  | _ -> usage ()

@@ -1,0 +1,490 @@
+(* Sds_check.Extract — compile [@sds.model]-annotated regions of the *real*
+   sources into Interleave programs.
+
+   The point: the models `dune runtest` and CI explore are derived from the
+   code they claim to describe, not maintained as a parallel copy.  A
+   region is marked in place:
+
+     let[@sds.model "park-notify/notifier"] notify t = ...       (binding)
+     (begin ... end [@sds.model "ring-publication/producer"])    (expression)
+
+   and [extract] parses the file with compiler-libs (the same
+   no-build-context approach as [Lint]) and translates the region's
+   shared-memory skeleton into {!Interleave.stmt}s under a per-model
+   {!spec}:
+
+   - [Atomic.get/set/compare_and_set/fetch_and_add/incr] on a record field
+     listed in [spec.atomics] become the DSL's atomic ops on the mapped
+     model variable; fields in [spec.atomic_elide] vanish (their op's
+     arguments are still translated, for their effects).
+   - plain field reads/writes must be classified: [spec.plains] maps them
+     to model variables ([Plain_load]/[Plain_store]), [spec.plain_elide]
+     drops them (metrics counters, caches whose races are out of model).
+   - calls are resolved by the function name's last component:
+     [spec.calls] rules first ({!Ignore}, {!Const}, {!Arg}, or a {!Custom}
+     closure that may emit statements — how `ready ()` becomes a model
+     load, or how a pure guard helper becomes a condition); otherwise a
+     call to another [@sds.model]-annotated binding in the same file set
+     is inlined with its arguments substituted (how the waiter's
+     prepare/re-check/commit protocol steps compose into one thread body).
+   - a [while] loop whose body translates to nothing (a condvar wait, a
+     bounded spin) becomes [Block_until (¬cond)], with atomic loads in the
+     condition read as model [Var]s — the DSL's parked-sleep form.
+   - free identifiers resolve through [spec.ints] to small constants (the
+     unit-step abstraction: one message, one credit); anything else is
+     opaque, an error only if the model would need its value.
+
+   The abstraction preserves exactly what {!Interleave.check} verifies —
+   which locations are touched, in which order, with which atomicity — and
+   abstracts data values to unit steps.  Everything unclassified is a hard
+   {!Error}: an unmapped call, atomic field, or mutable-field access in an
+   annotated region means the code changed out from under the model, and
+   the failure is the drift tripwire (surfaced in CI by `sdmodel check`
+   before the goldens are even compared). *)
+
+module I = Interleave
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ---- translated values ---- *)
+
+type value =
+  | Vexp of I.exp  (** a model expression *)
+  | Vcond of I.cond  (** a boolean *)
+  | Vopaque of string  (** unmodeled; the payload names it for errors *)
+
+type ops = { emit : I.stmt -> unit; fresh : string -> string }
+
+type rule =
+  | Ignore  (** effect outside the model (metrics, locks, retry recursion) *)
+  | Const of int  (** pure call abstracted to a constant *)
+  | Arg of int  (** identity on the nth argument (unpack/pack helpers) *)
+  | Custom of (ops -> value list -> value)
+      (** full control: may emit statements, sees translated arguments *)
+
+type spec = {
+  atomics : (string * string) list;
+  atomic_elide : string list;
+  plains : (string * string) list;
+  plain_elide : string list;
+  ints : (string * int) list;
+  calls : (string * rule) list;
+}
+
+(* ---- region scanning ---- *)
+
+type region = {
+  r_name : string;
+  r_params : string list;
+  r_fn : string option;  (** binding name when annotated on a [let] *)
+  r_expr : Parsetree.expression;
+  r_file : string;
+}
+
+let attr_model (attrs : Parsetree.attributes) =
+  List.find_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt <> "sds.model" then None
+      else
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+                _;
+              };
+            ] ->
+          Some s
+        | _ -> fail "[@sds.model] payload must be a string literal")
+    attrs
+
+let pat_name (p : Parsetree.pattern) =
+  match p.ppat_desc with Ppat_var v -> v.txt | _ -> "_"
+
+(* Strip the parameter spine of a binding's expression. *)
+let rec strip_params acc (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, pat, body) -> strip_params (pat_name pat :: acc) body
+  | Pexp_newtype (_, body) -> strip_params acc body
+  | Pexp_constraint (body, _) -> strip_params acc body
+  | _ -> (List.rev acc, e)
+
+let scan_source ~path ~source =
+  let regions = ref [] in
+  let default_it = Ast_iterator.default_iterator in
+  let value_binding it (vb : Parsetree.value_binding) =
+    (match attr_model vb.pvb_attributes with
+    | Some name ->
+      let params, body = strip_params [] vb.pvb_expr in
+      regions :=
+        { r_name = name; r_params = params; r_fn = Some (pat_name vb.pvb_pat);
+          r_expr = body; r_file = path }
+        :: !regions
+    | None -> ());
+    default_it.value_binding it vb
+  in
+  let expr it (e : Parsetree.expression) =
+    (match attr_model e.pexp_attributes with
+    | Some name ->
+      regions :=
+        { r_name = name; r_params = []; r_fn = None; r_expr = e; r_file = path }
+        :: !regions
+    | None -> ());
+    default_it.expr it e
+  in
+  let it = { default_it with value_binding; expr } in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  (match Parse.implementation lexbuf with
+  | str -> it.structure it str
+  | exception _ -> fail "%s does not parse" path);
+  List.rev !regions
+
+let read_file f =
+  let ic = open_in_bin f in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan ~root ~files =
+  List.concat_map
+    (fun path -> scan_source ~path ~source:(read_file (Filename.concat root path)))
+    files
+
+(* ---- translation ---- *)
+
+type ctx = {
+  spec : spec;
+  regions : region list;
+  mutable used : string list;  (* taken register names *)
+  mutable active : string list;  (* inlining stack, for recursion *)
+  mutable hint : string option;  (* pending let-binding name for the next register *)
+}
+
+let fresh ctx hint =
+  let hint =
+    match ctx.hint with
+    | Some h ->
+      ctx.hint <- None;
+      h
+    | None -> hint
+  in
+  let hint = if hint = "" || hint = "_" then "r" else hint in
+  let rec pick i =
+    let c = if i = 0 then hint else hint ^ string_of_int i in
+    if List.mem c ctx.used then pick (i + 1) else c
+  in
+  let c = pick 0 in
+  ctx.used <- c :: ctx.used;
+  c
+
+let last_of (lid : Longident.t) = Longident.last lid
+
+let head_module (lid : Longident.t) =
+  match Longident.flatten lid with
+  | [ _ ] -> None
+  | "Stdlib" :: m :: _ :: _ -> Some m
+  | m :: _ :: _ -> Some m
+  | [] -> None
+
+let loc_of (e : Parsetree.expression) =
+  let p = e.pexp_loc.loc_start in
+  Printf.sprintf "line %d" p.Lexing.pos_lnum
+
+(* Relational negation, kept shallow so goldens stay readable. *)
+let neg = function
+  | I.Not c -> c
+  | I.Rel (Eq, a, b) -> I.Rel (Ne, a, b)
+  | I.Rel (Ne, a, b) -> I.Rel (Eq, a, b)
+  | I.Rel (Lt, a, b) -> I.Rel (Ge, a, b)
+  | I.Rel (Ge, a, b) -> I.Rel (Lt, a, b)
+  | c -> I.Not c
+
+(* Constant-fold a condition ([Sds_fault.armed () = false] must kill its
+   whole branch, or every region with a fault hook would model the hook). *)
+let fold_cond = function
+  | I.Rel (rel, Int x, Int y) ->
+    let b = match rel with I.Eq -> x = y | Ne -> x <> y | Lt -> x < y | Ge -> x >= y in
+    if b then I.True else I.Not I.True
+  | c -> c
+
+let as_exp ~at = function
+  | Vexp e -> e
+  | Vcond _ -> fail "%s: boolean used where the model needs a value" at
+  | Vopaque what -> fail "%s: %s is outside the model but its value is needed" at what
+
+let as_cond ~at = function
+  | Vcond c -> fold_cond c
+  | Vexp e -> fold_cond (I.Rel (Ne, e, Int 0))
+  | Vopaque what -> fail "%s: %s is outside the model but used as a condition" at what
+
+module SM = Map.Make (String)
+
+(* The record field of [e] when [e] is [base.field], for atomic-op targets. *)
+let field_of (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_field (_, lid) -> Some (last_of lid.txt)
+  | _ -> None
+
+let atomic_var ctx ~at target =
+  match field_of target with
+  | None -> fail "%s: atomic op on something that is not a record field" at
+  | Some f -> (
+    match List.assoc_opt f ctx.spec.atomics with
+    | Some v -> Some v
+    | None ->
+      if List.mem f ctx.spec.atomic_elide then None
+      else fail "%s: atomic field %s is not in the extraction map" at f)
+
+let rec tr ctx env ~emit ~blocking (e : Parsetree.expression) : value =
+  let at = loc_of e in
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer (s, _)) -> Vexp (Int (int_of_string s))
+  | Pexp_constant _ -> Vopaque "a non-integer constant"
+  | Pexp_construct ({ txt = Lident "true"; _ }, None) -> Vexp (Int 1)
+  | Pexp_construct ({ txt = Lident "false"; _ }, None) -> Vexp (Int 0)
+  | Pexp_construct _ -> Vopaque "a constructor"
+  | Pexp_ident { txt = Lident x; _ } -> (
+    match SM.find_opt x env with
+    | Some v -> v
+    | None -> (
+      match List.assoc_opt x ctx.spec.ints with
+      | Some n -> Vexp (Int n)
+      | None -> Vopaque x))
+  | Pexp_ident lid -> Vopaque (String.concat "." (Longident.flatten lid.txt))
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> tr ctx env ~emit ~blocking e
+  | Pexp_sequence (a, b) ->
+    ignore (tr ctx env ~emit ~blocking a);
+    tr ctx env ~emit ~blocking b
+  | Pexp_let (Nonrecursive, [ vb ], body) ->
+    let bound = pat_name vb.pvb_pat in
+    if bound <> "_" then ctx.hint <- Some bound;
+    let v = tr ctx env ~emit ~blocking vb.pvb_expr in
+    ctx.hint <- None;
+    tr ctx (SM.add bound v env) ~emit ~blocking body
+  | Pexp_let _ -> fail "%s: only simple non-recursive let is modeled" at
+  | Pexp_field (_, lid) -> (
+    let f = last_of lid.txt in
+    match List.assoc_opt f ctx.spec.plains with
+    | Some v ->
+      let r = fresh ctx f in
+      emit (I.Plain_load (v, r));
+      Vexp (Reg r)
+    | None ->
+      if List.mem f ctx.spec.plain_elide then Vopaque ("field " ^ f)
+      else fail "%s: field %s is not in the extraction map" at f)
+  | Pexp_setfield (_, lid, rhs) -> (
+    let f = last_of lid.txt in
+    let v = tr ctx env ~emit ~blocking rhs in
+    match List.assoc_opt f ctx.spec.plains with
+    | Some var ->
+      emit (I.Plain_store (var, as_exp ~at v));
+      Vopaque "unit"
+    | None ->
+      if List.mem f ctx.spec.plain_elide then Vopaque "unit"
+      else fail "%s: plain store to field %s is not in the extraction map" at f)
+  | Pexp_ifthenelse (c, thn, els) ->
+    tr_if ctx env ~emit ~blocking ~at c thn els;
+    Vopaque "an if result"
+  | Pexp_while (c, body) ->
+    (* A loop whose body contributes no model operations is a wait:
+       [while C do (condvar wait / spin) done] = [Block_until ¬C], with
+       atomic loads in C read directly as model variables. *)
+    let leaked = ref [] in
+    ignore
+      (tr ctx env ~emit:(fun s -> leaked := s :: !leaked) ~blocking body);
+    if !leaked <> [] then
+      fail "%s: while body has model effects — only wait loops are modeled" at;
+    let cond = as_cond ~at (tr ctx env ~emit ~blocking:true c) in
+    emit (I.Block_until (neg cond));
+    Vopaque "unit"
+  | Pexp_apply (f, args) -> tr_apply ctx env ~emit ~blocking ~at f args
+  | _ -> fail "%s: unmodeled syntax in an [@sds.model] region" at
+
+and tr_args ctx env ~emit ~blocking args =
+  List.map (fun (_, a) -> tr ctx env ~emit ~blocking a) args
+
+and tr_apply ctx env ~emit ~blocking ~at f args =
+  let name =
+    match f.Parsetree.pexp_desc with
+    | Pexp_ident lid -> Some (head_module lid.txt, last_of lid.txt)
+    | _ -> None
+  in
+  match (name, args) with
+  (* -- Atomic.* special forms (resolved by module head, not the spec) -- *)
+  | (Some (Some "Atomic", "get"), [ (_, target) ]) -> (
+    match atomic_var ctx ~at target with
+    | None -> Vopaque "an elided atomic"
+    | Some v ->
+      if blocking then Vexp (I.Var v)
+      else begin
+        let r = fresh ctx v in
+        emit (I.Load (v, r));
+        Vexp (Reg r)
+      end)
+  | (Some (Some "Atomic", "set"), [ (_, target); (_, x) ]) -> (
+    let xv = tr ctx env ~emit ~blocking x in
+    match atomic_var ctx ~at target with
+    | None -> Vopaque "unit"
+    | Some v ->
+      emit (I.Store (v, as_exp ~at xv));
+      Vopaque "unit")
+  | (Some (Some "Atomic", "compare_and_set"), [ (_, target); (_, a); (_, b) ]) -> (
+    let av = tr ctx env ~emit ~blocking a in
+    let bv = tr ctx env ~emit ~blocking b in
+    match atomic_var ctx ~at target with
+    | None -> Vopaque "an elided atomic"
+    | Some v ->
+      let r = fresh ctx "ok" in
+      emit (I.Cas (v, as_exp ~at av, as_exp ~at bv, r));
+      Vexp (Reg r))
+  | (Some (Some "Atomic", "fetch_and_add"), [ (_, target); (_, d) ]) -> (
+    let dv = tr ctx env ~emit ~blocking d in
+    match atomic_var ctx ~at target with
+    | None -> Vopaque "an elided atomic"
+    | Some v ->
+      let r = fresh ctx "old" in
+      emit (I.Faa (v, as_exp ~at dv, r));
+      Vexp (Reg r))
+  | (Some (Some "Atomic", ("incr" | "decr" as op)), [ (_, target) ]) -> (
+    match atomic_var ctx ~at target with
+    | None -> Vopaque "an elided atomic"
+    | Some v ->
+      let r = fresh ctx "old" in
+      emit (I.Faa (v, Int (if op = "incr" then 1 else -1), r));
+      Vexp (Reg r))
+  | (Some (Some "Atomic", op), _) -> fail "%s: Atomic.%s is not modeled" at op
+  (* -- pervasive operators -- *)
+  | (Some (None, "ignore"), [ (_, a) ]) ->
+    ignore (tr ctx env ~emit ~blocking a);
+    Vopaque "unit"
+  | (Some (None, "not"), [ (_, a) ]) ->
+    Vcond (neg (as_cond ~at (tr ctx env ~emit ~blocking a)))
+  | (Some (None, ("=" | "<>" | "<" | ">" | "<=" | ">=" as op)), [ (_, a); (_, b) ]) ->
+    let av = tr ctx env ~emit ~blocking a in
+    let bv = tr ctx env ~emit ~blocking b in
+    let x = as_exp ~at av and y = as_exp ~at bv in
+    Vcond
+      (fold_cond
+         (match op with
+         | "=" -> I.Rel (Eq, x, y)
+         | "<>" -> I.Rel (Ne, x, y)
+         | "<" -> I.Rel (Lt, x, y)
+         | ">=" -> I.Rel (Ge, x, y)
+         | ">" -> I.Rel (Lt, y, x)
+         | _ -> I.Rel (Ge, y, x)))
+  | (Some (None, "&&"), [ (_, a); (_, b) ]) ->
+    (* Only the effect-free form is a plain conjunction; short-circuit with
+       effects is handled by [tr_if]. *)
+    let av = as_cond ~at (tr ctx env ~emit ~blocking a) in
+    let bv = as_cond ~at (tr ctx env ~emit ~blocking b) in
+    Vcond (And (av, bv))
+  | (Some (None, "+"), [ (_, a); (_, b) ]) -> (
+    let av = tr ctx env ~emit ~blocking a in
+    let bv = tr ctx env ~emit ~blocking b in
+    match (av, bv) with
+    | (Vexp (Int x), Vexp (Int y)) -> Vexp (Int (x + y))
+    | (Vexp x, Vexp y) -> Vexp (Add (x, y))
+    | (Vopaque w, _) | (_, Vopaque w) -> Vopaque w
+    | _ -> fail "%s: boolean operand of +" at)
+  | (Some (None, "-"), [ (_, a); (_, b) ]) -> (
+    let av = tr ctx env ~emit ~blocking a in
+    let bv = tr ctx env ~emit ~blocking b in
+    match (av, bv) with
+    | (Vexp (Int x), Vexp (Int y)) -> Vexp (Int (x - y))
+    | (Vexp x, Vexp (Int y)) -> Vexp (Add (x, Int (-y)))
+    | (Vopaque w, _) | (_, Vopaque w) -> Vopaque w
+    | _ -> fail "%s: unmodeled subtraction" at)
+  | (Some (None, "~-"), [ (_, a) ]) -> (
+    match tr ctx env ~emit ~blocking a with
+    | Vexp (Int x) -> Vexp (Int (-x))
+    | Vopaque w -> Vopaque w
+    | _ -> fail "%s: unmodeled negation" at)
+  | (Some (_, fn), _) -> (
+    (* -- spec rules, then fragment inlining -- *)
+    match List.assoc_opt fn ctx.spec.calls with
+    | Some Ignore ->
+      ignore (tr_args ctx env ~emit ~blocking args);
+      Vopaque ("a call to " ^ fn)
+    | Some (Const n) ->
+      ignore (tr_args ctx env ~emit ~blocking args);
+      Vexp (Int n)
+    | Some (Arg i) ->
+      let vs = tr_args ctx env ~emit ~blocking args in
+      if i < List.length vs then List.nth vs i
+      else fail "%s: rule Arg %d but %s has %d arguments" at i fn (List.length vs)
+    | Some (Custom k) ->
+      k { emit; fresh = fresh ctx } (tr_args ctx env ~emit ~blocking args)
+    | None -> (
+      match List.find_opt (fun r -> r.r_fn = Some fn) ctx.regions with
+      | Some callee ->
+        if List.mem fn ctx.active then
+          fail "%s: recursive call to %s — add a calls rule (Ignore for retry loops)" at fn;
+        let vs = tr_args ctx env ~emit ~blocking args in
+        let cenv =
+          List.fold_left2
+            (fun m p v -> SM.add p v m)
+            SM.empty callee.r_params
+            (if List.length vs = List.length callee.r_params then vs
+             else fail "%s: %s inlined with %d arguments, expected %d" at fn
+                    (List.length vs) (List.length callee.r_params))
+        in
+        ctx.active <- fn :: ctx.active;
+        let v = tr ctx cenv ~emit ~blocking callee.r_expr in
+        ctx.active <- List.tl ctx.active;
+        v
+      | None -> fail "%s: call to %s is not in the extraction map" at fn))
+  | (None, _) -> fail "%s: unmodeled application form" at
+
+and tr_block ctx env ~blocking (e : Parsetree.expression) =
+  let buf = ref [] in
+  ignore (tr ctx env ~emit:(fun s -> buf := s :: !buf) ~blocking e);
+  List.rev !buf
+
+and tr_if ctx env ~emit ~blocking ~at c thn els =
+  match c.Parsetree.pexp_desc with
+  (* Effectful short-circuit: [if a && b then T] nests, so b's model ops
+     (a CAS election, say) stay guarded by a. *)
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Lident "&&"; _ }; _ }, [ (_, a); (_, b) ])
+    when els = None ->
+    let ca = as_cond ~at (tr ctx env ~emit ~blocking a) in
+    let inner = ref [] in
+    tr_if ctx env
+      ~emit:(fun s -> inner := s :: !inner)
+      ~blocking ~at b thn None;
+    emit_if ~emit ca (List.rev !inner) []
+  | _ -> (
+    let cv = as_cond ~at (tr ctx env ~emit ~blocking c) in
+    let branch eo = match eo with None -> [] | Some e -> tr_block ctx env ~blocking e in
+    match cv with
+    | I.True -> List.iter emit (branch (Some thn))
+    | I.Not I.True -> List.iter emit (branch els)
+    | I.Not cv -> emit_if ~emit cv (branch els) (branch (Some thn))
+    | cv -> emit_if ~emit cv (branch (Some thn)) (branch els))
+
+and emit_if ~emit c thn els =
+  if thn <> [] || els <> [] then emit (I.If (c, thn, els))
+
+(* ---- entry points ---- *)
+
+let region_names ~root ~files =
+  List.map (fun r -> r.r_name) (scan ~root ~files)
+
+let extract ~root ~files ~spec name =
+  let regions = scan ~root ~files in
+  match List.find_opt (fun r -> r.r_name = name) regions with
+  | None ->
+    fail "no [@sds.model %S] region in [%s]" name (String.concat "; " files)
+  | Some r ->
+    let ctx = { spec; regions; used = []; active = []; hint = None } in
+    let env =
+      List.fold_left (fun m p -> SM.add p (Vopaque ("parameter " ^ p)) m) SM.empty r.r_params
+    in
+    (match r.r_fn with
+    | Some fn -> ctx.active <- [ fn ]
+    | None -> ());
+    tr_block ctx env ~blocking:false r.r_expr

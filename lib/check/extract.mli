@@ -1,0 +1,58 @@
+(** Compile [@sds.model]-annotated regions of the real sources into
+    {!Interleave} statement lists.
+
+    Mark a region in place — on a binding or on an expression:
+
+    {[
+      let[@sds.model "park-notify/notifier"] notify t = ...
+      (begin ... end [@sds.model "ring-publication/producer"])
+    ]}
+
+    and {!extract} parses the file with compiler-libs (no build context,
+    like {!Lint}) and translates the region's shared-memory skeleton under
+    a per-model {!spec}: atomic ops on mapped record fields become the
+    DSL's atomic ops, classified plain field accesses become plain ops or
+    vanish, calls resolve through {!rule}s or inline other annotated
+    bindings, wait loops become [Block_until], and data values abstract to
+    unit steps.  Anything unclassified raises {!Error} — the drift
+    tripwire `sdmodel check` surfaces in CI.  See
+    [docs/static-analysis.md]. *)
+
+exception Error of string
+
+(** Translated value of a source expression. *)
+type value =
+  | Vexp of Interleave.exp
+  | Vcond of Interleave.cond
+  | Vopaque of string
+      (** outside the model; an error only if its value is needed *)
+
+type ops = { emit : Interleave.stmt -> unit; fresh : string -> string }
+
+(** How a call (keyed by the function name's last component) translates. *)
+type rule =
+  | Ignore  (** effect outside the model: metrics, locks, retry recursion *)
+  | Const of int  (** pure call abstracted to a constant *)
+  | Arg of int  (** identity on the nth argument: unpack/pack helpers *)
+  | Custom of (ops -> value list -> value)
+      (** may emit statements and build a value/condition from the
+          translated arguments *)
+
+type spec = {
+  atomics : (string * string) list;  (** atomic record field → model var *)
+  atomic_elide : string list;  (** atomic fields with no model effect *)
+  plains : (string * string) list;  (** mutable field → model var *)
+  plain_elide : string list;  (** mutable fields dropped (metrics, caches) *)
+  ints : (string * int) list;  (** free identifiers → unit-step constants *)
+  calls : (string * rule) list;
+}
+
+val extract :
+  root:string -> files:string list -> spec:spec -> string -> Interleave.stmt list
+(** [extract ~root ~files ~spec name] parses [files] (repo-relative under
+    [root]), finds the [@sds.model name] region, and translates it.
+    Raises {!Error} on a missing region, a parse failure, or any construct
+    the spec does not classify. *)
+
+val region_names : root:string -> files:string list -> string list
+(** All [@sds.model] names annotated in [files], in source order. *)

@@ -2,11 +2,11 @@
    lock-free protocols.
 
    A model program is a handful of threads written in a tiny shared-memory
-   op DSL (atomic/plain load and store, CAS, fence, a [Block_until] that
-   stands for a condvar sleep).  The checker runs every interleaving of the
-   threads' shared-memory operations, exhaustively up to a preemption bound,
-   under a sequentially-consistent interpreter, and reports three kinds of
-   defect:
+   op DSL (atomic/plain load and store, CAS, fetch-and-add, fence, a
+   [Block_until] that stands for a condvar sleep).  The checker runs every
+   interleaving of the threads' shared-memory operations, exhaustively up to
+   a preemption bound, under a sequentially-consistent interpreter, and
+   reports three kinds of defect:
 
    - data races, found with vector clocks: two accesses to the same
      variable from different threads, at least one a write, at least one
@@ -34,7 +34,20 @@
    behaviour (local ops commute with everything).  The preemption bound
    counts involuntary switches — scheduling away from a thread that could
    have continued — following the observation (CHESS) that real concurrency
-   bugs almost always need only a few preemptions. *)
+   bugs almost always need only a few preemptions.
+
+   Exploration runs with dynamic partial-order reduction by default
+   ([~dpor:true]): sleep sets prune interleavings that only commute
+   independent operations (one representative per Mazurkiewicz trace is
+   enough — the happens-before relation, and with it every race, assertion
+   value and parked-thread verdict, is an invariant of the trace), and a
+   digest-keyed visited table prunes re-exploration of states already
+   expanded with the same remaining preemption budget and sleep set.  The
+   models this tree extracts from its real sources (see [Extract]) are an
+   order of magnitude bigger than hand skeletons; the reduction is what
+   keeps exhausting them tractable.  [~dpor:false] keeps the PR 4 naïve
+   enumeration, used by the regression tests that pin the reduction's
+   verdict-equivalence. *)
 
 (* ---- the DSL ---- *)
 
@@ -60,6 +73,9 @@ type stmt =
   | Cas of string * exp * exp * string
       (** [Cas (var, expect, set, ok)]: atomically set [var] to [set] if it
           equals [expect]; [ok] gets 1 on success, 0 otherwise *)
+  | Faa of string * exp * string
+      (** [Faa (var, delta, old)]: atomic fetch-and-add; [old] gets the
+          pre-increment value ([Atomic.fetch_and_add] / [Atomic.incr]) *)
   | Fence  (** full memory fence (joins a global fence clock) *)
   | Set of string * exp  (** local: [reg := exp] *)
   | If of cond * stmt list * stmt list  (** local; cond over registers *)
@@ -164,7 +180,9 @@ let finished t = settle t.frames = []
 let head t = match settle t.frames with (s :: _) :: _ -> Some s | _ -> None
 
 let is_shared = function
-  | Load _ | Store _ | Plain_load _ | Plain_store _ | Cas _ | Fence | Block_until _ -> true
+  | Load _ | Store _ | Plain_load _ | Plain_store _ | Cas _ | Faa _ | Fence
+  | Block_until _ ->
+    true
   | Set _ | If _ | While _ | Assert _ -> false
 
 (* Run thread-local statements greedily until the thread rests at a shared
@@ -223,9 +241,17 @@ let exec_shared ~on_race ~on_assert st tid =
     | Some x -> x
     | None -> raise (Model_error ("undeclared variable " ^ v))
   in
-  (* Race check of this access against the variable's log, then append.
+  (* Race check of this access against the variable's log, then record it.
      [vc] is the access's own clock (acquire-joined and ticked), so a prior
-     access is ordered before this one iff this thread has seen its tick. *)
+     access is ordered before this one iff this thread has seen its tick.
+
+     The log is FastTrack-compressed: at most one entry per
+     (thread, write?, plain?).  Keeping only the most recent access of each
+     kind is sound because a thread's ticks are totally ordered — any
+     observer that has seen the latest tick has seen every earlier one, so
+     an older access can only be unordered w.r.t. a future conflicting
+     access if the retained newer one is too.  Compression is also what
+     bounds the state for the DPOR visited-table digest. *)
   let record v (vs : varst) ~vc ~write ~plain =
     List.iter
       (fun a ->
@@ -236,7 +262,12 @@ let exec_shared ~on_race ~on_assert st tid =
           && not (hb_before a.a_vc a.a_tid vc)
         then on_race v a.a_tid tid)
       vs.log;
-    { vs with log = { a_tid = tid; a_vc = vc; a_write = write; a_plain = plain } :: vs.log }
+    let keep a = a.a_tid <> tid || a.a_write <> write || a.a_plain <> plain in
+    { vs with
+      log =
+        { a_tid = tid; a_vc = vc; a_write = write; a_plain = plain }
+        :: List.filter keep vs.log
+    }
   in
   let finish ?value ?sync ?regs v vs vc =
     let vs = { vs with value = Option.value value ~default:vs.value } in
@@ -267,6 +298,15 @@ let exec_shared ~on_race ~on_assert st tid =
     finish ~value ~sync:(vc_join vs.sync vc)
       ~regs:(SM.add r (if hit then 1 else 0) t.regs)
       v vs vc
+  | Faa (v, delta, r) ->
+    let vs = vget v in
+    let vc = vc_tick (vc_join t.vc vs.sync) tid in
+    let vs = record v vs ~vc ~write:true ~plain:false in
+    let old = vs.value in
+    finish
+      ~value:(old + eval_exp ~regs:t.regs ~var:no_var delta)
+      ~sync:(vc_join vs.sync vc)
+      ~regs:(SM.add r old t.regs) v vs vc
   | Plain_load (v, r) ->
     let vs = vget v in
     let vc = vc_tick t.vc tid in
@@ -296,9 +336,74 @@ let exec_shared ~on_race ~on_assert st tid =
     ignore on_assert;
     assert false
 
+(* ---- dynamic partial-order reduction ----
+
+   Operation signatures drive the independence relation: two operations
+   commute (executing them in either order reaches the same state, and
+   their happens-before effects on every future detection are identical)
+   unless they touch a common variable with at least one write, or are both
+   fences (fences meet in the global fence clock).  [Block_until] reads the
+   variables of its condition — a write to any of them can enable or
+   re-order the sleeper, so it conflicts like a read. *)
+
+type opsig = { o_fence : bool; o_vars : string list; o_write : bool }
+
+let opsig_of st tid =
+  match head st.threads.(tid) with
+  | Some (Load (v, _)) | Some (Plain_load (v, _)) ->
+    { o_fence = false; o_vars = [ v ]; o_write = false }
+  | Some (Store (v, _)) | Some (Plain_store (v, _)) | Some (Cas (v, _, _, _))
+  | Some (Faa (v, _, _)) ->
+    { o_fence = false; o_vars = [ v ]; o_write = true }
+  | Some (Block_until c) -> { o_fence = false; o_vars = cond_vars [] c; o_write = false }
+  | Some Fence -> { o_fence = true; o_vars = []; o_write = false }
+  | _ ->
+    (* Finished or local-op head (impossible after normalize): never
+       consulted, but be conservative. *)
+    { o_fence = true; o_vars = []; o_write = true }
+
+let independent a b =
+  (not (a.o_fence && b.o_fence))
+  && ((not (a.o_write || b.o_write))
+     || not (List.exists (fun v -> List.mem v b.o_vars) a.o_vars))
+
+(* Visited-table key: a digest of everything that can influence the rest of
+   the exploration from this state.  Access clocks are projected to the
+   owner component — [hb_before] reads nothing else — so two histories that
+   differ only in how much of *other* threads' clocks an access absorbed
+   hash alike.  The remaining preemption budget and the sleep set are part
+   of the key: a state is only pruned when it was already expanded with the
+   same budget and the same pruning commitments. *)
+let state_key st sleep =
+  let cmp (t1, k1, w1, p1) (t2, k2, w2, p2) =
+    let c = Int.compare t1 t2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare k1 k2 in
+      if c <> 0 then c
+      else
+        let c = Bool.compare w1 w2 in
+        if c <> 0 then c else Bool.compare p1 p2
+  in
+  let vars =
+    SM.fold
+      (fun v vs acc ->
+        let log =
+          List.sort cmp
+            (List.map (fun a -> (a.a_tid, a.a_vc.(a.a_tid), a.a_write, a.a_plain)) vs.log)
+        in
+        (v, vs.value, vs.sync, log) :: acc)
+      st.vars []
+  in
+  let threads =
+    Array.map (fun t -> (t.frames, SM.bindings t.regs, t.vc)) st.threads
+  in
+  Digest.string
+    (Marshal.to_string (vars, threads, st.fence, st.last, st.preemptions, sleep) [])
+
 (* ---- exhaustive preemption-bounded exploration ---- *)
 
-let check ?(bound = 4) ?(max_executions = 500_000) (p : program) =
+let check ?(bound = 4) ?(max_executions = 500_000) ?(dpor = true) (p : program) =
   let n = List.length p.threads in
   if n = 0 then invalid_arg "Interleave.check: no threads";
   if n > 16 then invalid_arg "Interleave.check: too many threads";
@@ -330,7 +435,20 @@ let check ?(bound = 4) ?(max_executions = 500_000) (p : program) =
   let init =
     { vars = init_vars; threads = init_threads; fence = zero (); last = -1; preemptions = 0 }
   in
-  let rec explore st =
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let terminal st =
+    incr executions;
+    let parked = ref false in
+    Array.iteri
+      (fun tid t ->
+        if not (finished t) then begin
+          parked := true;
+          add_once blocked names.(tid)
+        end)
+      st.threads;
+    if !parked then incr lost
+  in
+  let rec explore st sleep =
     if !executions >= max_executions then truncated := true
     else begin
       let en = ref [] in
@@ -338,34 +456,71 @@ let check ?(bound = 4) ?(max_executions = 500_000) (p : program) =
         if enabled st tid then en := tid :: !en
       done;
       match !en with
-      | [] ->
-        incr executions;
-        let parked = ref false in
-        Array.iteri
-          (fun tid t ->
-            if not (finished t) then begin
-              parked := true;
-              add_once blocked names.(tid)
-            end)
-          st.threads;
-        if !parked then incr lost
+      | [] -> terminal st
       | en ->
-        let run tid ~cost =
-          let st' = exec_shared ~on_race ~on_assert st tid in
-          let threads = Array.copy st'.threads in
-          threads.(tid) <- normalize ~on_assert threads.(tid);
-          explore { st' with threads; preemptions = st.preemptions + cost }
-        in
-        if st.last >= 0 && List.mem st.last en then begin
-          (* Continuing the running thread is free; preempting it costs. *)
-          run st.last ~cost:0;
-          if st.preemptions < bound then
-            List.iter (fun tid -> if tid <> st.last then run tid ~cost:1) en
+        let cands = List.filter (fun tid -> sleep land (1 lsl tid) = 0) en in
+        (* Every enabled thread asleep: every continuation from here only
+           commutes operations already explored from an earlier sibling —
+           this whole branch is redundant, not a terminal state. *)
+        if cands = [] then ()
+        else begin
+          let skip =
+            dpor
+            &&
+            let key = state_key st sleep in
+            if Hashtbl.mem visited key then true
+            else begin
+              Hashtbl.add visited key ();
+              false
+            end
+          in
+          if not skip then begin
+            (* Continuing the running thread is free; preempting away from a
+               runnable, non-sleeping one costs a unit of the bound.  A
+               sleeping [last] was continued from a sibling branch — forcing
+               its alternatives to pay a preemption here would hide
+               schedules the unreduced search covers for free. *)
+            let free_switch =
+              st.last < 0
+              || (not (List.mem st.last en))
+              || sleep land (1 lsl st.last) <> 0
+            in
+            let order =
+              if (not free_switch) && List.mem st.last cands then
+                st.last :: List.filter (fun t -> t <> st.last) cands
+              else cands
+            in
+            let slept = ref sleep in
+            List.iter
+              (fun tid ->
+                let cost = if free_switch || tid = st.last then 0 else 1 in
+                if cost = 0 || st.preemptions < bound then begin
+                  let child_sleep =
+                    if not dpor then 0
+                    else begin
+                      let o = opsig_of st tid in
+                      let keep = ref 0 in
+                      for t = 0 to n - 1 do
+                        if !slept land (1 lsl t) <> 0 && independent (opsig_of st t) o
+                        then keep := !keep lor (1 lsl t)
+                      done;
+                      !keep
+                    end
+                  in
+                  let st' = exec_shared ~on_race ~on_assert st tid in
+                  let threads = Array.copy st'.threads in
+                  threads.(tid) <- normalize ~on_assert threads.(tid);
+                  explore
+                    { st' with threads; preemptions = st.preemptions + cost }
+                    child_sleep;
+                  if dpor then slept := !slept lor (1 lsl tid)
+                end)
+              order
+          end
         end
-        else List.iter (fun tid -> run tid ~cost:0) en
     end
   in
-  explore init;
+  explore init 0;
   {
     executions = !executions;
     races = List.rev !races;
@@ -385,3 +540,76 @@ let pp_outcome ppf o =
     Format.fprintf ppf "lost wakeup: %d terminal states leave [%s] parked@," o.lost_wakeups
       (String.concat "; " o.blocked_threads);
   Format.fprintf ppf "@]"
+
+(* ---- canonical rendering (the golden form [sdmodel] diffs against) ---- *)
+
+let rec render_exp e =
+  match e with
+  | Int n -> string_of_int n
+  | Reg r -> r
+  | Var v -> "@" ^ v
+  | Add (a, b) -> "(" ^ render_exp a ^ " + " ^ render_exp b ^ ")"
+
+let rec render_cond c =
+  match c with
+  | True -> "true"
+  | Rel (rel, a, b) ->
+    let op = match rel with Eq -> "=" | Ne -> "!=" | Lt -> "<" | Ge -> ">=" in
+    render_exp a ^ " " ^ op ^ " " ^ render_exp b
+  | And (a, b) -> "(" ^ render_cond a ^ " && " ^ render_cond b ^ ")"
+  | Not a -> "!(" ^ render_cond a ^ ")"
+
+let render_stmts buf stmts =
+  let pad k = String.make (2 * k) ' ' in
+  let rec go depth stmts =
+    List.iter
+      (fun s ->
+        Buffer.add_string buf (pad depth);
+        match s with
+        | Load (v, r) -> Buffer.add_string buf ("load " ^ v ^ " -> " ^ r ^ "\n")
+        | Store (v, e) -> Buffer.add_string buf ("store " ^ v ^ " <- " ^ render_exp e ^ "\n")
+        | Plain_load (v, r) ->
+          Buffer.add_string buf ("load.plain " ^ v ^ " -> " ^ r ^ "\n")
+        | Plain_store (v, e) ->
+          Buffer.add_string buf ("store.plain " ^ v ^ " <- " ^ render_exp e ^ "\n")
+        | Cas (v, a, b, r) ->
+          Buffer.add_string buf
+            ("cas " ^ v ^ " " ^ render_exp a ^ " -> " ^ render_exp b ^ " ? " ^ r ^ "\n")
+        | Faa (v, d, r) ->
+          Buffer.add_string buf ("faa " ^ v ^ " += " ^ render_exp d ^ " -> " ^ r ^ "\n")
+        | Fence -> Buffer.add_string buf "fence\n"
+        | Set (r, e) -> Buffer.add_string buf ("set " ^ r ^ " <- " ^ render_exp e ^ "\n")
+        | If (c, a, []) ->
+          Buffer.add_string buf ("if " ^ render_cond c ^ " {\n");
+          go (depth + 1) a;
+          Buffer.add_string buf (pad depth ^ "}\n")
+        | If (c, a, b) ->
+          Buffer.add_string buf ("if " ^ render_cond c ^ " {\n");
+          go (depth + 1) a;
+          Buffer.add_string buf (pad depth ^ "} else {\n");
+          go (depth + 1) b;
+          Buffer.add_string buf (pad depth ^ "}\n")
+        | While (c, body) ->
+          Buffer.add_string buf ("while " ^ render_cond c ^ " {\n");
+          go (depth + 1) body;
+          Buffer.add_string buf (pad depth ^ "}\n")
+        | Block_until c -> Buffer.add_string buf ("block_until " ^ render_cond c ^ "\n")
+        | Assert (c, msg) ->
+          Buffer.add_string buf ("assert " ^ render_cond c ^ " " ^ Printf.sprintf "%S" msg ^ "\n"))
+      stmts
+  in
+  go 1 stmts
+
+let render_program (p : program) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "globals:";
+  List.iter (fun (v, x) -> Buffer.add_string buf (Printf.sprintf " %s=%d" v x)) p.globals;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun t ->
+      Buffer.add_string buf ("thread " ^ t.name ^ ":\n");
+      render_stmts buf t.body)
+    p.threads;
+  Buffer.contents buf
+
+let pp_program ppf p = Format.pp_print_string ppf (render_program p)

@@ -5,7 +5,8 @@
     up to a preemption bound under a sequentially-consistent interpreter,
     reporting vector-clock data races, assertion failures, and lost
     wakeups (terminal states with a thread still parked on
-    {!stmt.Block_until}).  See [docs/static-analysis.md]. *)
+    {!stmt.Block_until}).  Exploration is sleep-set DPOR-reduced by
+    default; see [docs/static-analysis.md]. *)
 
 type exp =
   | Int of int
@@ -23,6 +24,9 @@ type stmt =
   | Plain_store of string * exp
   | Cas of string * exp * exp * string
       (** [Cas (var, expect, set, ok)]: [ok] gets 1 on success, 0 otherwise *)
+  | Faa of string * exp * string
+      (** [Faa (var, delta, old)]: atomic fetch-and-add; [old] gets the
+          pre-increment value *)
   | Fence
   | Set of string * exp  (** local register assignment *)
   | If of cond * stmt list * stmt list  (** local; cond over registers *)
@@ -49,13 +53,29 @@ exception Model_error of string
 (** Ill-formed model: undeclared variable, [Var] outside [Block_until], or
     a thread-local loop that never reaches a shared op. *)
 
-val check : ?bound:int -> ?max_executions:int -> program -> outcome
+val check : ?bound:int -> ?max_executions:int -> ?dpor:bool -> program -> outcome
 (** Exhaustive exploration up to [bound] preemptions (default 4; switching
     away from a thread that could have continued costs one).  Voluntary
     switches — the running thread blocked or finished — are free, so every
-    schedule terminates. *)
+    schedule terminates.
+
+    [dpor] (default [true]) enables sleep-set dynamic partial-order
+    reduction plus digest-keyed state memoization: interleavings that only
+    commute independent operations are pruned, and states already expanded
+    with the same preemption budget and sleep set are not re-explored.
+    Verdicts (races, assertion failures, lost wakeups) are unchanged —
+    happens-before is an invariant of the Mazurkiewicz trace — only
+    [executions] shrinks.  [~dpor:false] runs the naïve enumeration; the
+    test suite uses it to pin verdict equivalence and the ≥10× reduction
+    ratio. *)
 
 val ok : outcome -> bool
 (** No races, no assertion failures, no lost wakeups, not truncated. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+val render_program : program -> string
+(** Canonical plain-text form of a program — stable across runs; the golden
+    format [sdmodel] diffs extracted models against. *)
+
+val pp_program : Format.formatter -> program -> unit

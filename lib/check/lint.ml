@@ -43,6 +43,17 @@
                          [if Sds_fault.armed () then ...] gate — chaos
                          hooks must never grow into the general tree or
                          put an unconditional call on a fast path.
+   - [fence-discipline]  in the protocol libraries, a plain [<-] write to
+                         a field name the model extraction maps treat as
+                         synchronizing state ([tail], [state], [seq],
+                         [credits]) is flagged: those words carry the
+                         fences the interleaving checker verified, and a
+                         mutable twin (or a demotion from [Atomic.t])
+                         silently voids that proof.  Single-domain
+                         structures that use the names privately are
+                         file-allowlisted ([lib/ring/alloc_queue.ml]).
+   - [parse-error]       a file that does not parse is itself a violation
+                         (surfaced, never a crash of the pass).
 
    Any rule can be locally silenced with [@sds.allow "rule-slug"] on an
    expression; the suppression covers the subtree.  The pass is purely
@@ -72,6 +83,9 @@ type config = {
   mli_dirs : string list;  (** [.mli] parity enforced here *)
   metric_dirs : string list;  (** scopes of the metric-registration rule *)
   metric_allow : string list;  (** files exempt from it (the registry itself) *)
+  fence_dirs : string list;  (** scopes of the fence-discipline rule *)
+  fence_fields : string list;  (** field names owned by the extraction maps *)
+  fence_allow : string list;  (** single-domain users of those names *)
   scan_dirs : string list;  (** roots walked by [lint_tree] *)
   exclude_dirs : string list;  (** pruned subtrees (fixtures, _build) *)
 }
@@ -112,6 +126,11 @@ let default =
     mli_dirs = [ "lib" ];
     metric_dirs = [ "lib"; "bin"; "bench" ];
     metric_allow = [ "lib/obs/obs.ml" ];
+    fence_dirs = [ "lib/ring"; "lib/notify"; "lib/rt" ];
+    fence_fields = [ "tail"; "state"; "seq"; "credits" ];
+    (* The allocator's cursors are domain-private by construction; its
+       plain [tail]/[head] are the documented exception. *)
+    fence_allow = [ "lib/ring/alloc_queue.ml" ];
     scan_dirs = [ "lib"; "bin"; "bench"; "examples"; "test" ];
     exclude_dirs = [ "_build"; ".git"; "test/fixtures" ];
   }
@@ -124,6 +143,7 @@ let rule_hot = "hot-alloc"
 let rule_bigarray = "bigarray-unsafe"
 let rule_metric = "metric-registration"
 let rule_fault = "fault-confined"
+let rule_fence = "fence-discipline"
 let rule_parse = "parse-error"
 
 let all_rules =
@@ -136,6 +156,8 @@ let all_rules =
     rule_bigarray;
     rule_metric;
     rule_fault;
+    rule_fence;
+    rule_parse;
   ]
 
 (* ---- path scoping ---- *)
@@ -183,6 +205,7 @@ let lint_source ~config ~path ~source =
   let check_metric = in_any path config.metric_dirs && not (is_allowed path config.metric_allow) in
   let check_fault = in_any path config.fault_dirs in
   let fault_allowed = is_allowed path config.fault_allow in
+  let check_fence = in_any path config.fence_dirs && not (is_allowed path config.fence_allow) in
   (* Nesting depth in [fun]/[function] bodies: 0 = module top level. *)
   let fun_depth = ref 0 in
   (* Inside the then-branch of [if Sds_fault.armed () then ...]. *)
@@ -344,6 +367,17 @@ let lint_source ~config ~path ~source =
           add ~loc:e.pexp_loc rule_compare
             "polymorphic =/<> on a structured value in a data-path library; use a monomorphic \
              equality"
+        | Pexp_setfield (_, { txt = fld; _ }, _)
+          when check_fence
+               && (match List.rev (Longident.flatten fld) with
+                  | f :: _ -> List.mem f config.fence_fields
+                  | [] -> false) ->
+          add ~loc:e.pexp_loc rule_fence
+            (Printf.sprintf
+               "plain write to %S, a synchronizing field of the checked protocols; the model \
+                extraction maps own this name — publish through the Atomic API, or allowlist \
+                the file if the structure is provably single-domain"
+               (List.hd (List.rev (Longident.flatten fld))))
         | (Pexp_fun _ | Pexp_function _) when !hot > 0 && !cold = 0 ->
           add ~loc:e.pexp_loc rule_hot "closure allocation inside an [@sds.hot] function"
         | Pexp_lazy _ when !hot > 0 && !cold = 0 ->
@@ -494,3 +528,26 @@ let pp_violation ppf v =
   Format.fprintf ppf "%s:%d:%d: [%s] %s" v.file v.line v.col v.rule v.message
 
 let to_string v = Format.asprintf "%a" pp_violation v
+
+(* GitHub Actions workflow-command annotation.  Property values escape
+   [%%], CR, LF, [,] and [:]; the free-text message escapes only the first
+   three. *)
+let to_github v =
+  let escape ~prop s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '%' -> Buffer.add_string b "%25"
+        | '\r' -> Buffer.add_string b "%0D"
+        | '\n' -> Buffer.add_string b "%0A"
+        | ',' when prop -> Buffer.add_string b "%2C"
+        | ':' when prop -> Buffer.add_string b "%3A"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  Printf.sprintf "::error file=%s,line=%d,col=%d,title=%s::%s"
+    (escape ~prop:true v.file) v.line v.col
+    (escape ~prop:true v.rule)
+    (escape ~prop:false v.message)

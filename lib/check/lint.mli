@@ -20,6 +20,10 @@
     - ["fault-confined"]: [Sds_fault.inject] call sites only in the
       allowlisted crash-recovery modules, and inside [@sds.hot] functions
       only under the [if Sds_fault.armed () then ...] zero-cost gate.
+    - ["fence-discipline"]: no plain [<-] writes, in the protocol
+      libraries, to field names the model extraction maps treat as
+      synchronizing state ([tail], [state], [seq], [credits]); provably
+      single-domain structures are file-allowlisted.
     - ["parse-error"]: the file does not parse (always reported).
 
     Suppress any rule locally with [(e [@sds.allow "rule-slug"])]. *)
@@ -46,6 +50,9 @@ type config = {
   mli_dirs : string list;
   metric_dirs : string list;
   metric_allow : string list;
+  fence_dirs : string list;
+  fence_fields : string list;
+  fence_allow : string list;
   scan_dirs : string list;
   exclude_dirs : string list;
 }
@@ -72,3 +79,7 @@ val check_mli_parity : config:config -> root:string -> violation list
 
 val pp_violation : Format.formatter -> violation -> unit
 val to_string : violation -> string
+
+val to_github : violation -> string
+(** The violation as a GitHub Actions [::error] workflow command, so a CI
+    run annotates the offending source line in the diff view. *)

@@ -1,38 +1,218 @@
-(* Sds_check.Models — the tree's lock-free protocols re-expressed as
-   Interleave model programs, with mutation knobs.
+(* Sds_check.Models — the tree's lock-free protocols as Interleave model
+   programs, with seeded mutations.
 
-   Each model is deliberately the *protocol skeleton*, not the whole
-   implementation: exactly the loads, stores and sync edges the correctness
-   comment in the real module appeals to.  The default knobs reproduce the
-   shipped protocol and must check clean; each knob flipped to the buggy
-   variant must make the checker report the corresponding defect — those
-   mutations are pinned by tests, so the detector itself is regression-
-   tested against the bug classes it exists to catch. *)
+   Since PR 10 the protocol threads are not written here: they are
+   *extracted* from the annotated real sources ([@sds.model] regions in
+   lib/ring/spsc_ring.ml, lib/notify/waiter.ml, lib/rt/rt_token.ml) by
+   {!Extract}, under the per-model specs below.  What remains hand-written
+   is exactly what has no single source region:
+
+   - init states and observer/assertion glue (the consumer that checks the
+     published record, the requester that checks the drained socket state)
+     — these encode the *claims*, not the protocol;
+   - the desc-handoff model, whose ownership rule spans pagepool + ring +
+     libsd rather than one annotated region;
+   - the seeded mutations, now expressed as transforms over the extracted
+     statements (plus glue reorderings) instead of knobs on a hand copy.
+
+   The default assembly must check clean; each mutation must make the
+   checker report its defect — pinned by tests, so the detector stays
+   regression-tested against the bug classes it exists to catch.  The
+   extracted programs are additionally pinned to goldens under
+   test/golden/ by `sdmodel check` (drift gate; see bin/sdmodel.ml). *)
 
 open Interleave
+module E = Extract
 
-(* ---- §4.2 ring publication (lib/ring/spsc_ring.ml) ----
+(* ---- extraction specs ---- *)
 
-   Producer: write payload (plain), write header (plain), publish tail
-   (atomic store — the release edge).  Consumer: read tail (atomic — the
-   acquire edge); if it observed the publication, read header and payload
-   and assert both writes are visible.
+let exp_of = function
+  | E.Vexp e -> e
+  | _ -> raise (E.Error "rule expected a modelable value argument")
 
-   [publish_atomic = false] drops the SC publication (models losing the
-   release fence): the consumer's reads of [hdr]/[data] race with the
-   producer's writes — the checker must report races.
+let ring_files = [ "lib/ring/spsc_ring.ml" ]
+let notify_files = [ "lib/notify/waiter.ml" ]
+let token_files = [ "lib/rt/rt_token.ml" ]
 
-   [header_after_publish = true] publishes the tail before the header
-   write: even sequentially consistent executions can then observe
-   [tail = 1] with an unwritten header — the checker must report the
-   assertion failure. *)
+(* §4.2 ring publication: [tail] is the published cursor; payload and
+   header bytes collapse to one unit-step plain cell each ([data], [hdr]) —
+   what matters is their order against the tail store, not their contents.
+   Credits and metrics are producer-local concerns, out of model. *)
+let ring_spec =
+  {
+    E.atomics = [ ("tail", "tail") ];
+    atomic_elide = [ "credits" ];
+    plains = [];
+    plain_elide = [ "span"; "prod"; "enqueued"; "enq_bytes"; "was_full"; "rx_waiter" ];
+    ints = [ ("need", 1) ];
+    calls =
+      [
+        ( "blit_in",
+          E.Custom
+            (fun o _ ->
+              o.emit (Plain_store ("data", Int 1));
+              E.Vopaque "unit") );
+        ( "write_header",
+          E.Custom
+            (fun o _ ->
+              o.emit (Plain_store ("hdr", Int 1));
+              E.Vopaque "unit") );
+        ("stamp_pub", E.Ignore);
+        ("notify", E.Ignore);
+      ];
+  }
 
-let ring_publication ?(publish_atomic = true) ?(header_after_publish = false) () =
-  let publish = if publish_atomic then Store ("tail", Int 1) else Plain_store ("tail", Int 1) in
+(* §4.4 eventcount: [seq]/[state] are the waiter's own atomics; the
+   caller's readiness predicate [ready ()] becomes an atomic load of the
+   model variable [cond] (the notifier glue sets it).  Locks, condvar
+   waits and the policy/metrics machinery are out of model — the condvar
+   edge is what [Block_until] means. *)
+let waiter_spec =
+  {
+    E.atomics = [ ("seq", "seq"); ("state", "state") ];
+    atomic_elide = [];
+    plains = [];
+    plain_elide = [ "m"; "c"; "policy" ];
+    ints = [];
+    calls =
+      [
+        ( "ready",
+          E.Custom
+            (fun o _ ->
+              let r = o.fresh "c" in
+              o.emit (Load ("cond", r));
+              E.Vexp (Reg r)) );
+        ("lock", E.Ignore);
+        ("unlock", E.Ignore);
+        ("broadcast", E.Ignore);
+        ("wait", E.Ignore);
+        ("incr", E.Ignore);
+        ("emit", E.Ignore);
+        ("observe", E.Ignore);
+        ("observe_wake", E.Ignore);
+        ("monotonic_ns", E.Ignore);
+        ("on_park", E.Ignore);
+        ("on_wake", E.Ignore);
+      ];
+  }
+
+(* §4.2/§4.3 token: the packed state word is [tok], encoded 1 = held by
+   domain 1, 9 = held by 1 with 2's request posted, 2 = held by 2 (the
+   real word packs holder/requester/epoch the same way; the unit-step
+   abstraction keeps three inhabited points).  [Token_proto]'s pure
+   pack/unpack helpers are identities or constants under that encoding;
+   [seizable] folds the epoch parity check into an atomic load of the
+   holder's liveness bit [alive].  Retry recursion is elided — the checker
+   explores each CAS outcome once; the retry re-enters the same region. *)
+let token_spec =
+  {
+    E.atomics = [ ("state", "tok") ];
+    atomic_elide = [];
+    plains = [];
+    plain_elide = [ "fast_owner"; "handoffs" ];
+    ints = [ ("dom", 2) ];
+    calls =
+      [
+        ("proto", E.Arg 0);
+        ("compose", E.Arg 0);
+        ("grant", E.Const 2);
+        ("seize", E.Const 2);
+        ("requester", E.Const 2);
+        ("epoch_of", E.Const 0);
+        ( "should_release",
+          E.Custom (fun _ vs -> E.Vcond (Rel (Eq, exp_of (List.hd vs), Int 9))) );
+        ( "seizable",
+          E.Custom
+            (fun o vs ->
+              let a = o.fresh "a" in
+              o.emit (Load ("alive", a));
+              E.Vcond (And (Rel (Eq, exp_of (List.hd vs), Int 9), Rel (Eq, Reg a, Int 0)))) );
+        ("armed", E.Const 0);
+        ("inject", E.Ignore);
+        ("incr", E.Ignore);
+        ("emit_n", E.Ignore);
+        ("wake_waiters", E.Ignore);
+        ("grant_now", E.Ignore);
+        ("try_seize", E.Ignore);
+      ];
+  }
+
+(* ---- mutation transforms ----
+
+   Each seeded mutation rewrites the *extracted* statements — the same
+   programs the clean models check — rather than flipping a knob on a hand
+   copy, so the mutations stay meaningful as the real code evolves. *)
+
+(* Bottom-up rewrite of statement lists (through If/While branches). *)
+let rec rewrite f stmts =
+  f
+    (List.map
+       (fun s ->
+         match s with
+         | If (c, a, b) -> If (c, rewrite f a, rewrite f b)
+         | While (c, b) -> While (c, rewrite f b)
+         | s -> s)
+       stmts)
+
+let map_stmt f = rewrite (List.map f)
+
+(* The field stops being atomic: every access to [var] in the fragment
+   turns plain.  (Narrower than-the-store mutations would be masked by the
+   guard load — any atomic access to a location merges clocks under the
+   OCaml memory model, so a surviving atomic load would still publish the
+   writes the lost fence was ordering.) *)
+let plainify var =
+  rewrite
+    (List.concat_map (fun s ->
+         match s with
+         | Load (v, r) when v = var -> [ Plain_load (v, r) ]
+         | Store (v, e) when v = var -> [ Plain_store (v, e) ]
+         | Cas (v, _, set, r) when v = var -> [ Plain_store (v, set); Set (r, Int 1) ]
+         | Faa (v, d, r) when v = var ->
+           [ Plain_load (v, r); Plain_store (v, Add (Reg r, d)) ]
+         | s -> [ s ]))
+
+(* Publish the tail with a plain store (drops the release edge only; the
+   guard load of [tail] precedes the payload writes, so it publishes
+   nothing that matters). *)
+let plain_tail_store =
+  map_stmt (function Store ("tail", e) -> Plain_store ("tail", e) | s -> s)
+
+(* Move the header write after the tail publication. *)
+let header_after_publish stmts =
+  let is_hdr = function Plain_store ("hdr", _) -> true | _ -> false in
+  let is_pub = function Store ("tail", _) -> true | _ -> false in
+  let hdr = List.filter is_hdr stmts in
+  rewrite
+    (fun l ->
+      List.concat_map (fun s ->
+          if is_hdr s then [] else if is_pub s then s :: hdr else [ s ])
+        l)
+    stmts
+
+(* Delete the post-prepare re-check: the [load cond; if ...] pair collapses
+   to its park branch. *)
+let drop_recheck =
+  rewrite (fun l ->
+      let rec go = function
+        | Load ("cond", r) :: If (Rel (Ne, Reg r', Int 0), _, els) :: rest when r = r' ->
+          els @ go rest
+        | s :: rest -> s :: go rest
+        | [] -> []
+      in
+      go l)
+
+(* ---- assembly: extracted protocol threads + hand-written glue ---- *)
+
+let keep = fun s -> s
+
+(* §4.2 ring publication.  Producer extracted from [Spsc_ring.try_enqueue]'s
+   publication region; the consumer is observer glue: read tail (the
+   acquire edge) and, if it observed the publication, assert the header
+   and payload writes are visible. *)
+let ring_publication ~root ?(mutate = keep) () =
   let producer =
-    if header_after_publish then
-      [ Plain_store ("data", Int 1); publish; Plain_store ("hdr", Int 1) ]
-    else [ Plain_store ("data", Int 1); Plain_store ("hdr", Int 1); publish ]
+    mutate (E.extract ~root ~files:ring_files ~spec:ring_spec "ring-publication/producer")
   in
   let consumer =
     [
@@ -53,68 +233,29 @@ let ring_publication ?(publish_atomic = true) ?(header_after_publish = false) ()
     threads = [ { name = "producer"; body = producer }; { name = "consumer"; body = consumer } ];
   }
 
-(* ---- §4.4 eventcount park/notify (lib/notify/waiter.ml) ----
-
-   Waiter: read the ticket ([seq]), publish the parked flag ([state] := 1),
-   re-check the readiness condition, and either cancel or park until [seq]
-   moves.  Notifier: make the condition true ([cond] := 1), then load the
-   parked flag; if parked, CAS 1->2 to elect itself waker and bump [seq].
-
-   The Dekker-style safety argument: the waiter stores [state] *before*
-   re-checking [cond]; the notifier stores [cond] *before* loading
-   [state].  Under SC one of the two observations must succeed, so either
-   the waiter cancels or the notifier wakes.
-
-   [recheck = false] drops the waiter's re-check — the shipped bench once
-   had exactly this bug in its private parking layer: the notifier can run
-   entirely between the waiter's first readiness check and its park, the
-   notify is skipped ([state] was still 0 when loaded), and the waiter
-   sleeps forever.  The checker must report a lost wakeup. *)
-
-let park_notify ?(recheck = true) () =
+(* §4.4 park/notify.  The waiter's prepare/re-check/commit episode is
+   extracted from [Waiter.park_once] (which inlines the annotated
+   prepare_wait/cancel/commit_wait protocol steps); the notifier from
+   [Waiter.notify].  Glue: the caller's pre-park poll, and the notifier
+   making the condition true before notifying — the Dekker pair the
+   lost-wakeup argument rests on. *)
+let park_notify ~root ?(mutate = keep) () =
   let park =
-    [
-      Block_until (Rel (Ne, Var "seq", Reg "ticket"));
-      Store ("state", Int 0);
-    ]
-  in
-  let waiter =
-    [ Load ("seq", "ticket"); Load ("cond", "c0") ]
-    @ [
-        If
-          ( Rel (Eq, Reg "c0", Int 1),
-            [],
-            [ Store ("state", Int 1) ]
-            @ (if recheck then
-                 [
-                   Load ("cond", "c1");
-                   If (Rel (Eq, Reg "c1", Int 1), [ Store ("state", Int 0) ], park);
-                 ]
-               else park) );
-      ]
+    mutate (E.extract ~root ~files:notify_files ~spec:waiter_spec "park-notify/waiter")
   in
   let notifier =
-    [
-      Store ("cond", Int 1);
-      Load ("state", "s");
-      If
-        ( Rel (Eq, Reg "s", Int 1),
-          [
-            Cas ("state", Int 1, Int 2, "won");
-            If
-              ( Rel (Eq, Reg "won", Int 1),
-                [ Load ("seq", "n"); Store ("seq", Add (Reg "n", Int 1)) ],
-                [] );
-          ],
-          [] );
-    ]
+    Store ("cond", Int 1)
+    :: E.extract ~root ~files:notify_files ~spec:waiter_spec "park-notify/notifier"
   in
+  let waiter = [ Load ("cond", "c0"); If (Rel (Eq, Reg "c0", Int 1), [], park) ] in
   {
     globals = [ ("cond", 0); ("state", 0); ("seq", 0) ];
     threads = [ { name = "waiter"; body = waiter }; { name = "notifier"; body = notifier } ];
   }
 
-(* ---- §4.6 page-descriptor handoff (lib/vm/pagepool.ml + libsd) ----
+(* §4.6 page-descriptor handoff (lib/vm/pagepool.ml + libsd) — still
+   hand-written: the ownership rule spans the pool, the ring and libsd
+   rather than one annotatable region.
 
    Sender: fill the page (plain store), then publish the descriptor on the
    ring (atomic store — stands in for the tail publication, which is the
@@ -123,15 +264,10 @@ let park_notify ?(recheck = true) () =
    release).  Recycler: wait for [rc] = 0, then reuse the page (plain
    store of new data) — stands in for a later [alloc] by anyone.
 
-   The safety argument mirrors the pool's ownership rule: the payload read
-   happens-before the release, and the release happens-before recycling,
-   so the reader and the re-user never touch the page concurrently.
-
    [release_before_read = true] is the use-after-release bug: the receiver
    drops its reference *before* reading the payload.  The recycler can then
    run between the release and the read — the checker must report the race
    on [page] (and the corrupted-payload assertion can fire). *)
-
 let desc_handoff ?(release_before_read = false) () =
   let read_and_check =
     [
@@ -157,38 +293,36 @@ let desc_handoff ?(release_before_read = false) () =
       ];
   }
 
-(* ---- §4.2 token handoff (lib/rt/rt_token.ml) ----
+(* §4.2 token handoff.  The grant is extracted from [Rt_token.grant_now];
+   glue supplies the holder's serving loop — a few in-flight operations on
+   the token-guarded socket state ([data]), each followed by the
+   [Rt_token.boundary] poll (one load; the grant region runs if a request
+   is posted), ending in the parked wait — and the requester, which polls
+   the fast path once, posts its request, and asserts it resumes only
+   after the drain.  The per-op boundary polls are where the real
+   interleaving space lives (every op of a busy holder races the
+   requester's post), which is exactly what the DPOR reduction is measured
+   against.
 
-   The takeover sequence: the requester CASes its request into the token
-   word (request), the holder finishes the operation it has in flight
-   (drain), publishes the grant with an atomic transition (the release
-   fence), and the requester resumes and touches the socket state the
-   previous holder wrote.
-
-   Encoding: [tok] = 1 is "held by domain 1, no request", 9 is "held by
-   domain 1, requested by domain 2" (the real word packs holder and
-   requester the same way), 2 is "held by domain 2".  [data] stands for
-   the token-guarded socket state (plain, unsynchronized — exactly as in
-   the implementation, where the token's atomics carry all the ordering).
-
-   [fence_atomic = false] publishes the grant with a plain store — losing
-   the release fence.  The requester's resume then has no happens-before
-   edge to the holder's plain writes: the checker must report the race on
-   [data].
-
-   [drain_before_grant = false] grants while the in-flight operation is
-   still open (the §4.2 bug the "finish the current batch first" rule
-   exists for): the requester can resume and read socket state the holder
-   has not written yet — the checker must report the stale-read assertion
-   (and the now-concurrent plain accesses race). *)
-
-let token_handoff ?(fence_atomic = true) ?(drain_before_grant = true) () =
-  let grant = if fence_atomic then Store ("tok", Int 2) else Plain_store ("tok", Int 2) in
+   [drain_before_grant = false] is the early-grant bug (glue reorder: the
+   in-flight op completes only after the grant region runs). *)
+let token_handoff ~root ?(mutate = keep) ?(drain_before_grant = true) () =
+  let grant =
+    mutate (E.extract ~root ~files:token_files ~spec:token_spec "token-handoff/grant")
+  in
   let op = [ Plain_store ("data", Int 1) ] in
-  let serve = [ Block_until (Rel (Eq, Var "tok", Int 9)); grant ] in
-  let holder = if drain_before_grant then op @ serve else serve @ op in
+  let parked = Block_until (Rel (Eq, Var "tok", Int 9)) :: grant in
+  (* serve n: n operation/boundary rounds, then park for the request. *)
+  let rec serve n =
+    if n = 0 then parked
+    else
+      let b = "b" ^ string_of_int n in
+      op @ [ Load ("tok", b); If (Rel (Eq, Reg b, Int 9), grant, serve (n - 1)) ]
+  in
+  let holder = if drain_before_grant then serve 5 else parked @ op in
   let requester =
     [
+      Load ("tok", "fast");  (* the acquire fast path: one load, no post *)
       Cas ("tok", Int 1, Int 9, "posted");
       Assert (Rel (Eq, Reg "posted", Int 1), "takeover request CAS failed against a held token");
       Block_until (Rel (Eq, Var "tok", Int 2));
@@ -203,33 +337,13 @@ let token_handoff ?(fence_atomic = true) ?(drain_before_grant = true) () =
       [ { name = "holder"; body = holder }; { name = "requester"; body = requester } ];
   }
 
-(* ---- §4.3 crash takeover (lib/rt/rt_token.ml seize path) ----
-
-   A holder dies mid-handoff: it wrote token-guarded socket state and then
-   crashed *before* publishing the grant, leaving a requester posted.  The
-   reaper (the [Rt_dom.on_death] hook / [try_seize]) observes the death
-   ([alive] = 0, standing in for the epoch parity check) and commits the
-   seize with an atomic transition — the seize fence — handing the token
-   to the posted requester, which then reads the dead holder's writes.
-
-   Encoding mirrors [token_handoff]: [tok] = 1 "held by 1", 9 "held by 1,
-   requested by 2", 2 "held by 2".  [alive] is holder 1's liveness epoch
-   bit; the crash is the atomic [alive] := 0 (exactly what
-   [Rt_dom.declare_dead]'s epoch CAS publishes), after which the holder
-   executes nothing further — a crash is silence, not cleanup.
-
-   The CAS from the observed word is load-bearing twice over: it orders
-   the dead holder's plain writes before the survivor's reads (the
-   happens-before edge runs holder-store → alive:=0 → reaper's CAS →
-   requester's resume), and it arbitrates racing seizers.
-   [seize_fence = false] publishes the seize with a plain store — the
-   requester's resume then races with the holder's dying write, and the
-   checker must report it. *)
-
-let token_crash_recovery ?(seize_fence = true) () =
+(* §4.3 crash takeover.  The seize is extracted from [Rt_token.try_seize]
+   (its [seizable] guard folding the epoch parity check into the [alive]
+   load); glue supplies the dying holder — last plain write, then the
+   epoch retire, then silence — and the same posted requester. *)
+let token_crash_recovery ~root ?(mutate = keep) () =
   let seize =
-    if seize_fence then [ Cas ("tok", Int 9, Int 2, "won") ]
-    else [ Plain_store ("tok", Int 2) ]
+    mutate (E.extract ~root ~files:token_files ~spec:token_spec "token-crash/seize")
   in
   let holder =
     [
@@ -238,7 +352,7 @@ let token_crash_recovery ?(seize_fence = true) () =
       Store ("alive", Int 0);  (* declare_dead's epoch retire; then silence *)
     ]
   in
-  let reaper = [ Block_until (Rel (Eq, Var "alive", Int 0)) ] @ seize in
+  let reaper = Block_until (Rel (Eq, Var "alive", Int 0)) :: seize in
   let requester =
     [
       Cas ("tok", Int 1, Int 9, "posted");
@@ -259,23 +373,46 @@ let token_crash_recovery ?(seize_fence = true) () =
       ];
   }
 
-(* The checks `dune runtest` gates on, plus their pinned mutations. *)
-let all =
+(* Apply a statement transform to one named thread of a finished program —
+   for mutations whose blast radius is a whole thread (a field losing its
+   atomicity), not just the extracted fragment. *)
+let mutate_thread name f p =
+  {
+    p with
+    threads =
+      List.map
+        (fun t -> if t.name = name then { t with body = f t.body } else t)
+        p.threads;
+  }
+
+(* ---- the suites ---- *)
+
+let all ~root =
   [
-    ("ring-publication", ring_publication ());
-    ("park-notify", park_notify ());
+    ("ring-publication", ring_publication ~root ());
+    ("park-notify", park_notify ~root ());
     ("desc-handoff", desc_handoff ());
-    ("token-handoff", token_handoff ());
-    ("token-crash-recovery", token_crash_recovery ());
+    ("token-handoff", token_handoff ~root ());
+    ("token-crash-recovery", token_crash_recovery ~root ());
   ]
 
-let mutations =
+(* The golden-gated subset: programs whose protocol threads are extracted
+   from annotated sources (desc-handoff stays hand-written). *)
+let extracted ~root =
+  List.filter (fun (n, _) -> n <> "desc-handoff") (all ~root)
+
+let mutations ~root =
   [
-    ("ring-publication-unfenced", ring_publication ~publish_atomic:false ());
-    ("ring-publication-header-late", ring_publication ~header_after_publish:true ());
-    ("park-notify-no-recheck", park_notify ~recheck:false ());
+    ("ring-publication-unfenced", ring_publication ~root ~mutate:plain_tail_store ());
+    ("ring-publication-header-late", ring_publication ~root ~mutate:header_after_publish ());
+    ("park-notify-no-recheck", park_notify ~root ~mutate:drop_recheck ());
     ("desc-handoff-release-early", desc_handoff ~release_before_read:true ());
-    ("token-handoff-unfenced", token_handoff ~fence_atomic:false ());
-    ("token-handoff-early-grant", token_handoff ~drain_before_grant:false ());
-    ("token-crash-unfenced-seize", token_crash_recovery ~seize_fence:false ());
+    (* The whole holder side loses the token word's atomicity — boundary
+       polls included.  Mutating the grant fragment alone would be masked:
+       the boundary's surviving atomic load would still merge the holder's
+       clock into the token word and publish the drained writes. *)
+    ( "token-handoff-unfenced",
+      mutate_thread "holder" (plainify "tok") (token_handoff ~root ()) );
+    ("token-handoff-early-grant", token_handoff ~root ~drain_before_grant:false ());
+    ("token-crash-unfenced-seize", token_crash_recovery ~root ~mutate:(plainify "tok") ());
   ]

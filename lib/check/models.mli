@@ -1,42 +1,36 @@
 (** The tree's lock-free protocols as {!Interleave} model programs.
 
-    Default knobs are the shipped protocols and must check clean; each
-    mutation knob reproduces a real bug class and must be caught. *)
+    The protocol threads are {!Extract}ed from the [@sds.model]-annotated
+    real sources under [root] (the repository root); only init states,
+    observer/assertion glue, the cross-layer desc-handoff model, and the
+    seeded-mutation transforms live here.  Defaults must check clean; each
+    mutation must be caught — both pinned by tests.  The extracted
+    programs are additionally pinned to goldens under [test/golden/] by
+    [sdmodel check]. *)
 
-val ring_publication :
-  ?publish_atomic:bool -> ?header_after_publish:bool -> unit -> Interleave.program
-(** §4.2 payload-then-header-then-tail publication.
-    [~publish_atomic:false] drops the SC tail publication (expect data
-    races on [hdr]/[data]); [~header_after_publish:true] publishes before
-    the header write (expect an assertion failure). *)
+val all : root:string -> (string * Interleave.program) list
+(** Correct protocols, by name — each must satisfy [Interleave.ok].
+    Raises {!Extract.Error} if an annotated region has drifted out of the
+    extraction maps. *)
 
-val park_notify : ?recheck:bool -> unit -> Interleave.program
-(** §4.4 eventcount park/notify.  [~recheck:false] drops the parked-flag
-    era re-check of the readiness condition (expect a lost wakeup). *)
+val extracted : root:string -> (string * Interleave.program) list
+(** The golden-gated subset of {!all}: programs whose protocol threads are
+    extracted from annotated sources (everything but [desc-handoff]). *)
 
-val desc_handoff : ?release_before_read:bool -> unit -> Interleave.program
-(** §4.6 page-descriptor ownership handoff (fill, publish, read, release,
-    recycle).  [~release_before_read:true] drops the reference before the
-    payload read (expect a race on the page / a use-after-release
-    assertion). *)
+val mutations : root:string -> (string * Interleave.program) list
+(** Seeded-bug variants, by name — each must be caught:
 
-val token_handoff :
-  ?fence_atomic:bool -> ?drain_before_grant:bool -> unit -> Interleave.program
-(** §4.2 token takeover (request → drain → release-fence → resume).
-    [~fence_atomic:false] publishes the grant with a plain store (expect a
-    race on the token-guarded state); [~drain_before_grant:false] grants
-    with the in-flight operation still open (expect the stale-read
-    assertion). *)
-
-val token_crash_recovery : ?seize_fence:bool -> unit -> Interleave.program
-(** §4.3 crash takeover: a holder dies between draining and granting with
-    a requester posted; the reaper seizes the token for the survivor.
-    [~seize_fence:false] commits the seize with a plain store instead of
-    the CAS (expect a race between the dead holder's last write and the
-    survivor's resume). *)
-
-val all : (string * Interleave.program) list
-(** Correct protocols, by name — each must satisfy [Interleave.ok]. *)
-
-val mutations : (string * Interleave.program) list
-(** Seeded-bug variants, by name — each must be caught. *)
+    - ["ring-publication-unfenced"]: the tail published with a plain store
+      (expect races on [hdr]/[data]).
+    - ["ring-publication-header-late"]: header written after the tail
+      publication (expect the unwritten-header assertion).
+    - ["park-notify-no-recheck"]: the post-prepare re-check deleted
+      (expect a lost wakeup).
+    - ["desc-handoff-release-early"]: reference dropped before the payload
+      read (expect a race on the page).
+    - ["token-handoff-unfenced"]: the token word turned non-atomic in the
+      grant region (expect a race on the token-guarded state).
+    - ["token-handoff-early-grant"]: grant before the in-flight operation
+      drained (expect the stale-read assertion).
+    - ["token-crash-unfenced-seize"]: the seize committed without the CAS
+      fence (expect a race with the dead holder's last write). *)

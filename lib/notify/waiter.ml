@@ -82,8 +82,12 @@ let[@sds.hot] parked t = Atomic.get t.state <> 0
 (* Hot-path notification: one SC load when nobody is parked.  The CAS
    elects a single waker per parked episode (and per contending notifier),
    so a producer streaming into a parked consumer pays the broadcast once,
-   not once per message. *)
-let[@inline] [@sds.hot] notify t =
+   not once per message.
+
+   [@sds.model]-annotated bindings here are extracted into the
+   "park-notify" Interleave model (lib/check/extract.ml); edits must keep
+   test/golden/park-notify.golden in sync or `sdmodel check` fails CI. *)
+let[@inline] [@sds.hot] [@sds.model "park-notify/notifier"] notify t =
   if Atomic.get t.state = 1 && Atomic.compare_and_set t.state 1 2 then begin
     Atomic.incr t.seq;
     Mutex.lock t.m;
@@ -93,14 +97,14 @@ let[@inline] [@sds.hot] notify t =
     Obs.Trace.emit Obs.Trace.Wake
   end
 
-let[@sds.hot] prepare_wait t =
+let[@sds.hot] [@sds.model "waiter/prepare"] prepare_wait t =
   let ticket = Atomic.get t.seq in
   Atomic.set t.state 1;
   ticket
 
-let[@sds.hot] cancel t = Atomic.set t.state 0
+let[@sds.hot] [@sds.model "waiter/cancel"] cancel t = Atomic.set t.state 0
 
-let commit_wait t ticket =
+let[@sds.model "waiter/commit"] commit_wait t ticket =
   Obs.Metrics.incr c_parks;
   Obs.Trace.emit Obs.Trace.Park;
   (* Raw monotonic stamps, never the (possibly simulated) span clock:
@@ -116,6 +120,26 @@ let commit_wait t ticket =
   let t1 = Sds_obs.Span.monotonic_ns () in
   Obs.Metrics.observe h_wake_latency (t1 - t0);
   Sds_obs.Span.observe_wake ~parked_ns:t0 ~woke_ns:t1
+
+(* One full prepare/re-check/commit parked episode — the §4.4 lost-wakeup-free
+   sleep.  Returns [true] when the re-check canceled the park (data raced
+   in between the caller's last poll and the parked-flag store), [false]
+   after an actual park+wake.  This is the waiter half of the
+   "park-notify" extracted model: the re-check between [prepare_wait] and
+   [commit_wait] is exactly what the checker's no-recheck seeded mutation
+   deletes. *)
+let[@sds.model "park-notify/waiter"] park_once t ~ready =
+  let ticket = prepare_wait t in
+  if ready () then begin
+    cancel t;
+    true
+  end
+  else begin
+    Policy.on_park t.policy;
+    commit_wait t ticket;
+    Policy.on_wake t.policy;
+    false
+  end
 
 (* Adaptive blocking wait: spin (per the policy), then prepare/re-check/
    commit.  [ready] must be made true only by peers that subsequently call
@@ -137,24 +161,15 @@ let wait t ~ready =
           done;
           loop ()
         end
-        else begin
-          let ticket = prepare_wait t in
-          if ready () then begin
-            cancel t;
-            Obs.Metrics.incr c_spin_wins;
-            Policy.on_success pol
-          end
-          else begin
-            Policy.on_park pol;
-            commit_wait t ticket;
-            Policy.on_wake pol;
-            if not (ready ()) then begin
-              (* Spurious or stale wake (e.g. a notify for data a previous
-                 iteration already consumed): start a fresh wait. *)
-              Policy.begin_wait pol;
-              loop ()
-            end
-          end
+        else if park_once t ~ready then begin
+          Obs.Metrics.incr c_spin_wins;
+          Policy.on_success pol
+        end
+        else if not (ready ()) then begin
+          (* Spurious or stale wake (e.g. a notify for data a previous
+             iteration already consumed): start a fresh wait. *)
+          Policy.begin_wait pol;
+          loop ()
         end
       end
     in

@@ -407,26 +407,31 @@ let[@sds.hot] try_enqueue ?(flags = 0) t src ~off ~len =
   else begin
     (* Payload first, then the header, then the atomic tail store: the
        consumer acquires through [tail], so it never reads a half-written
-       record (§4.2 consistency argument). *)
-    let tail = Atomic.get t.tail in
-    blit_in t src off (tail + header_bytes) len;
-    write_header t tail len flags;
-    Span.stamp_pub t.span ~seq:t.prod.enqueued;
-    (* Spend credits BEFORE publishing the tail.  The consumer can dequeue
-       the instant the tail store lands; if its batched credit return fired
-       in the publish->spend window, [return_credits] would see
-       credits + returned > capacity and reject a correct return.  Spending
-       first keeps spends-landed >= published >= consumed at every
-       interleaving, so the capacity invariant holds unconditionally. *)
-    ignore (Atomic.fetch_and_add t.credits (-need));
-    Atomic.set t.tail (tail + need);
-    t.prod.enqueued <- t.prod.enqueued + 1;
-    t.prod.enq_bytes <- t.prod.enq_bytes + len;
-    t.prod.was_full <- 0;
-    (* §4.4 sender-mediated wakeup: one load of the consumer's parked flag;
-       the mutex path runs at most once per parked episode. *)
-    Sds_notify.Waiter.notify t.rx_waiter;
-    true
+       record (§4.2 consistency argument).  The [@sds.model] region below is
+       extracted verbatim into the "ring-publication" Interleave model
+       (see lib/check/extract.ml) — edits here must keep the golden model in
+       test/golden/ in sync, or `sdmodel check` fails CI. *)
+    begin
+      let tail = Atomic.get t.tail in
+      blit_in t src off (tail + header_bytes) len;
+      write_header t tail len flags;
+      Span.stamp_pub t.span ~seq:t.prod.enqueued;
+      (* Spend credits BEFORE publishing the tail.  The consumer can dequeue
+         the instant the tail store lands; if its batched credit return fired
+         in the publish->spend window, [return_credits] would see
+         credits + returned > capacity and reject a correct return.  Spending
+         first keeps spends-landed >= published >= consumed at every
+         interleaving, so the capacity invariant holds unconditionally. *)
+      ignore (Atomic.fetch_and_add t.credits (-need));
+      Atomic.set t.tail (tail + need);
+      t.prod.enqueued <- t.prod.enqueued + 1;
+      t.prod.enq_bytes <- t.prod.enq_bytes + len;
+      t.prod.was_full <- 0;
+      (* §4.4 sender-mediated wakeup: one load of the consumer's parked flag;
+         the mutex path runs at most once per parked episode. *)
+      Sds_notify.Waiter.notify t.rx_waiter;
+      true
+    end [@sds.model "ring-publication/producer"]
   end
 
 (* Vectored enqueue: writes as many of [srcs] as credits allow, publishing

@@ -201,20 +201,31 @@ let kick = wake_waiters
 
 (* ---- crash recovery (seize fence) ---- *)
 
+(* Pure guard: may [dom] seize token word [s]?  Never a free token or one
+   [dom] already holds; otherwise only when the stamped holder incarnation
+   is provably retired (the epoch parity check). *)
+let seizable s ~dom =
+  let p = proto s in
+  (not (P.is_free p))
+  && P.holder p <> dom
+  && not (live_at (P.holder p) ~e16:(stamped_epoch s))
+
 (* Take a token whose stamped holder incarnation is retired.  The CAS from
    the observed dead-stamped word is the seize fence: it can only succeed
    against the exact word we proved dead, so a live holder (or a racing
    seizer) always wins the race instead of us.  [fast_owner] is cleared
    first — the dead slot id may be reallocated, and a stale cache hit for
-   the new incarnation would bypass acquire entirely. *)
-let rec try_seize t ~dom =
+   the new incarnation would bypass acquire entirely.
+
+   The [@sds.model] regions here are extracted into the "token-handoff" and
+   "token-crash-recovery" Interleave models (lib/check/extract.ml); edits
+   must keep test/golden/ in sync or `sdmodel check` fails CI. *)
+let[@sds.model "token-crash/seize"] rec try_seize t ~dom =
   let s = Atomic.get t.state in
-  let p = proto s in
-  if P.is_free p || P.holder p = dom then false
-  else if live_at (P.holder p) ~e16:(stamped_epoch s) then false
+  if not (seizable s ~dom) then false
   else begin
     t.fast_owner <- -1;
-    let next = compose (P.seize p ~id:dom) ~epoch:(epoch_of dom) in
+    let next = compose (P.seize (proto s) ~id:dom) ~epoch:(epoch_of dom) in
     if Atomic.compare_and_set t.state s next then begin
       Obs.Metrics.incr m_seized;
       Obs.Trace.emit_n Obs.Trace.Token_takeover dom;
@@ -263,7 +274,7 @@ let () = Rt_dom.on_death reap_dead
    the requester.  CAS loop: the request slot can gain a requester between
    our load and the store, never lose one.  The grant stamps the
    *requester's* epoch — the token's liveness now tracks its new holder. *)
-let rec grant_now t ~dom =
+let[@sds.model "token-handoff/grant"] rec grant_now t ~dom =
   let s = Atomic.get t.state in
   let p = proto s in
   if P.should_release p ~id:dom then begin

@@ -10,6 +10,21 @@ module Hmap = Sds_het.Hmap
 
 let cfg = Lint.default
 
+(* Locate the repo root (walking up to dune-project) — tests run from
+   _build/default/test, and the build context carries the full source
+   tree, so model extraction and tree lint both work against it.  [None]
+   only in a sandboxed run without sources: skip those tests. *)
+let repo_root () =
+  let rec find_root d =
+    if Sys.file_exists (Filename.concat d "dune-project") then Some d
+    else
+      let parent = Filename.dirname d in
+      if parent = d then None else find_root parent
+  in
+  find_root (Sys.getcwd ())
+
+let with_root f = match repo_root () with None -> () | Some root -> f root
+
 let rules_of ~path source =
   List.map (fun v -> v.Lint.rule) (Lint.lint_source ~config:cfg ~path ~source)
 
@@ -171,6 +186,48 @@ let test_fault_rule () =
   check_rules "suppression works here too" ~path:"lib/core/x.ml"
     "let f () = (Sds_fault.inject \"x.y\" [@sds.allow \"fault-confined\"])" []
 
+(* ---- fence-discipline ---- *)
+
+let test_fence_rule () =
+  check_rules "plain write to the published tail is flagged" ~path:"lib/ring/x.ml"
+    "let f t = t.tail <- t.tail + 1" [ "fence-discipline" ];
+  check_rules "plain write to the waiter state word is flagged" ~path:"lib/notify/x.ml"
+    "let f t = t.state <- 2" [ "fence-discipline" ];
+  check_rules "the field name is owned however deep the record path"
+    ~path:"lib/rt/x.ml" "let f t = t.inner.seq <- 0" [ "fence-discipline" ];
+  check_rules "non-synchronizing fields may stay plain" ~path:"lib/ring/x.ml"
+    "let f t = t.head <- t.head + 1" [];
+  check_rules "outside the protocol libraries the names are free"
+    ~path:"lib/sim/x.ml" "let f t = t.tail <- 3" [];
+  check_rules "the single-domain allocator is allowlisted"
+    ~path:"lib/ring/alloc_queue.ml" "let f t = t.tail <- t.tail + 1" [];
+  check_rules "reads of the fields are not writes" ~path:"lib/ring/x.ml"
+    "let f t = t.tail + 1" [];
+  check_rules "suppression covers the subtree" ~path:"lib/ring/x.ml"
+    "let f t = ((t.tail <- 3) [@sds.allow \"fence-discipline\"])" []
+
+(* ---- github annotation format ---- *)
+
+let test_github_format () =
+  let v =
+    {
+      Lint.rule = "fence-discipline";
+      file = "lib/ring/x.ml";
+      line = 7;
+      col = 3;
+      message = "plain write,\nwith: specials and 100%";
+    }
+  in
+  Alcotest.(check string)
+    "workflow command with escaped properties and message"
+    "::error file=lib/ring/x.ml,line=7,col=3,title=fence-discipline::plain write,%0Awith: \
+     specials and 100%25"
+    (Lint.to_github v);
+  Alcotest.(check bool) "fence-discipline is a registered rule" true
+    (List.mem "fence-discipline" Lint.all_rules);
+  Alcotest.(check bool) "parse-error is a registered rule (so --rule accepts it)" true
+    (List.mem "parse-error" Lint.all_rules)
+
 (* ---- parse errors surface, not crash ---- *)
 
 let test_parse_error () =
@@ -214,18 +271,10 @@ let test_mli_parity () =
    comparators, the het-map, the added interfaces) are exactly what makes
    this hold.  Locate the repo root by walking up to dune-project. *)
 let test_repo_clean () =
-  let rec find_root d =
-    if Sys.file_exists (Filename.concat d "dune-project") then Some d
-    else
-      let parent = Filename.dirname d in
-      if parent = d then None else find_root parent
-  in
-  match find_root (Sys.getcwd ()) with
-  | None -> () (* sandboxed run without the sources present: nothing to scan *)
-  | Some root ->
-    let viols = Lint.lint_tree ~config:cfg ~root in
-    List.iter (fun v -> Printf.printf "unexpected: %s\n" (Lint.to_string v)) viols;
-    Alcotest.(check int) "sdlint is clean on the repository" 0 (List.length viols)
+  with_root (fun root ->
+      let viols = Lint.lint_tree ~config:cfg ~root in
+      List.iter (fun v -> Printf.printf "unexpected: %s\n" (Lint.to_string v)) viols;
+      Alcotest.(check int) "sdlint is clean on the repository" 0 (List.length viols))
 
 (* ---- interleaving checker: the DSL itself ---- *)
 
@@ -296,53 +345,297 @@ let test_interleave_basics () =
   Alcotest.(check bool) "exploration actually ran" true ((check cas_race).executions > 0)
 
 let test_models_clean () =
-  List.iter
-    (fun (name, p) ->
-      let o = Interleave.check p in
-      if not (Interleave.ok o) then
-        Alcotest.failf "model %s not clean: %a" name Interleave.pp_outcome o)
-    Models.all
+  with_root (fun root ->
+      List.iter
+        (fun (name, p) ->
+          let o = Interleave.check p in
+          if not (Interleave.ok o) then
+            Alcotest.failf "model %s not clean: %a" name Interleave.pp_outcome o)
+        (Models.all ~root))
 
 (* Mutation tests: each seeded bug class must be caught by the right
    detector.  These are the regression tests for the checker itself — if a
-   refactor of [Interleave] stops catching one of these, the checker has
-   lost its reason to exist. *)
+   refactor of [Interleave] (or of the extraction the models are now
+   derived through) stops catching one of these, the checker has lost its
+   reason to exist. *)
+
+let mutation ~root name = List.assoc name (Models.mutations ~root)
 
 let test_mutation_unfenced () =
-  let o = Interleave.check (Models.ring_publication ~publish_atomic:false ()) in
-  Alcotest.(check bool) "dropping the atomic tail publication races" true (o.races <> [])
+  with_root (fun root ->
+      let o = Interleave.check (mutation ~root "ring-publication-unfenced") in
+      Alcotest.(check bool) "dropping the atomic tail publication races" true (o.races <> []))
 
 let test_mutation_header_late () =
-  let o = Interleave.check (Models.ring_publication ~header_after_publish:true ()) in
-  Alcotest.(check bool) "publishing before the header write trips the assert" true
-    (o.assert_failures <> [])
+  with_root (fun root ->
+      let o = Interleave.check (mutation ~root "ring-publication-header-late") in
+      Alcotest.(check bool) "publishing before the header write trips the assert" true
+        (o.assert_failures <> []))
 
 let test_mutation_no_recheck () =
-  let o = Interleave.check (Models.park_notify ~recheck:false ()) in
-  Alcotest.(check bool) "dropping the parked-flag re-check loses a wakeup" true
-    (o.lost_wakeups > 0)
+  with_root (fun root ->
+      let o = Interleave.check (mutation ~root "park-notify-no-recheck") in
+      Alcotest.(check bool) "dropping the parked-flag re-check loses a wakeup" true
+        (o.lost_wakeups > 0))
 
 let test_mutation_release_early () =
-  let o = Interleave.check (Models.desc_handoff ~release_before_read:true ()) in
-  Alcotest.(check bool) "releasing the page before the payload read is caught" true
-    (o.races <> [] || o.assert_failures <> [])
+  with_root (fun root ->
+      let o = Interleave.check (mutation ~root "desc-handoff-release-early") in
+      Alcotest.(check bool) "releasing the page before the payload read is caught" true
+        (o.races <> [] || o.assert_failures <> []))
 
 let test_mutation_token_unfenced () =
-  let o = Interleave.check (Models.token_handoff ~fence_atomic:false ()) in
-  Alcotest.(check bool) "dropping the grant's release fence races on socket state" true
-    (o.races <> [])
+  with_root (fun root ->
+      let o = Interleave.check (mutation ~root "token-handoff-unfenced") in
+      Alcotest.(check bool) "losing the grant's atomicity races on socket state" true
+        (o.races <> []))
 
 let test_mutation_token_early_grant () =
-  let o = Interleave.check (Models.token_handoff ~drain_before_grant:false ()) in
-  Alcotest.(check bool) "granting before the drain is caught" true
-    (o.races <> [] || o.assert_failures <> [])
+  with_root (fun root ->
+      let o = Interleave.check (mutation ~root "token-handoff-early-grant") in
+      Alcotest.(check bool) "granting before the drain is caught" true
+        (o.races <> [] || o.assert_failures <> []))
 
 let test_mutations_all_caught () =
+  with_root (fun root ->
+      List.iter
+        (fun (name, p) ->
+          let o = Interleave.check p in
+          if Interleave.ok o then Alcotest.failf "mutation %s escaped every detector" name)
+        (Models.mutations ~root))
+
+(* ---- DPOR: reduction correctness and power ----
+
+   The sleep-set reduction must (a) prune commuting interleavings, (b) keep
+   exploring conflicting ones, and (c) never change a verdict.  (a)/(b) are
+   pinned on minimal programs where the expected counts are obvious; (c) is
+   pinned across every shipped model and every seeded mutation. *)
+
+let two name_a a name_b b =
+  let open Interleave in
+  {
+    globals = [ ("x", 0); ("y", 0) ];
+    threads = [ { name = name_a; body = a }; { name = name_b; body = b } ];
+  }
+
+let test_dpor_commutes () =
+  let open Interleave in
+  (* Disjoint variables commute: one interleaving suffices. *)
+  let disjoint = two "a" [ Store ("x", Int 1) ] "b" [ Store ("y", Int 1) ] in
+  Alcotest.(check int) "disjoint stores: naive explores both orders" 2
+    (check ~dpor:false disjoint).executions;
+  Alcotest.(check int) "disjoint stores: DPOR explores one" 1
+    (check ~dpor:true disjoint).executions;
+  (* Two reads of the same variable commute too. *)
+  let reads = two "a" [ Load ("x", "r") ] "b" [ Load ("x", "r") ] in
+  Alcotest.(check int) "read/read: naive explores both orders" 2
+    (check ~dpor:false reads).executions;
+  Alcotest.(check int) "read/read: DPOR explores one" 1
+    (check ~dpor:true reads).executions
+
+let test_dpor_conflicts () =
+  let open Interleave in
+  (* Write/write on one variable conflicts: both orders are distinct
+     terminal states and DPOR must visit both. *)
+  let ww = two "a" [ Store ("x", Int 1) ] "b" [ Store ("x", Int 2) ] in
+  Alcotest.(check int) "conflicting stores: DPOR keeps both orders" 2
+    (check ~dpor:true ww).executions;
+  (* A read/write conflict whose outcome depends on the order: DPOR must
+     still reach the failing order. *)
+  let rw =
+    two "a"
+      [ Load ("x", "r"); Assert (Rel (Eq, Reg "r", Int 0), "saw the write") ]
+      "b" [ Store ("x", Int 1) ]
+  in
+  Alcotest.(check bool) "read/write conflict: DPOR reaches the failing order" true
+    ((check ~dpor:true rw).assert_failures <> []);
+  (* And a plain/plain conflict is still reported as a race under DPOR. *)
+  let racy = two "a" [ Plain_store ("x", Int 1) ] "b" [ Plain_store ("x", Int 2) ] in
+  Alcotest.(check bool) "plain/plain race survives the reduction" true
+    ((check ~dpor:true racy).races <> [])
+
+(* Per-model regression bounds: if the reduction degrades, these counts
+   blow up long before wall-clock does.  Current values (with plenty of
+   headroom): ring 2, park-notify 6, token-handoff 6, token-crash 1. *)
+let test_dpor_execution_bounds () =
+  with_root (fun root ->
+      let bounds =
+        [
+          ("ring-publication", 8);
+          ("park-notify", 16);
+          ("desc-handoff", 8);
+          ("token-handoff", 16);
+          ("token-crash-recovery", 8);
+        ]
+      in
+      List.iter
+        (fun (name, p) ->
+          let cap = List.assoc name bounds in
+          let n = (Interleave.check ~dpor:true p).executions in
+          if n > cap then
+            Alcotest.failf "model %s: DPOR explored %d executions (cap %d)" name n cap)
+        (Models.all ~root))
+
+(* The headline acceptance bar: on the token-handoff model, at the same
+   preemption bound, the reduced checker explores >= 10x fewer executions
+   than the unreduced one — and both agree the model is clean. *)
+let test_dpor_reduction_ratio () =
+  with_root (fun root ->
+      let p = List.assoc "token-handoff" (Models.all ~root) in
+      let reduced = Interleave.check ~dpor:true p in
+      let naive = Interleave.check ~dpor:false p in
+      Alcotest.(check bool) "reduced verdict clean" true (Interleave.ok reduced);
+      Alcotest.(check bool) "naive verdict clean" true (Interleave.ok naive);
+      if naive.executions < 10 * reduced.executions then
+        Alcotest.failf "DPOR reduction below 10x: %d reduced vs %d naive"
+          reduced.executions naive.executions)
+
+(* Verdict equality: for every shipped model and every seeded mutation, the
+   reduced and unreduced explorations agree on cleanliness and on which
+   detector fired. *)
+let test_dpor_verdicts_equal () =
+  with_root (fun root ->
+      List.iter
+        (fun (name, p) ->
+          let r = Interleave.check ~dpor:true p in
+          let u = Interleave.check ~dpor:false p in
+          let agree label a b =
+            if a <> b then
+              Alcotest.failf "%s: reduced/unreduced disagree on %s" name label
+          in
+          agree "cleanliness" (Interleave.ok r) (Interleave.ok u);
+          agree "races" (r.races <> []) (u.races <> []);
+          agree "assertion failures" (r.assert_failures <> []) (u.assert_failures <> []);
+          agree "lost wakeups" (r.lost_wakeups > 0) (u.lost_wakeups > 0))
+        (Models.all ~root @ Models.mutations ~root))
+
+(* ---- extraction: annotations, goldens, drift ---- *)
+
+let ring_files = [ "lib/ring/spsc_ring.ml" ]
+
+let test_extract_regions () =
+  with_root (fun root ->
+      Alcotest.(check (list string))
+        "the ring announces its annotated regions"
+        [ "ring-publication/producer" ]
+        (Sds_check.Extract.region_names ~root ~files:ring_files);
+      let waiter = Sds_check.Extract.region_names ~root ~files:[ "lib/notify/waiter.ml" ] in
+      List.iter
+        (fun n ->
+          if not (List.mem n waiter) then Alcotest.failf "waiter region %s missing" n)
+        [ "park-notify/notifier"; "park-notify/waiter"; "waiter/prepare"; "waiter/commit" ];
+      let token = Sds_check.Extract.region_names ~root ~files:[ "lib/rt/rt_token.ml" ] in
+      List.iter
+        (fun n ->
+          if not (List.mem n token) then Alcotest.failf "token region %s missing" n)
+        [ "token-handoff/grant"; "token-crash/seize" ])
+
+(* In-process mirror of `sdmodel check`: every extracted program renders to
+   exactly its committed golden. *)
+let test_extract_goldens () =
+  with_root (fun root ->
+      List.iter
+        (fun (name, p) ->
+          let path = Filename.concat root ("test/golden/" ^ name ^ ".golden") in
+          if not (Sys.file_exists path) then Alcotest.failf "no golden for %s" name;
+          let ic = open_in_bin path in
+          let golden = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          Alcotest.(check string)
+            (Printf.sprintf "extraction of %s matches its golden" name)
+            golden
+            (Interleave.render_program p))
+        (Models.extracted ~root))
+
+(* Fixture: mutate a *copy of the real source* and assert the drift gate
+   trips — the end-to-end guarantee that editing an annotated hot path
+   cannot silently diverge from the checked model. *)
+let copy_tree_fixture root tmp =
   List.iter
-    (fun (name, p) ->
-      let o = Interleave.check p in
-      if Interleave.ok o then Alcotest.failf "mutation %s escaped every detector" name)
-    Models.mutations
+    (fun rel ->
+      let rec mkdir_p d =
+        if not (Sys.file_exists d) then begin
+          mkdir_p (Filename.dirname d);
+          Sys.mkdir d 0o755
+        end
+      in
+      let dst = Filename.concat tmp rel in
+      mkdir_p (Filename.dirname dst);
+      let ic = open_in_bin (Filename.concat root rel) in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_bin dst in
+      output_string oc s;
+      close_out oc)
+    [ "lib/ring/spsc_ring.ml"; "lib/notify/waiter.ml"; "lib/rt/rt_token.ml" ]
+
+let replace_in_file path ~pat ~by =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Buffer.create (String.length s) in
+  let plen = String.length pat in
+  let i = ref 0 in
+  let hits = ref 0 in
+  while !i < String.length s do
+    if !i + plen <= String.length s && String.sub s !i plen = pat then begin
+      Buffer.add_string b by;
+      incr hits;
+      i := !i + plen
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  if !hits = 0 then Alcotest.failf "fixture pattern %S not found in %s" pat path;
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+(* The built CLI sits next to this test binary's build context
+   (_build/default/{test,bin}); resolve it relative to the executable so
+   the test works under both `dune runtest` and `dune exec`. *)
+let sdmodel_exe root =
+  let beside =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/sdmodel.exe"
+  in
+  if Sys.file_exists beside then beside else Filename.concat root "bin/sdmodel.exe"
+
+let run_sdmodel exe args =
+  Sys.command (Filename.quote_command exe args ^ " > /dev/null 2>&1")
+
+let test_sdmodel_drift_fixture () =
+  with_root (fun root ->
+      let exe = sdmodel_exe root in
+      if not (Sys.file_exists exe) then Alcotest.failf "sdmodel.exe not built at %s" exe;
+      let golden = Filename.concat root "test/golden" in
+      let tmp = Filename.temp_dir "sds_model" "fixture" in
+      copy_tree_fixture root tmp;
+      (* Unmutated copy: the gate passes. *)
+      Alcotest.(check int) "clean fixture passes the drift gate" 0
+        (run_sdmodel exe [ "--root"; tmp; "--golden-dir"; golden; "check" ]);
+      (* Mutate the publication: the tail advances by two slots.  Still
+         compiles, still extracts — but the model differs, and the gate
+         must fail. *)
+      replace_in_file
+        (Filename.concat tmp "lib/ring/spsc_ring.ml")
+        ~pat:"Atomic.set t.tail (tail + need)"
+        ~by:"Atomic.set t.tail (tail + need + need)";
+      let dump = Filename.concat tmp "dump" in
+      Alcotest.(check int) "mutated fixture fails the drift gate" 1
+        (run_sdmodel exe
+           [ "--root"; tmp; "--golden-dir"; golden; "--dump-dir"; dump; "check" ]);
+      Alcotest.(check bool) "the drifted render is dumped for the CI artifact" true
+        (Sys.file_exists (Filename.concat dump "ring-publication.extracted"));
+      (* A mutation the spec cannot classify is an extraction error, not
+         silent drift: exit 2. *)
+      replace_in_file
+        (Filename.concat tmp "lib/ring/spsc_ring.ml")
+        ~pat:"Atomic.set t.tail (tail + need + need)"
+        ~by:"t.unknown_field <- tail + need";
+      Alcotest.(check int) "unclassifiable source is an extraction error" 2
+        (run_sdmodel exe [ "--root"; tmp; "--golden-dir"; golden; "check" ]))
 
 (* ---- the shared het-map ---- *)
 
@@ -380,6 +673,8 @@ let suite =
     Alcotest.test_case "lint: bigarray-unsafe" `Quick test_bigarray_rule;
     Alcotest.test_case "lint: metric-registration" `Quick test_metric_rule;
     Alcotest.test_case "lint: fault-confined" `Quick test_fault_rule;
+    Alcotest.test_case "lint: fence-discipline" `Quick test_fence_rule;
+    Alcotest.test_case "lint: github annotation format" `Quick test_github_format;
     Alcotest.test_case "lint: parse errors" `Quick test_parse_error;
     Alcotest.test_case "lint: mli parity over a tree" `Quick test_mli_parity;
     Alcotest.test_case "lint: repository is clean" `Quick test_repo_clean;
@@ -392,5 +687,13 @@ let suite =
     Alcotest.test_case "mutation: unfenced token grant races" `Quick test_mutation_token_unfenced;
     Alcotest.test_case "mutation: token grant before drain" `Quick test_mutation_token_early_grant;
     Alcotest.test_case "mutation: all variants caught" `Quick test_mutations_all_caught;
+    Alcotest.test_case "dpor: commuting ops collapse" `Quick test_dpor_commutes;
+    Alcotest.test_case "dpor: conflicting ops explored" `Quick test_dpor_conflicts;
+    Alcotest.test_case "dpor: execution-count regression bounds" `Quick test_dpor_execution_bounds;
+    Alcotest.test_case "dpor: >=10x reduction on token-handoff" `Quick test_dpor_reduction_ratio;
+    Alcotest.test_case "dpor: verdicts equal reduced vs unreduced" `Quick test_dpor_verdicts_equal;
+    Alcotest.test_case "extract: annotated regions discovered" `Quick test_extract_regions;
+    Alcotest.test_case "extract: renders match committed goldens" `Quick test_extract_goldens;
+    Alcotest.test_case "sdmodel: drift fixture trips the gate" `Quick test_sdmodel_drift_fixture;
     Alcotest.test_case "het-map" `Quick test_hmap;
   ]
